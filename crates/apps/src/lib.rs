@@ -1,0 +1,34 @@
+//! # apps — the paper's two irregular applications, in four builds each
+//!
+//! * **moldyn** (§5.1): a CHARMM-like molecular dynamics kernel. An
+//!   interaction list of all molecule pairs within a cutoff radius is the
+//!   indirection array; it is rebuilt periodically as molecules move.
+//! * **nbf** (§5.2): the GROMOS non-bonded-force kernel. Concatenated
+//!   per-molecule partner lists form a *static* indirection array.
+//!
+//! Each application comes as:
+//!
+//! 1. a **sequential** reference ([`moldyn::run_seq`], [`nbf::run_seq`]),
+//! 2. **Tmk base** — plain demand-paged DSM,
+//! 3. **Tmk optimized** — compiler-inserted `Validate` (the descriptors
+//!    come from `fcc` compiling the paper's Figure-1 sources),
+//! 4. **CHAOS** — hand-coded inspector/executor.
+//!
+//! All four compute identical physics from identical seeded workloads, so
+//! results cross-check to floating-point reordering tolerance, while
+//! simulated time, messages, and data reproduce Tables 1 and 2.
+//!
+//! ## Modeled compute costs
+//!
+//! Real arithmetic runs at native speed; *simulated* time is charged per
+//! unit of work ([`work`]), calibrated so the sequential programs land on
+//! the paper's timings (moldyn ≈ 267 s at one rebuild; nbf 64×1024 ≈
+//! 78 s — see `work.rs`).
+
+pub mod moldyn;
+pub mod nbf;
+pub mod umesh;
+pub mod report;
+pub mod work;
+
+pub use report::{RunReport, SystemKind};

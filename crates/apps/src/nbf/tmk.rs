@@ -1,0 +1,251 @@
+//! nbf on the DSM (base and optimized) — the `Tmk` rows of Table 2.
+//!
+//! BLOCK partition; the static partner list is written once during
+//! initialization. Each timed step: `Validate` (optimized) prefetches
+//! the coordinate pages named by the partner section, forces accumulate
+//! into a private array, the shared force array is updated in the
+//! pipelined owner-last fashion, and owners integrate their coordinates.
+//!
+//! Because the paper's 64×1000 size makes the per-processor blocks
+//! misaligned with pages, the boundary pages of `x` and `forces` are
+//! written by two processors — the false-sharing overhead §5.2.1
+//! measures falls out of the protocol here with no special handling.
+
+use parking_lot::Mutex;
+use rsd::{Dim, Env, Rsd};
+use sdsm_core::{validate, AccessType, Cluster, Desc, DsmConfig, RegionRef, Validator};
+use simnet::SimTime;
+
+use chaos::block_partition;
+
+use super::{nbf_force, NbfConfig, NbfWorld, TmkMode, DT};
+use crate::report::{RunReport, SystemKind};
+use crate::work;
+
+/// Run nbf on the simulated DSM. Returns the Table-2 row and the final
+/// coordinates.
+pub fn run_tmk(
+    cfg: &NbfConfig,
+    world: &NbfWorld,
+    mode: TmkMode,
+    seq_time: SimTime,
+) -> (RunReport, Vec<f64>) {
+    let nprocs = cfg.nprocs;
+    let n = cfg.n;
+    let part = block_partition(n, nprocs);
+
+    // Compile the nbf source; the optimized build uses its INDIRECT site.
+    let compiled = fcc::compile(fcc::fixtures::NBF_SOURCE).expect("nbf source compiles");
+    let site = compiled
+        .sites
+        .iter()
+        .find(|s| s.unit == "computenbfforces")
+        .expect("nbf Validate site")
+        .clone();
+    let ind_desc = site
+        .descriptors
+        .iter()
+        .find(|d| d.ind.as_deref() == Some("partners"))
+        .expect("partners INDIRECT descriptor")
+        .clone();
+
+    let cl = Cluster::new(DsmConfig {
+        nprocs,
+        page_size: cfg.page_size,
+        cost: cfg.cost.clone(),
+    });
+    let x = cl.alloc::<f64>(n);
+    let forces = cl.alloc::<f64>(n);
+    let partners = cl.alloc::<i32>(world.partners.len());
+    let last = cl.alloc::<i32>(n + 1);
+
+    let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
+    let scan_secs: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
+
+    cl.run(|p| {
+        let me = p.rank();
+        let my = part.range_of(me);
+        let mut v = Validator::new();
+        let mut local = vec![0.0f64; n];
+
+        // --- untimed init: owner writes its block of x, partner list ---
+        for i in my.clone() {
+            p.write(&x, i, world.x0[i]);
+        }
+        let (klo, khi) = (
+            world.last[my.start] as usize,
+            world.last[my.end] as usize,
+        );
+        for k in klo..khi {
+            p.write(&partners, k, world.partners[k]);
+        }
+        for i in my.start..=my.end {
+            p.write(&last, i, world.last[i]);
+        }
+        p.barrier();
+
+        for step in 1..=(cfg.warmup + cfg.steps) {
+            if step == cfg.warmup + 1 {
+                p.start_timed_region();
+                p.reset_counters();
+            }
+
+            // ---- ComputeNbfForces ----
+            if mode == TmkMode::Optimized {
+                // Bind the compiler's section: the opaque bound symbols
+                // `last(0)` and `last(num_molecules)` become this
+                // processor's partner-list extent (its molecules' lists).
+                let env = Env::new()
+                    .bind("last(0)", klo as i64)
+                    .bind("last(num_molecules)", khi as i64);
+                let sec = ind_desc.section.eval(&env).expect("bound section");
+                validate(
+                    p,
+                    &mut v,
+                    &[
+                        Desc::Indirect {
+                            data: RegionRef::of(&x),
+                            ind: partners,
+                            ind_dims: vec![partners.len()],
+                            section: sec,
+                            access: AccessType::Read,
+                            sched: 1,
+                        },
+                        // The direct reads of x(i) and last(i) over my
+                        // block (the site's DIRECT descriptors, bound to
+                        // my range).
+                        Desc::Direct {
+                            data: RegionRef::of(&x),
+                            section: Rsd::dense1(my.start as i64 + 1, my.end as i64),
+                            access: AccessType::Read,
+                            sched: 2,
+                        },
+                        Desc::Direct {
+                            data: RegionRef::of(&last),
+                            section: Rsd::dense1(my.start as i64 + 1, my.end as i64 + 1),
+                            access: AccessType::Read,
+                            sched: 3,
+                        },
+                    ],
+                );
+            }
+            for l in local.iter_mut() {
+                *l = 0.0;
+            }
+            p.compute(work::t(work::ZERO_US, n));
+            let mut pairs = 0usize;
+            for i in my.clone() {
+                let lo = p.read(&last, i) as usize;
+                let hi = p.read(&last, i + 1) as usize;
+                let xi = p.read(&x, i);
+                for k in lo..hi {
+                    let j = p.read(&partners, k) as usize - 1;
+                    let xj = p.read(&x, j);
+                    let f = nbf_force(xi, xj);
+                    local[i] += f;
+                    local[j] -= f;
+                }
+                pairs += hi - lo;
+            }
+            p.compute(work::t(work::NBF_PAIR_US, pairs));
+
+            // ---- pipelined reduction, owner last ----
+            for s in 0..p.nprocs() {
+                let chunk = (me + s + 1) % p.nprocs();
+                let cr = part.range_of(chunk);
+                if mode == TmkMode::Optimized {
+                    let access = if s == 0 {
+                        AccessType::WriteAll
+                    } else {
+                        AccessType::ReadWriteAll
+                    };
+                    validate(
+                        p,
+                        &mut v,
+                        &[Desc::Direct {
+                            data: RegionRef::of(&forces),
+                            section: Rsd::new(vec![Dim::dense(
+                                cr.start as i64 + 1,
+                                cr.end as i64,
+                            )]),
+                            access,
+                            sched: 100 + chunk as u32,
+                        }],
+                    );
+                }
+                if s == 0 {
+                    for i in cr {
+                        p.write(&forces, i, local[i]);
+                    }
+                } else {
+                    for i in cr {
+                        let cur = p.read(&forces, i);
+                        p.write(&forces, i, cur + local[i]);
+                    }
+                }
+                p.barrier();
+            }
+
+            // ---- owner integrates ----
+            if mode == TmkMode::Optimized {
+                validate(
+                    p,
+                    &mut v,
+                    &[Desc::Direct {
+                        data: RegionRef::of(&x),
+                        section: Rsd::dense1(my.start as i64 + 1, my.end as i64),
+                        access: AccessType::ReadWriteAll,
+                        sched: 200,
+                    }],
+                );
+            }
+            for i in my.clone() {
+                let f = p.read(&forces, i);
+                let cur = p.read(&x, i);
+                p.write(&x, i, cur + DT * f);
+            }
+            p.compute(work::t(work::NBF_UPDATE_US, my.len()));
+            p.barrier();
+        }
+
+        if me == 0 {
+            let rep = cl.report();
+            *captured.lock() = Some((cl.elapsed(), rep.messages, rep.bytes));
+        }
+        scan_secs.lock()[me] = v.scan_seconds();
+        p.barrier();
+    });
+
+    // Untimed extraction.
+    let final_x: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);
+    cl.run(|p| {
+        if p.rank() == 0 {
+            let mut out = final_x.lock();
+            for i in 0..n {
+                out[i] = p.read(&x, i);
+            }
+        }
+    });
+    let final_x = final_x.into_inner();
+
+    let (time, messages, bytes) = captured.into_inner().expect("captured");
+    let checksum = final_x.iter().map(|v| v.abs()).sum();
+    let scan = scan_secs.into_inner();
+    (
+        RunReport {
+            system: match mode {
+                TmkMode::Base => SystemKind::TmkBase,
+                TmkMode::Optimized => SystemKind::TmkOpt,
+            },
+            time,
+            seq_time,
+            messages,
+            bytes,
+            inspector_s: 0.0,
+            untimed_inspector_s: 0.0,
+            validate_scan_s: scan.iter().sum::<f64>() / nprocs as f64,
+            checksum,
+        },
+        final_x,
+    )
+}

@@ -1,0 +1,469 @@
+//! umesh — unstructured-mesh edge relaxation, the third classic irregular
+//! workload (the paper's related work compares on "unstructured"; its
+//! introduction motivates exactly this class of code).
+//!
+//! A static mesh: `n` nodes on a jittered 2-D grid, edges = 4-neighbour
+//! grid links plus a seeded sprinkle of long-range links. Each sweep
+//! computes a flux per edge from the endpoint values — through the edge
+//! list as indirection array — accumulates into both endpoints, and
+//! relaxes the node values. Structure-wise this is nbf with a *pair*
+//! list (like moldyn) but a *static* one (like nbf), so it exercises the
+//! remaining corner of the design space.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsd::{Dim, Rsd};
+use sdsm_core::{validate, AccessType, Cluster, Desc, DsmConfig, RegionRef, Validator};
+use simnet::{CostModel, SimTime};
+
+use chaos::{
+    block_partition, gather, inspector, scatter_add, ChaosWorld, Ghosted, TTable, TTableCache,
+    TTableKind,
+};
+
+use crate::report::{RunReport, SystemKind};
+use crate::work;
+pub use crate::moldyn::TmkMode;
+
+/// Relaxation weight per sweep.
+pub const KAPPA: f64 = 0.05;
+
+/// Modeled cost of one edge flux. Mesh kernels of this era computed a
+/// nontrivial per-edge stencil (upwinding, limiters); 25 µs keeps the
+/// workload compute-bound at the 1997 cost scale, like the paper's two
+/// applications.
+pub const EDGE_US: f64 = 25.0;
+
+#[derive(Debug, Clone)]
+pub struct UmeshConfig {
+    /// Grid side (nodes = side²).
+    pub side: usize,
+    /// Extra long-range edges as a fraction of grid edges.
+    pub longrange_frac: f64,
+    pub sweeps: usize,
+    pub nprocs: usize,
+    pub seed: u64,
+    pub page_size: usize,
+    pub cost: CostModel,
+}
+
+impl UmeshConfig {
+    pub fn small() -> Self {
+        UmeshConfig {
+            side: 32,
+            longrange_frac: 0.05,
+            sweeps: 4,
+            nprocs: 4,
+            seed: 11,
+            page_size: 1024,
+            cost: CostModel::default(),
+        }
+    }
+
+    pub fn medium() -> Self {
+        UmeshConfig {
+            side: 128,
+            longrange_frac: 0.05,
+            sweeps: 10,
+            nprocs: 8,
+            seed: 11,
+            page_size: 4096,
+            cost: CostModel::default(),
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.side * self.side
+    }
+}
+
+/// The generated mesh: initial node values and the edge list (0-based
+/// endpoint pairs, `a < b`, sorted — deterministic for a given seed).
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    pub x0: Vec<f64>,
+    pub edges: Vec<(u32, u32)>,
+}
+
+pub fn gen_mesh(cfg: &UmeshConfig) -> Mesh {
+    let side = cfg.side;
+    let n = cfg.n();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let x0: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let mut edges = Vec::new();
+    for r in 0..side {
+        for c in 0..side {
+            let a = (r * side + c) as u32;
+            if c + 1 < side {
+                edges.push((a, a + 1));
+            }
+            if r + 1 < side {
+                edges.push((a, a + side as u32));
+            }
+        }
+    }
+    let extra = (edges.len() as f64 * cfg.longrange_frac) as usize;
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Mesh { x0, edges }
+}
+
+/// One relaxation sweep over plain slices (the shared physics kernel).
+fn sweep(x: &[f64], edges: &[(u32, u32)], acc: &mut [f64]) {
+    acc.iter_mut().for_each(|a| *a = 0.0);
+    for &(a, b) in edges {
+        let flux = (x[a as usize] - x[b as usize]) * KAPPA;
+        acc[a as usize] -= flux;
+        acc[b as usize] += flux;
+    }
+}
+
+pub struct SeqResult {
+    pub report: RunReport,
+    pub x: Vec<f64>,
+}
+
+pub fn run_seq(cfg: &UmeshConfig, mesh: &Mesh) -> SeqResult {
+    let n = cfg.n();
+    let mut x = mesh.x0.clone();
+    let mut acc = vec![0.0f64; n];
+    let mut time = SimTime::ZERO;
+    for _ in 0..cfg.sweeps {
+        sweep(&x, &mesh.edges, &mut acc);
+        for (xi, a) in x.iter_mut().zip(&acc) {
+            *xi += a;
+        }
+        time += work::t(EDGE_US, mesh.edges.len()) + work::t(work::ZERO_US, 2 * n);
+    }
+    let checksum = x.iter().map(|v| v.abs()).sum();
+    SeqResult {
+        report: RunReport {
+            system: SystemKind::Sequential,
+            time,
+            seq_time: time,
+            messages: 0,
+            bytes: 0,
+            inspector_s: 0.0,
+            untimed_inspector_s: 0.0,
+            validate_scan_s: 0.0,
+            checksum,
+        },
+        x,
+    }
+}
+
+/// umesh on the DSM (base / optimized). Nodes are BLOCK-partitioned by
+/// grid row (spatial locality); edges go to the owner of their first
+/// endpoint; the force-style accumulation uses the owner-last pipeline.
+pub fn run_tmk(
+    cfg: &UmeshConfig,
+    mesh: &Mesh,
+    mode: TmkMode,
+    seq_time: SimTime,
+) -> (RunReport, Vec<f64>) {
+    let n = cfg.n();
+    let nprocs = cfg.nprocs;
+    let part = block_partition(n, nprocs);
+
+    // Per-processor edge sections (owner of endpoint `a`).
+    let mut per_proc: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nprocs];
+    for &(a, b) in &mesh.edges {
+        per_proc[part.owner[a as usize]].push((a, b));
+    }
+    let cap_pp = per_proc.iter().map(Vec::len).max().unwrap() + 1;
+
+    let cl = Cluster::new(DsmConfig {
+        nprocs,
+        page_size: cfg.page_size,
+        cost: cfg.cost.clone(),
+    });
+    let x = cl.alloc::<f64>(n);
+    let elist = cl.alloc::<i32>(2 * cap_pp * nprocs);
+
+    let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
+    let scan_secs: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
+
+    cl.run(|p| {
+        let me = p.rank();
+        let my = part.range_of(me);
+        let my_edges = &per_proc[me];
+        let my_start = me * cap_pp;
+        let mut v = if mode == TmkMode::Optimized {
+            Validator::incremental()
+        } else {
+            Validator::new()
+        };
+        let mut local = vec![0.0f64; n];
+
+        // untimed init
+        for i in my.clone() {
+            p.write(&x, i, mesh.x0[i]);
+        }
+        for (k, &(a, b)) in my_edges.iter().enumerate() {
+            let flat = 2 * (my_start + k);
+            p.write(&elist, flat, a as i32 + 1);
+            p.write(&elist, flat + 1, b as i32 + 1);
+        }
+        p.barrier();
+        p.start_timed_region();
+        p.reset_counters();
+
+        for _sweep in 0..cfg.sweeps {
+            if mode == TmkMode::Optimized && !my_edges.is_empty() {
+                validate(
+                    p,
+                    &mut v,
+                    &[Desc::Indirect {
+                        data: RegionRef::of(&x),
+                        ind: elist,
+                        ind_dims: vec![2, cap_pp * nprocs],
+                        section: Rsd::new(vec![
+                            Dim::dense(1, 2),
+                            Dim::dense(my_start as i64 + 1, (my_start + my_edges.len()) as i64),
+                        ]),
+                        access: AccessType::Read,
+                        sched: 1,
+                    }],
+                );
+            }
+            for l in local.iter_mut() {
+                *l = 0.0;
+            }
+            p.compute(work::t(work::ZERO_US, n));
+            for k in 0..my_edges.len() {
+                let flat = 2 * (my_start + k);
+                let a = p.read(&elist, flat) as usize - 1;
+                let b = p.read(&elist, flat + 1) as usize - 1;
+                let flux = (p.read(&x, a) - p.read(&x, b)) * KAPPA;
+                local[a] -= flux;
+                local[b] += flux;
+            }
+            p.compute(work::t(EDGE_US, my_edges.len()));
+
+            // owner-last pipelined update of x: x[i] += Σ local contributions
+            for s in 0..p.nprocs() {
+                let chunk = (me + s + 1) % p.nprocs();
+                let cr = part.range_of(chunk);
+                if mode == TmkMode::Optimized {
+                    validate(
+                        p,
+                        &mut v,
+                        &[Desc::Direct {
+                            data: RegionRef::of(&x),
+                            section: Rsd::dense1(cr.start as i64 + 1, cr.end as i64),
+                            access: AccessType::ReadWriteAll,
+                            sched: 100 + chunk as u32,
+                        }],
+                    );
+                }
+                for i in cr {
+                    let cur = p.read(&x, i);
+                    p.write(&x, i, cur + local[i]);
+                }
+                p.barrier();
+            }
+        }
+
+        if me == 0 {
+            let rep = cl.report();
+            *captured.lock() = Some((cl.elapsed(), rep.messages, rep.bytes));
+        }
+        scan_secs.lock()[me] = v.scan_seconds();
+        p.barrier();
+    });
+
+    let final_x: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);
+    cl.run(|p| {
+        if p.rank() == 0 {
+            let mut out = final_x.lock();
+            for i in 0..n {
+                out[i] = p.read(&x, i);
+            }
+        }
+    });
+    let final_x = final_x.into_inner();
+    let (time, messages, bytes) = captured.into_inner().expect("captured");
+    let checksum = final_x.iter().map(|v| v.abs()).sum();
+    let scan = scan_secs.into_inner();
+    (
+        RunReport {
+            system: match mode {
+                TmkMode::Base => SystemKind::TmkBase,
+                TmkMode::Optimized => SystemKind::TmkOpt,
+            },
+            time,
+            seq_time,
+            messages,
+            bytes,
+            inspector_s: 0.0,
+            untimed_inspector_s: 0.0,
+            validate_scan_s: scan.iter().sum::<f64>() / nprocs as f64,
+            checksum,
+        },
+        final_x,
+    )
+}
+
+/// umesh under CHAOS: inspector once (static mesh), gather endpoint
+/// values, accumulate, scatter contributions.
+pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+    let n = cfg.n();
+    let nprocs = cfg.nprocs;
+    let part = block_partition(n, nprocs);
+    let tt = TTable::new(TTableKind::Replicated, &part);
+    let mut per_proc: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nprocs];
+    for &(a, b) in &mesh.edges {
+        per_proc[part.owner[a as usize]].push((a, b));
+    }
+
+    let w = ChaosWorld::new(nprocs, cfg.cost.clone());
+    let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
+    let insp: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
+    let finals: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
+
+    w.run(|cp| {
+        let me = cp.rank();
+        let my = part.range_of(me);
+        let my_edges = &per_proc[me];
+        let mut cache = TTableCache::new();
+        let mut x_own: Vec<f64> = mesh.x0[my.clone()].to_vec();
+
+        let t0 = cp.now();
+        let sched = inspector(
+            cp,
+            &tt,
+            &mut cache,
+            my_edges.iter().flat_map(|&(a, b)| [a, b]),
+        );
+        insp.lock()[me] = (cp.now() - t0).as_secs_f64();
+        let locs: Vec<(chaos::Loc, chaos::Loc)> = my_edges
+            .iter()
+            .map(|&(a, b)| {
+                let (oa, fa) = tt.translate_free(a);
+                let (ob, fb) = tt.translate_free(b);
+                (sched.locate(me, oa, fa), sched.locate(me, ob, fb))
+            })
+            .collect();
+
+        cp.start_timed_region();
+        for _ in 0..cfg.sweeps {
+            let mut xg = Ghosted::new(x_own.clone(), &sched);
+            gather(cp, &sched, &mut xg);
+            let mut ag = Ghosted::new(vec![0.0; my.len()], &sched);
+            for (k, _) in my_edges.iter().enumerate() {
+                let (la, lb) = locs[k];
+                let flux = (xg.get(la) - xg.get(lb)) * KAPPA;
+                ag.add(la, -flux);
+                ag.add(lb, flux);
+            }
+            cp.compute(work::t(EDGE_US, my_edges.len()) + work::t(work::ZERO_US, my.len()));
+            scatter_add(cp, &sched, &mut ag);
+            for (l, xi) in x_own.iter_mut().enumerate() {
+                *xi += ag.owned[l];
+            }
+            cp.sync();
+        }
+        if me == 0 {
+            let rep = cp.net().report();
+            *captured.lock() = Some((cp.net().clock_max(), rep.messages, rep.bytes));
+        }
+        finals.lock().push((me, x_own));
+    });
+
+    let mut final_x = vec![0.0f64; n];
+    for (me, block) in finals.into_inner() {
+        final_x[part.range_of(me)].copy_from_slice(&block);
+    }
+    let (time, messages, bytes) = captured.into_inner().expect("captured");
+    let checksum = final_x.iter().map(|v| v.abs()).sum();
+    (
+        RunReport {
+            system: SystemKind::Chaos,
+            time,
+            seq_time,
+            messages,
+            bytes,
+            inspector_s: 0.0,
+            untimed_inspector_s: insp.into_inner().iter().sum::<f64>() / nprocs as f64,
+            validate_scan_s: 0.0,
+            checksum,
+        },
+        final_x,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_generation_structure() {
+        let cfg = UmeshConfig::small();
+        let m = gen_mesh(&cfg);
+        assert_eq!(m.x0.len(), 1024);
+        // Grid edges: 2·side·(side-1) = 1984, plus some long-range.
+        assert!(m.edges.len() >= 1984);
+        for &(a, b) in &m.edges {
+            assert!(a < b, "edges normalized");
+            assert!((b as usize) < cfg.n());
+        }
+        // Deterministic.
+        assert_eq!(gen_mesh(&cfg).edges, m.edges);
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let cfg = UmeshConfig::small();
+        let mesh = gen_mesh(&cfg);
+        let seq = run_seq(&cfg, &mesh);
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 + 1e-10 * b.abs();
+        let (base, xb) = run_tmk(&cfg, &mesh, TmkMode::Base, seq.report.time);
+        let (opt, xo) = run_tmk(&cfg, &mesh, TmkMode::Optimized, seq.report.time);
+        let (chaos, xc) = run_chaos(&cfg, &mesh, seq.report.time);
+        for (label, x) in [("base", &xb), ("opt", &xo), ("chaos", &xc)] {
+            for (g, w) in x.iter().zip(&seq.x) {
+                assert!(close(*g, *w), "{label}: {g} vs {w}");
+            }
+        }
+        // At this tiny scale communication dominates compute (a page
+        // fetch costs more than a whole sweep's work), so we assert the
+        // protocol shape rather than absolute speedups.
+        assert!(opt.messages < base.messages);
+        assert!(opt.time < base.time);
+        assert!(chaos.messages < base.messages);
+    }
+
+    #[test]
+    fn static_mesh_schedule_computed_once() {
+        let cfg = UmeshConfig::small();
+        let mesh = gen_mesh(&cfg);
+        let seq = run_seq(&cfg, &mesh);
+        let (rep, _) = run_tmk(&cfg, &mesh, TmkMode::Optimized, seq.report.time);
+        // The edge list never changes: one Read_indices pass total, so
+        // the per-processor scan time is tiny relative to the sweep work.
+        assert!(rep.validate_scan_s < seq.report.time.as_secs_f64() / 10.0);
+    }
+
+    #[test]
+    fn relaxation_converges() {
+        // Diffusion must shrink the value spread monotonically-ish.
+        let mut cfg = UmeshConfig::small();
+        cfg.sweeps = 30;
+        let mesh = gen_mesh(&cfg);
+        let seq = run_seq(&cfg, &mesh);
+        let spread = |v: &[f64]| {
+            let mx = v.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = v.iter().cloned().fold(f64::MAX, f64::min);
+            mx - mn
+        };
+        assert!(spread(&seq.x) < spread(&mesh.x0) * 0.9);
+    }
+}

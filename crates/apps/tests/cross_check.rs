@@ -1,0 +1,163 @@
+//! Cross-variant verification: all four builds of each application must
+//! compute the same physics (to floating-point reordering tolerance),
+//! and the protocol-level shape of the paper's comparison must hold even
+//! at test scale: aggregation cuts messages, demand paging inflates them.
+
+use apps::moldyn::{self, MoldynConfig, TmkMode};
+use apps::nbf::{self, NbfConfig};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 + 1e-9 * a.abs().max(b.abs())
+}
+
+fn assert_positions_match(label: &str, got: &[[f64; 3]], want: &[[f64; 3]]) {
+    let mut worst = 0.0f64;
+    for (g, w) in got.iter().zip(want) {
+        for d in 0..3 {
+            worst = worst.max((g[d] - w[d]).abs());
+            assert!(
+                close(g[d], w[d]),
+                "{label}: position diverged: {} vs {} (worst {worst:e})",
+                g[d],
+                w[d]
+            );
+        }
+    }
+}
+
+#[test]
+fn moldyn_all_variants_agree_with_sequential() {
+    let cfg = MoldynConfig::small();
+    let world = moldyn::gen_positions(&cfg);
+    let seq = moldyn::run_seq(&cfg, &world);
+
+    let (rep_base, x_base) = moldyn::run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
+    assert_positions_match("tmk-base", &x_base, &seq.x);
+
+    let (rep_opt, x_opt) = moldyn::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    assert_positions_match("tmk-opt", &x_opt, &seq.x);
+
+    let (rep_chaos, x_chaos) = moldyn::run_chaos(&cfg, &world, seq.report.time);
+    assert_positions_match("chaos", &x_chaos, &seq.x);
+
+    // Paper shape: aggregation cuts DSM messages well below demand paging.
+    assert!(
+        rep_opt.messages < rep_base.messages,
+        "opt {} !< base {}",
+        rep_opt.messages,
+        rep_base.messages
+    );
+    // CHAOS schedule-driven transfers use few messages.
+    assert!(rep_chaos.messages < rep_base.messages);
+    // The optimized build is the fastest DSM build.
+    assert!(rep_opt.time < rep_base.time);
+    // Everyone actually communicated.
+    assert!(rep_base.messages > 0 && rep_chaos.messages > 0);
+}
+
+#[test]
+fn nbf_all_variants_agree_with_sequential() {
+    let cfg = NbfConfig::small();
+    let world = nbf::gen_world(&cfg);
+    let seq = nbf::run_seq(&cfg, &world);
+
+    let (rep_base, x_base) = nbf::run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
+    let (rep_opt, x_opt) = nbf::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    let (rep_chaos, x_chaos) = nbf::run_chaos(&cfg, &world, seq.report.time);
+
+    for (label, got) in [("base", &x_base), ("opt", &x_opt), ("chaos", &x_chaos)] {
+        for (g, w) in got.iter().zip(&seq.x) {
+            assert!(close(*g, *w), "nbf-{label}: {g} vs {w}");
+        }
+    }
+
+    assert!(rep_opt.messages < rep_base.messages);
+    assert!(rep_opt.time < rep_base.time);
+    assert!(rep_chaos.messages < rep_base.messages);
+}
+
+#[test]
+fn moldyn_results_deterministic_across_runs() {
+    let cfg = MoldynConfig::small();
+    let world = moldyn::gen_positions(&cfg);
+    let seq = moldyn::run_seq(&cfg, &world);
+    let (r1, x1) = moldyn::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    let (r2, x2) = moldyn::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    assert_eq!(x1, x2, "bitwise-identical results");
+    assert_eq!(r1.messages, r2.messages);
+    assert_eq!(r1.bytes, r2.bytes);
+    assert_eq!(r1.time, r2.time);
+}
+
+#[test]
+fn nbf_deterministic_across_runs() {
+    let cfg = NbfConfig::small();
+    let world = nbf::gen_world(&cfg);
+    let seq = nbf::run_seq(&cfg, &world);
+    let (r1, x1) = nbf::run_chaos(&cfg, &world, seq.report.time);
+    let (r2, x2) = nbf::run_chaos(&cfg, &world, seq.report.time);
+    assert_eq!(x1, x2);
+    assert_eq!((r1.messages, r1.bytes, r1.time), (r2.messages, r2.bytes, r2.time));
+}
+
+#[test]
+fn moldyn_update_frequency_hurts_chaos_more() {
+    // The paper's headline: as the list changes more often, the DSM
+    // approach gains on CHAOS because the inspector re-runs (in the
+    // timed region) while Validate merely rescans.
+    let world = moldyn::gen_positions(&MoldynConfig::small());
+    let mut rare = MoldynConfig::small();
+    rare.update_interval = 5; // 1 rebuild over 6 steps
+    let mut often = MoldynConfig::small();
+    often.update_interval = 2; // 2 rebuilds
+
+    let seq_rare = moldyn::run_seq(&rare, &world);
+    let seq_often = moldyn::run_seq(&often, &world);
+
+    let (c_rare, _) = moldyn::run_chaos(&rare, &world, seq_rare.report.time);
+    let (c_often, _) = moldyn::run_chaos(&often, &world, seq_often.report.time);
+    let (o_rare, _) = moldyn::run_tmk(&rare, &world, TmkMode::Optimized, seq_rare.report.time);
+    let (o_often, _) = moldyn::run_tmk(&often, &world, TmkMode::Optimized, seq_often.report.time);
+
+    // CHAOS pays the inspector inside the loop; Validate pays a rescan.
+    assert!(c_often.inspector_s > c_rare.inspector_s);
+    let chaos_delta = c_often.time.as_secs_f64() - c_rare.time.as_secs_f64();
+    let opt_delta = o_often.time.as_secs_f64() - o_rare.time.as_secs_f64();
+    assert!(
+        chaos_delta > opt_delta,
+        "chaos Δ {chaos_delta} must exceed opt Δ {opt_delta}"
+    );
+}
+
+#[test]
+fn nbf_one_processor_matches_sequential_closely() {
+    // Paper §5: "The single-processor TreadMarks execution time is almost
+    // identical to that of the sequential program."
+    let mut cfg = NbfConfig::small();
+    cfg.nprocs = 1;
+    let world = nbf::gen_world(&cfg);
+    let seq = nbf::run_seq(&cfg, &world);
+    let (rep, x) = nbf::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    for (g, w) in x.iter().zip(&seq.x) {
+        assert!(close(*g, *w));
+    }
+    assert_eq!(rep.messages, 0, "one processor never communicates");
+    let ratio = rep.time.as_secs_f64() / seq.report.time.as_secs_f64();
+    assert!(
+        (0.95..1.15).contains(&ratio),
+        "1-proc DSM ≈ sequential, ratio {ratio}"
+    );
+}
+
+#[test]
+fn validate_scan_time_is_reported() {
+    let cfg = MoldynConfig::small();
+    let world = moldyn::gen_positions(&cfg);
+    let seq = moldyn::run_seq(&cfg, &world);
+    let (rep, _) = moldyn::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    assert!(rep.validate_scan_s > 0.0);
+    let (rep_c, _) = moldyn::run_chaos(&cfg, &world, seq.report.time);
+    assert!(rep_c.untimed_inspector_s > 0.0);
+    // The paper's asymmetry: inspector work dwarfs the Validate scan.
+    assert!(rep_c.untimed_inspector_s + rep_c.inspector_s > rep.validate_scan_s);
+}

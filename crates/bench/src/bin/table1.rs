@@ -1,0 +1,38 @@
+//! Regenerate **Table 1** of the paper: moldyn, 8 processors, interaction
+//! list rebuilt every {20, 15, 11} steps.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1            # paper scale
+//! cargo run --release -p bench --bin table1 -- --quick # reduced scale
+//! ```
+
+use apps::moldyn::MoldynConfig;
+use bench::{moldyn_rows, print_group, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("=== Table 1: Moldyn — 8 processor results ===");
+    println!("(interaction list updated at varying intervals; times are");
+    println!(" simulated; see EXPERIMENTS.md for paper-vs-measured)");
+
+    for interval in [20usize, 15, 11] {
+        let rows = moldyn_rows(MoldynConfig::paper(interval), scale);
+        print_group(
+            &format!("Update every {interval} iterations"),
+            rows.seq_secs,
+            &[&rows.chaos, &rows.base, &rows.opt],
+        );
+        println!(
+            "  in-text: CHAOS inspector {:.1}s/proc timed (+{:.1}s untimed); \
+             Tmk Validate indirection scan {:.2}s/proc",
+            rows.chaos.inspector_s, rows.chaos.untimed_inspector_s, rows.opt.validate_scan_s
+        );
+        println!(
+            "  shape: opt/chaos time = {:.2}, base/opt messages = {:.1}x, \
+             chaos+inspector = {:.1}s",
+            rows.opt.time.as_secs_f64() / rows.chaos.time.as_secs_f64(),
+            rows.base.messages as f64 / rows.opt.messages.max(1) as f64,
+            rows.chaos.time.as_secs_f64() + rows.chaos.untimed_inspector_s
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The inspector: turn a processor's access pattern into a communication
+//! schedule (paper §4).
+//!
+//! "Each processor executes the inspector to construct its communication
+//! schedule. ... An important optimization in the inspector is to
+//! eliminate duplication. ... A hash table whose size is proportional to
+//! the size of the data array is employed to eliminate duplicates.
+//! Because of the time to hash the indirection array, and the time to
+//! look up the translation table, the inspector can be expensive."
+//!
+//! That expense — charged here per hashed entry and per translation
+//! lookup, plus translation-table traffic — is exactly what the paper's
+//! comparison hinges on.
+
+use std::collections::HashMap;
+
+use simnet::{MsgKind, ProcId};
+
+use crate::ttable::{TTable, TTableCache};
+use crate::world::ChaosProc;
+
+/// Where a referenced element lives locally after a gather.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// Offset into this processor's owned block.
+    Own(u32),
+    /// Offset into this processor's ghost area.
+    Ghost(u32),
+}
+
+/// A communication schedule: for each peer, which of *its* elements we
+/// receive (gather) and which of *ours* we send (the mirror lists), plus
+/// the ghost-slot directory.
+#[derive(Debug, Clone, Default)]
+pub struct CommSchedule {
+    /// `recv[q][k]` = local offset (at q) of the k-th element we receive
+    /// from q; our ghost area concatenates these lists in q order.
+    pub recv: Vec<Vec<u32>>,
+    /// `send[q][k]` = local offset (ours) of the k-th element we send to
+    /// q in a gather (and receive-and-accumulate in a scatter).
+    pub send: Vec<Vec<u32>>,
+    /// Ghost slot of a remote element, keyed by `(owner << 32) | offset`.
+    ghost_of: HashMap<u64, u32>,
+    /// Start of each peer's segment in the ghost area.
+    pub ghost_starts: Vec<u32>,
+}
+
+impl CommSchedule {
+    pub fn ghost_count(&self) -> usize {
+        self.ghost_of.len()
+    }
+
+    /// Resolve a `(owner, offset)` pair to a local location.
+    #[inline]
+    pub fn locate(&self, me: ProcId, owner: ProcId, off: u32) -> Loc {
+        if owner == me {
+            Loc::Own(off)
+        } else {
+            Loc::Ghost(self.ghost_of[&key(owner, off)])
+        }
+    }
+
+    /// Total elements moved per gather/scatter.
+    pub fn traffic_elems(&self) -> usize {
+        self.send.iter().map(Vec::len).sum()
+    }
+}
+
+#[inline]
+fn key(owner: ProcId, off: u32) -> u64 {
+    ((owner as u64) << 32) | off as u64
+}
+
+/// Run the inspector (collective): hash-dedup `accesses` (original
+/// element ids), translate them, and build the communication schedule.
+///
+/// Charges: one hash per access (including duplicates — that is the
+/// point of the hash table), translation lookups/traffic per the table
+/// kind, and one schedule-exchange message per communicating pair.
+pub fn inspector(
+    cp: &mut ChaosProc,
+    ttable: &TTable,
+    cache: &mut TTableCache,
+    accesses: impl Iterator<Item = u32>,
+) -> CommSchedule {
+    let me = cp.rank();
+    let nprocs = cp.nprocs();
+    let cost = cp.net().cost().clone();
+
+    // Duplicate elimination.
+    let mut seen: HashMap<u32, ()> = HashMap::new();
+    let mut total = 0usize;
+    for e in accesses {
+        total += 1;
+        seen.entry(e).or_insert(());
+    }
+    cp.compute(cost.inspector_hash(total));
+    let mut distinct: Vec<u32> = seen.into_keys().collect();
+    distinct.sort_unstable(); // determinism
+
+    // Translate (collective for non-replicated tables).
+    let translated = ttable.lookup_batch(cp, &distinct, cache);
+
+    // Receive lists: remote elements grouped by owner, sorted by offset.
+    let mut recv: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+    for &(owner, off) in &translated {
+        if owner != me {
+            recv[owner].push(off);
+        }
+    }
+    for list in &mut recv {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // Ghost directory: concatenate per-owner segments.
+    let mut ghost_of = HashMap::new();
+    let mut ghost_starts = vec![0u32; nprocs + 1];
+    let mut next = 0u32;
+    for q in 0..nprocs {
+        ghost_starts[q] = next;
+        for &off in &recv[q] {
+            ghost_of.insert(key(q, off), next);
+            next += 1;
+        }
+    }
+    ghost_starts[nprocs] = next;
+
+    // Schedule exchange: tell each owner what we need; what we receive
+    // back (as requests from others) becomes our send lists.
+    let out: Vec<(ProcId, Vec<u32>)> = (0..nprocs)
+        .filter(|&q| q != me && !recv[q].is_empty())
+        .map(|q| (q, recv[q].clone()))
+        .collect();
+    let incoming = cp.exchange_u32(MsgKind::Schedule, out);
+    let mut send: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+    for (from, wants) in incoming {
+        send[from] = wants;
+    }
+
+    CommSchedule {
+        recv,
+        send,
+        ghost_of,
+        ghost_starts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::block_partition;
+    use crate::ttable::TTableKind;
+    use crate::world::ChaosWorld;
+    use simnet::CostModel;
+
+    /// 2 procs, 8 elements block-partitioned; each proc references its
+    /// own 4 plus two of the other's (with duplicates).
+    fn run_inspector() -> (u64, u64) {
+        let w = ChaosWorld::new(2, CostModel::default());
+        let part = block_partition(8, 2);
+        let tt = TTable::new(TTableKind::Replicated, &part);
+        w.run(|cp| {
+            let me = cp.rank();
+            let mut cache = TTableCache::new();
+            let refs: Vec<u32> = if me == 0 {
+                vec![0, 1, 2, 3, 4, 5, 4, 5, 4] // dups on 4, 5
+            } else {
+                vec![4, 5, 6, 7, 0, 1, 0]
+            };
+            let sched = inspector(cp, &tt, &mut cache, refs.iter().copied());
+            assert_eq!(sched.ghost_count(), 2);
+            if me == 0 {
+                assert_eq!(sched.recv[1], vec![0, 1]); // q1-local offsets of 4,5
+                assert_eq!(sched.send[1], vec![0, 1]); // my 0,1 (q1 wants)
+                assert_eq!(sched.locate(0, 0, 2), Loc::Own(2));
+                assert_eq!(sched.locate(0, 1, 0), Loc::Ghost(0));
+                assert_eq!(sched.locate(0, 1, 1), Loc::Ghost(1));
+            } else {
+                assert_eq!(sched.recv[0], vec![0, 1]);
+                assert_eq!(sched.traffic_elems(), 2);
+            }
+        });
+        let r = w.report();
+        (r.messages, r.bytes)
+    }
+
+    #[test]
+    fn inspector_builds_symmetric_schedule() {
+        let (msgs, _) = run_inspector();
+        // One schedule message each way.
+        assert_eq!(msgs, 2);
+    }
+
+    #[test]
+    fn inspector_deterministic() {
+        assert_eq!(run_inspector(), run_inspector());
+    }
+
+    #[test]
+    fn dedup_reduces_ghosts_not_hash_cost() {
+        // Duplicates are hashed (cost) but appear once in the schedule.
+        let w = ChaosWorld::new(2, CostModel::default());
+        let part = block_partition(4, 2);
+        let tt = TTable::new(TTableKind::Replicated, &part);
+        w.run(|cp| {
+            let mut cache = TTableCache::new();
+            let refs = if cp.rank() == 0 {
+                vec![2u32; 100] // one distinct remote element, 100 dups
+            } else {
+                vec![1u32]
+            };
+            let t0 = cp.now();
+            let sched = inspector(cp, &tt, &mut cache, refs.iter().copied());
+            if cp.rank() == 0 {
+                assert_eq!(sched.ghost_count(), 1);
+                let hash_cost = cp.net().cost().inspector_hash(100);
+                assert!(cp.now() - t0 >= hash_cost, "all 100 entries hashed");
+            }
+        });
+    }
+}

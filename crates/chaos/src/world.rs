@@ -1,0 +1,298 @@
+//! The CHAOS execution environment: SPMD processes on the simulated
+//! cluster with explicit message passing.
+//!
+//! CHAOS programs are message-passing programs; there is no shared
+//! memory. Each simulated processor owns plain Rust vectors, and all
+//! inter-processor data movement goes through [`ChaosProc::exchange`] —
+//! a bulk point-to-point exchange whose messages and bytes are accounted
+//! on the same [`simnet::Net`] the DSM uses.
+
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+use simnet::{CostModel, MsgKind, Net, NetReport, ProcId, SimTime};
+
+/// One deposited message awaiting pickup.
+struct Deposit {
+    from: ProcId,
+    arrival: SimTime,
+    bytes: Vec<u8>,
+}
+
+/// The CHAOS "cluster": processors, inboxes, and the rendezvous.
+pub struct ChaosWorld {
+    nprocs: usize,
+    net: Net,
+    inboxes: Vec<Mutex<Vec<Deposit>>>,
+    bar: Barrier,
+}
+
+impl ChaosWorld {
+    pub fn new(nprocs: usize, cost: CostModel) -> Self {
+        ChaosWorld {
+            nprocs,
+            net: Net::new(nprocs, cost),
+            inboxes: (0..nprocs).map(|_| Mutex::new(Vec::new())).collect(),
+            bar: Barrier::new(nprocs),
+        }
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    pub fn net(&self) -> &Net {
+        &self.net
+    }
+
+    pub fn report(&self) -> NetReport {
+        self.net.report()
+    }
+
+    pub fn elapsed(&self) -> SimTime {
+        self.net.clock_max()
+    }
+
+    /// Run the SPMD body on every processor (one OS thread each).
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(&mut ChaosProc) + Sync,
+    {
+        std::thread::scope(|s| {
+            for rank in 0..self.nprocs {
+                let f = &f;
+                s.spawn(move || {
+                    let mut cp = ChaosProc {
+                        world: self,
+                        me: rank,
+                    };
+                    f(&mut cp);
+                });
+            }
+        });
+    }
+}
+
+/// A CHAOS processor: rank + communication primitives.
+pub struct ChaosProc<'w> {
+    world: &'w ChaosWorld,
+    me: ProcId,
+}
+
+impl ChaosProc<'_> {
+    #[inline]
+    pub fn rank(&self) -> ProcId {
+        self.me
+    }
+
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.world.nprocs
+    }
+
+    pub fn net(&self) -> &Net {
+        &self.world.net
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.world.net.clock(self.me)
+    }
+
+    /// Charge modeled compute time.
+    #[inline]
+    pub fn compute(&self, dt: SimTime) {
+        self.world.net.advance(self.me, dt);
+    }
+
+    /// Bulk point-to-point exchange (BSP superstep): send `outgoing`
+    /// byte payloads, receive everything addressed to this processor.
+    /// Returns messages sorted by sender for determinism.
+    ///
+    /// Senders are charged injection + per-byte costs; receivers wait for
+    /// the latest arrival among their incoming messages. This is CHAOS's
+    /// one-message-per-pair "push" pattern — no request leg, which the
+    /// paper credits for part of CHAOS's edge on nbf (§5.2.1).
+    pub fn exchange(
+        &mut self,
+        kind: MsgKind,
+        outgoing: Vec<(ProcId, Vec<u8>)>,
+    ) -> Vec<(ProcId, Vec<u8>)> {
+        let net = &self.world.net;
+        for (to, bytes) in outgoing {
+            assert_ne!(to, self.me, "self-sends are local copies, not messages");
+            let arrival = net.push(self.me, kind, bytes.len());
+            self.world.inboxes[to].lock().push(Deposit {
+                from: self.me,
+                arrival,
+                bytes,
+            });
+        }
+        // All deposits in.
+        self.world.bar.wait();
+        let mut incoming: Vec<Deposit> = std::mem::take(&mut *self.world.inboxes[self.me].lock());
+        incoming.sort_by_key(|d| d.from);
+        for d in &incoming {
+            net.await_until(self.me, d.arrival);
+            // Receive-side handler/unpack overhead.
+            net.advance(self.me, net.cost().handler());
+        }
+        // All inboxes drained before anyone deposits for the next round.
+        self.world.bar.wait();
+        incoming.into_iter().map(|d| (d.from, d.bytes)).collect()
+    }
+
+    /// Exchange of `f64` payloads (the executor's currency).
+    pub fn exchange_f64(
+        &mut self,
+        kind: MsgKind,
+        outgoing: Vec<(ProcId, Vec<f64>)>,
+    ) -> Vec<(ProcId, Vec<f64>)> {
+        let out = outgoing
+            .into_iter()
+            .map(|(to, v)| (to, encode_f64(&v)))
+            .collect();
+        self.exchange(kind, out)
+            .into_iter()
+            .map(|(from, b)| (from, decode_f64(&b)))
+            .collect()
+    }
+
+    /// Exchange of `u32` payloads (index lists during inspection).
+    pub fn exchange_u32(
+        &mut self,
+        kind: MsgKind,
+        outgoing: Vec<(ProcId, Vec<u32>)>,
+    ) -> Vec<(ProcId, Vec<u32>)> {
+        let out = outgoing
+            .into_iter()
+            .map(|(to, v)| (to, encode_u32(&v)))
+            .collect();
+        self.exchange(kind, out)
+            .into_iter()
+            .map(|(from, b)| (from, decode_u32(&b)))
+            .collect()
+    }
+
+    /// Global synchronization (timestep boundary): rendezvous, align the
+    /// simulated clocks, count the 2(n−1) barrier messages.
+    pub fn sync(&mut self) {
+        let net = &self.world.net;
+        let leader = self.world.bar.wait().is_leader();
+        if leader && self.world.nprocs > 1 {
+            let cost = net.cost();
+            for p in 1..self.world.nprocs {
+                net.count_only(p, MsgKind::Other, 1, 8);
+                net.count_only(0, MsgKind::Other, 1, 8);
+            }
+            let t = net.clock_max()
+                + SimTime::from_us(2.0 * cost.msg_latency_us + cost.barrier_us);
+            net.set_all_clocks(t);
+        }
+        self.world.bar.wait();
+    }
+
+    /// Collectively zero clocks and counters (untimed-initialization
+    /// boundary, like the DSM side's `start_timed_region`).
+    pub fn start_timed_region(&mut self) {
+        self.sync();
+        if self.me == 0 {
+            self.world.net.reset();
+        }
+        self.sync();
+    }
+}
+
+fn encode_f64(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn decode_f64(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn encode_u32(v: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn decode_u32(b: &[u8]) -> Vec<u32> {
+    b.chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_delivers_sorted_by_sender() {
+        let w = ChaosWorld::new(3, CostModel::default());
+        w.run(|cp| {
+            let me = cp.rank();
+            // Everyone sends their rank to everyone else.
+            let out: Vec<(usize, Vec<u8>)> = (0..3)
+                .filter(|&q| q != me)
+                .map(|q| (q, vec![me as u8]))
+                .collect();
+            let incoming = cp.exchange(MsgKind::Gather, out);
+            let froms: Vec<usize> = incoming.iter().map(|&(f, _)| f).collect();
+            let expect: Vec<usize> = (0..3).filter(|&q| q != me).collect();
+            assert_eq!(froms, expect);
+            for (f, b) in incoming {
+                assert_eq!(b, vec![f as u8]);
+            }
+        });
+        assert_eq!(w.report().messages, 6);
+    }
+
+    #[test]
+    fn f64_and_u32_roundtrip() {
+        let w = ChaosWorld::new(2, CostModel::default());
+        w.run(|cp| {
+            if cp.rank() == 0 {
+                cp.exchange_f64(MsgKind::Gather, vec![(1, vec![1.5, -2.25])]);
+                cp.exchange_u32(MsgKind::Schedule, vec![(1, vec![7, 8, 9])]);
+            } else {
+                let f = cp.exchange_f64(MsgKind::Gather, vec![]);
+                assert_eq!(f, vec![(0, vec![1.5, -2.25])]);
+                let u = cp.exchange_u32(MsgKind::Schedule, vec![]);
+                assert_eq!(u, vec![(0, vec![7, 8, 9])]);
+            }
+        });
+        assert_eq!(w.report().bytes, 16 + 12);
+    }
+
+    #[test]
+    fn sync_aligns_clocks() {
+        let w = ChaosWorld::new(4, CostModel::default());
+        w.run(|cp| {
+            cp.compute(SimTime::from_us(100.0 * (cp.rank() as f64 + 1.0)));
+            cp.sync();
+            let t = cp.now();
+            assert!(t >= SimTime::from_us(400.0));
+        });
+        // 2(n-1) barrier messages.
+        assert_eq!(w.report().messages, 6);
+    }
+
+    #[test]
+    fn empty_exchange_costs_nothing() {
+        let w = ChaosWorld::new(2, CostModel::default());
+        w.run(|cp| {
+            let r = cp.exchange(MsgKind::Gather, vec![]);
+            assert!(r.is_empty());
+        });
+        assert_eq!(w.report().messages, 0);
+        assert_eq!(w.elapsed(), SimTime::ZERO);
+    }
+}

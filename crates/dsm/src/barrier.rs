@@ -1,0 +1,137 @@
+//! Barriers: global synchronization + the consistency exchange.
+//!
+//! A TreadMarks barrier is a total exchange of consistency information:
+//! every arriving processor closes its interval and sends its new write
+//! notices to the barrier manager; the departure message carries everyone
+//! else's notices. After a barrier, all vector clocks are equal.
+//!
+//! The thread rendezvous itself uses `std::sync::Barrier` in three
+//! phases so the leader can (a) snapshot the global vector clock, charge
+//! the 2(n−1) barrier messages, synchronize the simulated clocks, and run
+//! record-store garbage collection while everyone is parked, and (b) no
+//! processor can race ahead and publish new intervals while stragglers
+//! still read the snapshot.
+
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+use simnet::{MsgKind, SimTime};
+
+use crate::cluster::Cluster;
+use crate::interval::Vc;
+use crate::proc::TmkProc;
+
+#[derive(Debug)]
+pub(crate) struct BarrierCtl {
+    rendezvous: Barrier,
+    state: Mutex<BarrierState>,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    /// Vector clock all processors adopt at this barrier.
+    target: Vc,
+    /// Vector clock of the *previous* barrier — the GC fold horizon
+    /// (records older than one full barrier epoch go to the master).
+    prev: Vc,
+    epoch: u64,
+}
+
+impl BarrierCtl {
+    pub(crate) fn new(nprocs: usize) -> Self {
+        BarrierCtl {
+            rendezvous: Barrier::new(nprocs),
+            state: Mutex::new(BarrierState {
+                target: vec![0; nprocs],
+                prev: vec![0; nprocs],
+                epoch: 0,
+            }),
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+}
+
+impl TmkProc<'_> {
+    /// TreadMarks barrier: release (close interval), rendezvous, acquire
+    /// (merge everyone's write notices).
+    pub fn barrier(&mut self) {
+        self.close_interval();
+        let cl: &Cluster = self.cl;
+        let ctl = cl.barrier_ctl();
+
+        // Phase A: everyone has closed and published.
+        let leader = ctl.rendezvous.wait().is_leader();
+        if leader {
+            let net = cl.net();
+            let nprocs = self.nprocs();
+            let mut st = ctl.state.lock();
+            let new_target: Vc = (0..nprocs).map(|q| cl.board().len(q)).collect();
+
+            // Account the 2(n-1) barrier messages. Arrival messages carry
+            // each processor's notices since the last barrier; departure
+            // messages carry everyone else's.
+            let manager = 0usize;
+            let deltas: Vec<usize> = (0..nprocs)
+                .map(|q| cl.board().range_bytes(q, st.target[q], new_target[q]))
+                .collect();
+            let total: usize = deltas.iter().sum();
+            for p in 0..nprocs {
+                if p == manager {
+                    continue;
+                }
+                net.count_only(p, MsgKind::Barrier, 1, 16 + deltas[p]);
+                net.count_only(manager, MsgKind::Barrier, 1, 16 + (total - deltas[p]));
+            }
+
+            // Synchronize simulated clocks: everyone leaves at
+            // max(arrivals) + one gather/scatter round + manager work.
+            // (A one-processor "barrier" exchanges nothing.)
+            if nprocs > 1 {
+                let cost = net.cost();
+                let t = net.clock_max()
+                    + SimTime::from_us(2.0 * cost.msg_latency_us + cost.barrier_us)
+                    + SimTime::from_us(cost.per_byte_us * total as f64);
+                net.set_all_clocks(t);
+            }
+
+            // GC: fold records older than the previous barrier.
+            let cur = st.target.clone();
+            let prev = std::mem::replace(&mut st.prev, cur);
+            cl.store().fold(&prev);
+
+            st.target = new_target;
+            st.epoch += 1;
+        }
+
+        // Phase B: snapshot is ready; merge notices.
+        ctl.rendezvous.wait();
+        let target = ctl.state.lock().target.clone();
+        self.apply_notices(&target);
+        self.inner.counters.barriers += 1;
+        self.inner.last_barrier_seen.copy_from_slice(&target);
+
+        // Phase C: nobody publishes new intervals until all have merged.
+        ctl.rendezvous.wait();
+    }
+
+    /// Collectively zero the simulated clocks and message counters — the
+    /// paper's harnesses exclude initialization (data generation, initial
+    /// partitioning) from the timed region. Must be called by all
+    /// processors. Per-processor event counters are *not* cleared; use
+    /// [`TmkProc::reset_counters`].
+    pub fn start_timed_region(&mut self) {
+        self.barrier();
+        if self.rank() == 0 {
+            self.cl.net().reset();
+        }
+        self.barrier();
+    }
+
+    /// Clear this processor's protocol event counters.
+    pub fn reset_counters(&mut self) {
+        self.inner.counters = Default::default();
+    }
+}

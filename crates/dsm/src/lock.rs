@@ -1,0 +1,155 @@
+//! Locks: exclusive synchronization with lazy consistency transfer.
+//!
+//! TreadMarks locks are manager-based: an acquire sends a request to the
+//! lock's statically assigned manager, which forwards it to the last
+//! holder; the grant message carries the releaser's vector clock and the
+//! write notices the acquirer has not yet seen. Re-acquiring a lock this
+//! processor released last is free of messages (ownership caching).
+//!
+//! The applications in the paper are barrier-structured, but locks are
+//! part of the TreadMarks API (§2) and are exercised by tests and the
+//! quickstart example.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use simnet::{MsgKind, ProcId, SimTime};
+
+use crate::interval::Vc;
+use crate::proc::TmkProc;
+
+#[derive(Debug)]
+struct LockSt {
+    held_by: Option<ProcId>,
+    last_holder: Option<ProcId>,
+    release_vc: Vc,
+    release_time: SimTime,
+}
+
+#[derive(Debug)]
+struct LockSlot {
+    st: Mutex<LockSt>,
+    cv: Condvar,
+}
+
+/// All locks, created on first use (TreadMarks pre-allocates an array of
+/// lock ids; the observable semantics are the same).
+#[derive(Debug, Default)]
+pub(crate) struct LockMgr {
+    slots: Mutex<HashMap<u32, Arc<LockSlot>>>,
+}
+
+impl LockMgr {
+    fn slot(&self, id: u32, nprocs: usize) -> Arc<LockSlot> {
+        let mut m = self.slots.lock();
+        Arc::clone(m.entry(id).or_insert_with(|| {
+            Arc::new(LockSlot {
+                st: Mutex::new(LockSt {
+                    held_by: None,
+                    last_holder: None,
+                    release_vc: vec![0; nprocs],
+                    release_time: SimTime::ZERO,
+                }),
+                cv: Condvar::new(),
+            })
+        }))
+    }
+}
+
+impl TmkProc<'_> {
+    /// Acquire lock `id`, blocking until free, then merge the releaser's
+    /// consistency information (invalidate pages named in unseen write
+    /// notices).
+    pub fn lock(&mut self, id: u32) {
+        let me = self.rank();
+        let nprocs = self.nprocs();
+        let slot = self.cl.lock_mgr().slot(id, nprocs);
+        let net = self.cl.net();
+        let cost = net.cost();
+
+        let target: Vc;
+        {
+            let mut st = slot.st.lock();
+            while st.held_by.is_some() {
+                slot.cv.wait(&mut st);
+            }
+            st.held_by = Some(me);
+
+            if st.last_holder == Some(me) {
+                // Ownership cached: no messages (TreadMarks optimization).
+            } else {
+                let manager = (id as usize) % nprocs;
+                // Grant carries the notices the acquirer lacks.
+                let mut grant_bytes = 16;
+                for q in 0..nprocs {
+                    grant_bytes +=
+                        self.cl
+                            .board()
+                            .range_bytes(q, self.vc()[q], st.release_vc[q]);
+                }
+                let mut hops = 0u32;
+                if manager != me {
+                    net.count_only(me, MsgKind::Lock, 1, 16);
+                    hops += 1;
+                }
+                match st.last_holder {
+                    Some(h) if h != manager && h != me => {
+                        // Manager forwards to the holder, holder grants.
+                        net.count_only(manager, MsgKind::Lock, 1, 16);
+                        net.count_only(h, MsgKind::Lock, 1, grant_bytes);
+                        net.advance(h, cost.handler());
+                        hops += 2;
+                    }
+                    Some(h) if h != me => {
+                        // Holder *is* the manager: it grants directly.
+                        net.count_only(h, MsgKind::Lock, 1, grant_bytes);
+                        net.advance(h, cost.handler());
+                        hops += 1;
+                    }
+                    _ => {
+                        // First acquire ever: the manager grants.
+                        if manager != me {
+                            net.count_only(manager, MsgKind::Lock, 1, grant_bytes);
+                            net.advance(manager, cost.handler());
+                            hops += 1;
+                        }
+                    }
+                }
+                // The grant cannot arrive before the release happened.
+                net.await_until(me, st.release_time);
+                net.advance(
+                    me,
+                    SimTime::from_us(
+                        hops as f64 * cost.msg_latency_us
+                            + cost.per_byte_us * grant_bytes as f64
+                            + if hops > 0 { cost.handler_us } else { 0.0 },
+                    ),
+                );
+            }
+            target = st.release_vc.clone();
+        }
+        self.apply_notices(&target);
+        self.inner.counters.lock_acquires += 1;
+    }
+
+    /// Release lock `id`: close the current interval (a *release* in the
+    /// RC sense) and record our knowledge for the next acquirer.
+    pub fn unlock(&mut self, id: u32) {
+        let me = self.rank();
+        let nprocs = self.nprocs();
+        self.close_interval();
+        let slot = self.cl.lock_mgr().slot(id, nprocs);
+        let mut st = slot.st.lock();
+        assert_eq!(
+            st.held_by,
+            Some(me),
+            "unlock of lock {id} not held by processor {me}"
+        );
+        st.held_by = None;
+        st.last_holder = Some(me);
+        st.release_vc.copy_from_slice(self.vc());
+        st.release_time = self.now();
+        slot.cv.notify_one();
+    }
+}

@@ -1,0 +1,700 @@
+//! Per-processor protocol engine: the page table, the software MMU, the
+//! fault/fetch/apply paths, interval close, and the watch mechanism that
+//! `Validate` uses to detect indirection-array changes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use simnet::{MsgKind, ProcId, SimTime};
+
+use crate::cluster::Cluster;
+use crate::diff::{Diff, Payload};
+use crate::heap::{Pod, SharedSlice};
+use crate::interval::{IntervalRec, Vc};
+use crate::store::Record;
+
+/// Access state of one page in one processor's view — the analogue of the
+/// `mprotect` setting TreadMarks would have on that page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Invalidated by a write notice (or never touched): any access faults.
+    Invalid,
+    /// Valid and write-protected: reads proceed, first write faults.
+    Read,
+    /// Valid and writable: a twin exists (or the page is marked
+    /// whole-page-write) and the page is on the dirty list.
+    Write,
+}
+
+#[derive(Debug)]
+struct Frame {
+    state: PageState,
+    data: Option<Box<[u8]>>,
+    twin: Option<Box<[u8]>>,
+    /// `WRITE_ALL`: no twin; interval close publishes the full page.
+    full_write: bool,
+    /// `Validate` write-watch armed: next local write fires the watchers.
+    watch_protect: bool,
+    /// This page has registered watchers (slow-path lookup on events).
+    watched: bool,
+    /// Highest interval of each processor whose modification of this page
+    /// is reflected in `data`.
+    applied: Box<[u32]>,
+    /// Write notices seen but not yet fetched: `(proc, seq)`.
+    pending: Vec<(ProcId, u32)>,
+}
+
+impl Frame {
+    fn new(nprocs: usize) -> Self {
+        Frame {
+            state: PageState::Invalid,
+            data: None,
+            twin: None,
+            full_write: false,
+            watch_protect: false,
+            watched: false,
+            applied: vec![0; nprocs].into_boxed_slice(),
+            pending: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn dirty(&self) -> bool {
+        self.twin.is_some() || self.full_write
+    }
+}
+
+/// Event counters a processor accumulates; surfaced in reports and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcCounters {
+    pub read_faults: u64,
+    pub write_faults: u64,
+    pub twins_made: u64,
+    pub diffs_created: u64,
+    pub fulls_published: u64,
+    pub pages_fetched: u64,
+    pub records_applied: u64,
+    pub master_fetches: u64,
+    pub intervals_closed: u64,
+    pub barriers: u64,
+    pub lock_acquires: u64,
+}
+
+/// How a fetch was triggered — decides the message kind used for
+/// accounting (demand faults vs `Validate` aggregation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchClass {
+    /// Demand fault on a single page (base TreadMarks).
+    Demand,
+    /// Aggregated prefetch of a whole schedule (`Validate`).
+    Aggregated,
+}
+
+/// Persistent per-processor state (survives across [`Cluster::run`] calls).
+#[derive(Debug)]
+pub(crate) struct ProcInner {
+    frames: Vec<Frame>,
+    vc: Vc,
+    dirty: Vec<u32>,
+    watchers: HashMap<u32, Vec<usize>>,
+    watch_flags: Vec<bool>,
+    /// Pages that fired each watch since the last take (supports the
+    /// paper's future-work extension: incremental page-set recompute).
+    watch_dirty: Vec<Vec<u32>>,
+    pub(crate) counters: ProcCounters,
+    pub(crate) last_barrier_seen: Vc,
+}
+
+impl ProcInner {
+    pub(crate) fn new(nprocs: usize) -> Self {
+        ProcInner {
+            frames: Vec::new(),
+            vc: vec![0; nprocs],
+            dirty: Vec::new(),
+            watchers: HashMap::new(),
+            watch_flags: Vec::new(),
+            watch_dirty: Vec::new(),
+            counters: ProcCounters::default(),
+            last_barrier_seen: vec![0; nprocs],
+        }
+    }
+
+    pub(crate) fn ensure_frames(&mut self, npages: usize, nprocs: usize) {
+        while self.frames.len() < npages {
+            self.frames.push(Frame::new(nprocs));
+        }
+    }
+}
+
+/// A simulated processor inside [`Cluster::run`]: rank, page table, and
+/// the typed accessors that stand in for hardware loads/stores to shared
+/// memory.
+pub struct TmkProc<'c> {
+    pub(crate) cl: &'c Cluster,
+    pub(crate) me: ProcId,
+    pub(crate) nprocs: usize,
+    pub(crate) page_size: usize,
+    pub(crate) inner: Box<ProcInner>,
+}
+
+impl<'c> TmkProc<'c> {
+    #[inline]
+    pub fn rank(&self) -> ProcId {
+        self.me
+    }
+
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    pub fn counters(&self) -> &ProcCounters {
+        &self.inner.counters
+    }
+
+    /// Simulated clock of this processor.
+    pub fn now(&self) -> SimTime {
+        self.cl.net().clock(self.me)
+    }
+
+    /// Charge modeled compute time (the application's "real work").
+    #[inline]
+    pub fn compute(&self, dt: SimTime) {
+        self.cl.net().advance(self.me, dt);
+    }
+
+    // ------------------------------------------------------------------
+    // Typed accessors: the software MMU.
+    // ------------------------------------------------------------------
+
+    /// Read element `i` of `s`, faulting (and fetching) if the page is
+    /// invalid.
+    #[inline]
+    pub fn read<T: Pod>(&mut self, s: &SharedSlice<T>, i: usize) -> T {
+        let byte = s.byte_at(i);
+        let page = byte / self.page_size;
+        if self.inner.frames[page].state == PageState::Invalid {
+            self.read_fault(page as u32);
+        }
+        let off = byte % self.page_size;
+        let f = &self.inner.frames[page];
+        T::load(&f.data.as_ref().unwrap()[off..])
+    }
+
+    /// Write element `i` of `s`, faulting (fetch + twin) as needed.
+    #[inline]
+    pub fn write<T: Pod>(&mut self, s: &SharedSlice<T>, i: usize, v: T) {
+        let byte = s.byte_at(i);
+        let page = byte / self.page_size;
+        {
+            let f = &self.inner.frames[page];
+            if f.state != PageState::Write || f.watch_protect {
+                self.write_fault(page as u32);
+            }
+        }
+        let off = byte % self.page_size;
+        let f = &mut self.inner.frames[page];
+        v.store(&mut f.data.as_mut().unwrap()[off..]);
+    }
+
+    /// Read-modify-write of a single element.
+    #[inline]
+    pub fn update<T: Pod>(&mut self, s: &SharedSlice<T>, i: usize, f: impl FnOnce(T) -> T) {
+        let v = self.read(s, i);
+        self.write(s, i, f(v));
+    }
+
+    /// Bulk read `s[lo..lo+out.len()]` into `out`.
+    pub fn read_slice<T: Pod>(&mut self, s: &SharedSlice<T>, lo: usize, out: &mut [T]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.read(s, lo + k);
+        }
+    }
+
+    /// Bulk write `src` into `s[lo..]`.
+    pub fn write_slice<T: Pod>(&mut self, s: &SharedSlice<T>, lo: usize, src: &[T]) {
+        for (k, &v) in src.iter().enumerate() {
+            self.write(s, lo + k, v);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault paths.
+    // ------------------------------------------------------------------
+
+    #[cold]
+    fn read_fault(&mut self, page: u32) {
+        self.inner.counters.read_faults += 1;
+        self.compute(self.cl.net().cost().page_fault());
+        self.fetch_pages(&[page], FetchClass::Demand);
+    }
+
+    #[cold]
+    fn write_fault(&mut self, page: u32) {
+        let cost = self.cl.net().cost();
+        self.inner.counters.write_faults += 1;
+        self.compute(cost.page_fault());
+        // Validate's write-watch: the protection violation tells the
+        // runtime the indirection array changed (paper §3.3).
+        if self.inner.frames[page as usize].watch_protect {
+            self.fire_watch(page);
+            self.inner.frames[page as usize].watch_protect = false;
+        }
+        if self.inner.frames[page as usize].state == PageState::Invalid {
+            self.fetch_pages(&[page], FetchClass::Demand);
+        }
+        let page_size = self.page_size;
+        let f = &mut self.inner.frames[page as usize];
+        if f.state == PageState::Read {
+            if !f.full_write && f.twin.is_none() {
+                f.twin = Some(f.data.as_ref().unwrap().clone());
+                self.inner.counters.twins_made += 1;
+                self.inner.dirty.push(page);
+                self.cl.net().advance(self.me, cost.twin(page_size));
+            }
+            f.state = PageState::Write;
+        }
+    }
+
+    /// Create twins and enable write access ahead of time — `Validate`
+    /// does this for `WRITE`/`READ&WRITE` descriptors so the computation
+    /// loop takes no write faults (paper §3.2, `Create_twins`).
+    pub fn pre_twin(&mut self, pages: &[u32]) {
+        let cost = self.cl.net().cost();
+        let page_size = self.page_size;
+        for &page in pages {
+            // Granting write access counts as a (preempted) write fault
+            // for the indirection-array watch.
+            if self.inner.frames[page as usize].watch_protect {
+                self.fire_watch(page);
+                self.inner.frames[page as usize].watch_protect = false;
+            }
+            let f = &mut self.inner.frames[page as usize];
+            debug_assert!(
+                f.state != PageState::Invalid,
+                "pre_twin on invalid page {page}: fetch first"
+            );
+            if f.state == PageState::Read && !f.full_write && f.twin.is_none() {
+                f.twin = Some(f.data.as_ref().unwrap().clone());
+                self.inner.counters.twins_made += 1;
+                self.inner.dirty.push(page);
+                self.cl.net().advance(self.me, cost.twin(page_size));
+                f.state = PageState::Write;
+            }
+        }
+    }
+
+    /// Declare that this processor will write `pages` in their entirety
+    /// before the next release (`WRITE_ALL`): no twin is kept, no fetch is
+    /// needed, and interval close publishes the whole page (paper §3.2).
+    pub fn mark_full_write(&mut self, pages: &[u32]) {
+        let nprocs = self.nprocs;
+        let page_size = self.page_size;
+        for &page in pages {
+            if self.inner.frames[page as usize].watch_protect {
+                self.fire_watch(page);
+                self.inner.frames[page as usize].watch_protect = false;
+            }
+            let f = &mut self.inner.frames[page as usize];
+            if f.data.is_none() {
+                f.data = Some(vec![0u8; page_size].into_boxed_slice());
+            }
+            if !f.dirty() {
+                self.inner.dirty.push(page);
+            }
+            // Whatever was pending is irrelevant: every byte will be
+            // overwritten locally. Mark it applied so no fetch happens.
+            let pending = std::mem::take(&mut f.pending);
+            for (q, seq) in pending {
+                if f.applied[q] < seq {
+                    f.applied[q] = seq;
+                }
+            }
+            debug_assert_eq!(f.applied.len(), nprocs);
+            f.full_write = true;
+            f.twin = None;
+            f.state = PageState::Write;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch: demand (one page) or aggregated (a schedule's worth).
+    // ------------------------------------------------------------------
+
+    /// Bring `pages` up to date. Invalid pages get their missing records
+    /// fetched — one request/reply per peer for `Demand`, or one
+    /// request/reply per peer *for the whole set* when `Aggregated`
+    /// (the paper's communication aggregation).
+    pub fn fetch_pages(&mut self, pages: &[u32], class: FetchClass) {
+        // Phase 1: figure out what is needed, per page.
+        struct Need {
+            page: u32,
+            records: Vec<Record>,
+            master: bool,
+        }
+        let mut needs: Vec<Need> = Vec::new();
+        for &page in pages {
+            let f = &mut self.inner.frames[page as usize];
+            if f.state != PageState::Invalid {
+                continue;
+            }
+            // Highest pending seq per source, above what is applied.
+            let mut upto: Vec<u32> = vec![0; self.nprocs];
+            for (q, seq) in f.pending.drain(..) {
+                if seq > f.applied[q] && seq > upto[q] {
+                    upto[q] = seq;
+                }
+            }
+            let mut records = Vec::new();
+            let mut master = false;
+            for q in 0..self.nprocs {
+                if upto[q] == 0 {
+                    continue;
+                }
+                debug_assert_ne!(q, self.me, "own writes are always applied");
+                let c = self.cl.store().collect(q, page, f.applied[q], upto[q]);
+                records.extend(c.records);
+                master |= c.needs_master;
+            }
+            if master {
+                // Some needed records were folded into the master page.
+                // The master snapshot replaces the WHOLE page as of the
+                // fold horizon, so everything newer than the horizon that
+                // this copy already reflected — other processors' applied
+                // records and our own published intervals — must be
+                // re-applied on top. Re-collect from the horizon, from
+                // every processor including ourselves, bounded by our
+                // vector clock (records we have not acquired yet must not
+                // be applied — that would break release consistency).
+                let horizon = self.cl.store().master_horizon();
+                records.clear();
+                for q in 0..self.nprocs {
+                    let known = if q == self.me {
+                        self.inner.vc[self.me]
+                    } else {
+                        self.inner.vc[q].max(upto[q])
+                    };
+                    if known > horizon[q] {
+                        let c = self.cl.store().collect(q, page, horizon[q], known);
+                        records.extend(c.records);
+                    }
+                }
+            }
+            // Prune: a Full snapshot subsumes everything it covers.
+            if let Some(full) = records
+                .iter()
+                .filter(|r| r.payload.is_full())
+                .max_by_key(|r| r.key())
+                .cloned()
+            {
+                let before = records.len();
+                records.retain(|r| {
+                    r.seq > full.vc[r.proc] || (r.proc == full.proc && r.seq == full.seq)
+                });
+                let _ = before;
+                if master {
+                    // The master is needed only if it holds intervals the
+                    // Full does not cover.
+                    let horizon = self.cl.store().master_horizon();
+                    master = !horizon.iter().zip(full.vc.iter()).all(|(&h, &v)| v >= h);
+                }
+            }
+            records.sort_by_key(|r| r.key());
+            needs.push(Need {
+                page,
+                records,
+                master,
+            });
+        }
+        if needs.is_empty() {
+            return;
+        }
+
+        // Phase 2: message accounting — group by serving processor.
+        let (kreq, kresp) = match class {
+            FetchClass::Demand => (MsgKind::DiffRequest, MsgKind::DiffReply),
+            FetchClass::Aggregated => (MsgKind::AggRequest, MsgKind::AggReply),
+        };
+        const REQ_FIXED: usize = 16; // header + vc digest
+        const REQ_PER_PAGE: usize = 8; // page id + applied seq
+        let mut req_pages: Vec<usize> = vec![0; self.nprocs];
+        let mut resp_bytes: Vec<usize> = vec![0; self.nprocs];
+        for n in &needs {
+            for r in &n.records {
+                req_pages[r.proc] += 1;
+                resp_bytes[r.proc] += r.payload.wire_bytes();
+            }
+            if n.master {
+                let mgr = (n.page as usize) % self.nprocs;
+                req_pages[mgr] += 1;
+                resp_bytes[mgr] += self.page_size + 8 + 4 * self.nprocs;
+            }
+        }
+        let legs: Vec<(ProcId, MsgKind, usize, MsgKind, usize)> = (0..self.nprocs)
+            .filter(|&q| q != self.me && req_pages[q] > 0)
+            .map(|q| {
+                (
+                    q,
+                    kreq,
+                    REQ_FIXED + REQ_PER_PAGE * req_pages[q],
+                    kresp,
+                    resp_bytes[q],
+                )
+            })
+            .collect();
+        match class {
+            FetchClass::Demand => {
+                // One fault = one (parallel) round per page; `pages` is a
+                // single page on this path.
+                self.cl.net().parallel_round(self.me, &legs);
+            }
+            FetchClass::Aggregated => {
+                self.cl.net().parallel_round(self.me, &legs);
+            }
+        }
+
+        // Phase 3: apply, master copies first, then records causally.
+        let cost = self.cl.net().cost();
+        let mut apply_time = SimTime::ZERO;
+        for n in needs {
+            let f = &mut self.inner.frames[n.page as usize];
+            if f.data.is_none() {
+                f.data = Some(vec![0u8; self.page_size].into_boxed_slice());
+            }
+            if n.master {
+                let (mdata, horizon) = self.cl.store().master_fetch(n.page);
+                // Uncommitted local writes (open interval) live only in
+                // the data-vs-twin delta; preserve them across the
+                // whole-page overwrite.
+                let own_delta = f
+                    .twin
+                    .as_ref()
+                    .map(|t| crate::diff::Diff::create(t, f.data.as_ref().unwrap()));
+                let data = f.data.as_mut().unwrap();
+                data.copy_from_slice(&mdata);
+                if let Some(t) = f.twin.as_mut() {
+                    t.copy_from_slice(&mdata);
+                }
+                if let Some(d) = own_delta {
+                    d.apply(f.data.as_mut().unwrap());
+                }
+                // The master is a snapshot *at the horizon*: the page
+                // regresses to exactly that knowledge; newer records
+                // (re-collected above) are applied on top.
+                for (a, &h) in f.applied.iter_mut().zip(horizon.iter()) {
+                    *a = h;
+                }
+                apply_time += cost.diff_apply(self.page_size);
+                self.inner.counters.master_fetches += 1;
+            }
+            for r in &n.records {
+                if r.seq <= f.applied[r.proc] {
+                    continue; // subsumed by the master copy
+                }
+                r.payload.apply(f.data.as_mut().unwrap());
+                // Multiple-writer merge: keep our in-progress twin in sync
+                // so our eventual diff contains only our own writes.
+                if let Some(t) = f.twin.as_mut() {
+                    r.payload.apply(t);
+                }
+                f.applied[r.proc] = r.seq;
+                apply_time += cost.diff_apply(r.payload.wire_bytes());
+                self.inner.counters.records_applied += 1;
+            }
+            f.state = if f.dirty() {
+                PageState::Write
+            } else {
+                PageState::Read
+            };
+            self.inner.counters.pages_fetched += 1;
+        }
+        self.cl.net().advance(self.me, apply_time);
+    }
+
+    // ------------------------------------------------------------------
+    // Interval close + notice application (called by barrier/lock code).
+    // ------------------------------------------------------------------
+
+    /// Close the current interval: diff every dirty page, publish the
+    /// records and the write notices. No-op if nothing was written.
+    pub(crate) fn close_interval(&mut self) {
+        if self.inner.dirty.is_empty() {
+            return;
+        }
+        let cost = self.cl.net().cost();
+        let mut dirty = std::mem::take(&mut self.inner.dirty);
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        // Build payloads first; only non-empty ones publish.
+        let mut payloads: Vec<(u32, Payload)> = Vec::new();
+        let mut scan_time = SimTime::ZERO;
+        for &page in &dirty {
+            let f = &mut self.inner.frames[page as usize];
+            debug_assert!(f.dirty(), "page {page} on dirty list but clean");
+            if f.full_write {
+                payloads.push((page, Payload::Full(f.data.as_ref().unwrap().clone())));
+                scan_time += cost.twin(self.page_size); // one copy
+                self.inner.counters.fulls_published += 1;
+            } else {
+                let d = Diff::create(f.twin.as_ref().unwrap(), f.data.as_ref().unwrap());
+                scan_time += cost.diff_create(self.page_size);
+                if !d.is_empty() {
+                    payloads.push((page, Payload::Diff(d)));
+                    self.inner.counters.diffs_created += 1;
+                }
+            }
+            f.twin = None;
+            f.full_write = false;
+            // Re-protect: the next write in the new interval faults again.
+            if f.state == PageState::Write {
+                f.state = PageState::Read;
+            }
+        }
+        self.cl.net().advance(self.me, scan_time);
+        if payloads.is_empty() {
+            return;
+        }
+
+        let seq = self.inner.vc[self.me] + 1;
+        self.inner.vc[self.me] = seq;
+        let vc: Arc<[u32]> = self.inner.vc.clone().into();
+        let pages: Arc<[u32]> = payloads.iter().map(|&(p, _)| p).collect();
+        for (page, payload) in payloads {
+            self.inner.frames[page as usize].applied[self.me] = seq;
+            self.cl
+                .store()
+                .publish(self.me, page, seq, Arc::clone(&vc), payload);
+        }
+        self.cl.board().publish(
+            self.me,
+            IntervalRec {
+                vc,
+                pages,
+            },
+        );
+        self.inner.counters.intervals_closed += 1;
+    }
+
+    /// Merge knowledge up to `target` (an acquire): apply write notices of
+    /// every newly covered interval, invalidating local copies.
+    pub(crate) fn apply_notices(&mut self, target: &[u32]) {
+        let me = self.me;
+        for q in 0..self.nprocs {
+            if q == me || target[q] <= self.inner.vc[q] {
+                continue;
+            }
+            let from = self.inner.vc[q];
+            let to = target[q];
+            // Collect first (board lock), then mutate frames.
+            let mut hits: Vec<(u32, u32)> = Vec::new(); // (page, seq)
+            self.cl.board().for_range(q, from, to, |seq, rec| {
+                for &page in rec.pages.iter() {
+                    hits.push((page, seq));
+                }
+            });
+            for (page, seq) in hits {
+                let f = &mut self.inner.frames[page as usize];
+                f.pending.push((q, seq));
+                f.state = PageState::Invalid;
+                if f.watched {
+                    self.fire_watch(page);
+                }
+            }
+            self.inner.vc[q] = to;
+        }
+    }
+
+    pub(crate) fn vc(&self) -> &[u32] {
+        &self.inner.vc
+    }
+
+    // ------------------------------------------------------------------
+    // Watches (used by Validate to detect indirection-array changes).
+    // ------------------------------------------------------------------
+
+    /// Allocate a watch flag; `take_modified` reads-and-clears it.
+    pub fn new_watch(&mut self) -> usize {
+        self.inner.watch_flags.push(true); // born dirty: first Validate computes
+        self.inner.watch_dirty.push(Vec::new());
+        self.inner.watch_flags.len() - 1
+    }
+
+    /// Arm watch `key` on `pages`: local writes (via protection fault) and
+    /// incoming write notices on these pages set the flag.
+    pub fn watch_pages(&mut self, key: usize, pages: impl Iterator<Item = u32>) {
+        for page in pages {
+            let f = &mut self.inner.frames[page as usize];
+            f.watched = true;
+            f.watch_protect = true;
+            let w = self.inner.watchers.entry(page).or_default();
+            if !w.contains(&key) {
+                w.push(key);
+            }
+        }
+    }
+
+    /// True if anything under `key`'s watch changed since the last call.
+    pub fn take_modified(&mut self, key: usize) -> bool {
+        self.inner.watch_dirty[key].clear();
+        std::mem::replace(&mut self.inner.watch_flags[key], false)
+    }
+
+    /// Like [`TmkProc::take_modified`], but also reports *which* watched
+    /// pages changed: `None` if nothing changed; `Some(pages)` with the
+    /// dirtied pages (empty right after `new_watch`, meaning "everything"
+    /// — no pages were being watched yet). This enables the incremental
+    /// `Read_indices` the paper sketches as an extension (§3.2: "a more
+    /// sophisticated version of this approach could ... incrementally
+    /// recompute the page sets").
+    pub fn take_modified_pages(&mut self, key: usize) -> Option<Vec<u32>> {
+        if !std::mem::replace(&mut self.inner.watch_flags[key], false) {
+            return None;
+        }
+        let mut pages = std::mem::take(&mut self.inner.watch_dirty[key]);
+        pages.sort_unstable();
+        pages.dedup();
+        Some(pages)
+    }
+
+    fn fire_watch(&mut self, page: u32) {
+        if let Some(keys) = self.inner.watchers.get(&page) {
+            for &k in keys {
+                self.inner.watch_flags[k] = true;
+                self.inner.watch_dirty[k].push(page);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for tests.
+    // ------------------------------------------------------------------
+
+    /// Page state (test/diagnostic hook).
+    pub fn page_state(&self, page: u32) -> PageState {
+        self.inner.frames[page as usize].state
+    }
+
+    /// Is this page currently invalid (a fetch would move data)?
+    #[inline]
+    pub fn page_invalid(&self, page: u32) -> bool {
+        self.inner.frames[page as usize].state == PageState::Invalid
+    }
+
+    /// The cluster's cost model (for charging modeled library work).
+    pub fn cost(&self) -> &simnet::CostModel {
+        self.cl.net().cost()
+    }
+
+    /// Pages currently invalid within a region (what a fetch would bring).
+    pub fn invalid_pages_in<T: Pod>(&self, s: &SharedSlice<T>) -> Vec<u32> {
+        s.pages(self.page_size)
+            .filter(|&p| self.inner.frames[p as usize].state == PageState::Invalid)
+            .collect()
+    }
+}

@@ -1,0 +1,284 @@
+//! The published-record store: where closed intervals' diffs live until
+//! fetched, plus the garbage-collection "master" copies.
+//!
+//! In real TreadMarks each modifier retains its diffs and serves them on
+//! request; periodically a garbage collection validates every page and
+//! reclaims diff storage. Here the records live in a store partitioned by
+//! creating processor (requests are still *charged* to that processor),
+//! and GC folds old records into a per-page **master copy** held by the
+//! page's manager (`page % nprocs`). A processor whose copy of a page is
+//! older than the fold horizon fetches the master page plus any newer
+//! records — the analogue of TreadMarks fetching the whole page after GC.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use simnet::ProcId;
+
+use crate::diff::Payload;
+use crate::interval::{vc_key, Vc};
+
+/// One published modification of one page by one interval.
+#[derive(Debug, Clone)]
+pub struct Record {
+    pub proc: ProcId,
+    pub seq: u32,
+    pub vc: Arc<[u32]>,
+    pub payload: Arc<Payload>,
+}
+
+impl Record {
+    pub fn key(&self) -> (u64, usize, u32) {
+        vc_key(&self.vc, self.proc, self.seq)
+    }
+}
+
+#[derive(Debug, Default)]
+struct PageLog {
+    /// Records with `seq <= folded_upto` have been folded into the master
+    /// copy and dropped from `records`.
+    folded_upto: u32,
+    /// Retained records, ascending `seq`.
+    records: Vec<Record>,
+}
+
+#[derive(Debug)]
+struct Master {
+    /// Pointwise: every record with `seq <= horizon[proc]` is folded.
+    horizon: Vc,
+    pages: HashMap<u32, Box<[u8]>>,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct DiffStore {
+    page_size: usize,
+    per_proc: Vec<RwLock<HashMap<u32, PageLog>>>,
+    master: RwLock<Master>,
+}
+
+/// Result of asking for one page's records from one processor.
+pub(crate) struct Collected {
+    pub records: Vec<Record>,
+    /// Some needed records were folded: the caller must fetch the master
+    /// page (and apply it before `records`).
+    pub needs_master: bool,
+}
+
+impl DiffStore {
+    pub fn new(nprocs: usize, page_size: usize) -> Self {
+        DiffStore {
+            page_size,
+            per_proc: (0..nprocs).map(|_| RwLock::new(HashMap::new())).collect(),
+            master: RwLock::new(Master {
+                horizon: vec![0; nprocs],
+                pages: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Publish `payload` as processor `proc`'s interval `seq` modification
+    /// of `page`.
+    pub fn publish(&self, proc: ProcId, page: u32, seq: u32, vc: Arc<[u32]>, payload: Payload) {
+        let mut map = self.per_proc[proc].write();
+        let log = map.entry(page).or_default();
+        debug_assert!(
+            log.records.last().map_or(true, |r| r.seq < seq),
+            "records must be published in seq order"
+        );
+        log.records.push(Record {
+            proc,
+            seq,
+            vc,
+            payload: Arc::new(payload),
+        });
+    }
+
+    /// Records of `proc` for `page` with `after < seq <= upto`.
+    pub(crate) fn collect(&self, proc: ProcId, page: u32, after: u32, upto: u32) -> Collected {
+        let map = self.per_proc[proc].read();
+        match map.get(&page) {
+            None => Collected {
+                records: Vec::new(),
+                // A pending notice referenced this record but the whole log
+                // is gone — everything was folded.
+                needs_master: after < upto,
+            },
+            Some(log) => {
+                let records = log
+                    .records
+                    .iter()
+                    .filter(|r| r.seq > after && r.seq <= upto)
+                    .cloned()
+                    .collect();
+                Collected {
+                    records,
+                    needs_master: after < log.folded_upto,
+                }
+            }
+        }
+    }
+
+    /// The master copy of `page` (zeros if never folded) and the fold
+    /// horizon. The caller charges the fetch to the page's manager.
+    pub fn master_fetch(&self, page: u32) -> (Box<[u8]>, Vc) {
+        let m = self.master.read();
+        let data = m
+            .pages
+            .get(&page)
+            .cloned()
+            .unwrap_or_else(|| vec![0u8; self.page_size].into_boxed_slice());
+        (data, m.horizon.clone())
+    }
+
+    /// Current fold horizon (no page data) — used to decide whether a
+    /// `Full` snapshot makes a master fetch unnecessary.
+    pub fn master_horizon(&self) -> Vc {
+        self.master.read().horizon.clone()
+    }
+
+    /// Fold every record with `seq <= horizon[proc]` into the master
+    /// copies and drop it. Called by the barrier leader while all
+    /// processors are parked, so it cannot race with fetches.
+    pub fn fold(&self, horizon: &[u32]) {
+        // Collect (key, page, payload) of everything being folded, across
+        // all processors, so application order is a linear extension of
+        // happens-before.
+        let mut folded: Vec<(Record, u32)> = Vec::new();
+        for (q, lock) in self.per_proc.iter().enumerate() {
+            let mut map = lock.write();
+            for (&page, log) in map.iter_mut() {
+                if horizon[q] > log.folded_upto {
+                    let keep = log
+                        .records
+                        .iter()
+                        .position(|r| r.seq > horizon[q])
+                        .unwrap_or(log.records.len());
+                    for r in log.records.drain(..keep) {
+                        folded.push((r, page));
+                    }
+                    log.folded_upto = horizon[q];
+                }
+            }
+        }
+        if folded.is_empty() {
+            let mut m = self.master.write();
+            for (h, &n) in m.horizon.iter_mut().zip(horizon) {
+                *h = (*h).max(n);
+            }
+            return;
+        }
+        folded.sort_by_key(|(r, page)| (*page, r.key()));
+        let mut m = self.master.write();
+        for (r, page) in folded {
+            let buf = m
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![0u8; self.page_size].into_boxed_slice());
+            r.payload.apply(buf);
+        }
+        for (h, &n) in m.horizon.iter_mut().zip(horizon) {
+            *h = (*h).max(n);
+        }
+    }
+
+    /// Number of retained (unfolded) records — memory-bound test hook.
+    pub fn retained_records(&self) -> usize {
+        self.per_proc
+            .iter()
+            .map(|l| l.read().values().map(|g| g.records.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::Diff;
+
+    fn diff_payload(page_size: usize, off: usize, val: u8) -> Payload {
+        let twin = vec![0u8; page_size];
+        let mut cur = twin.clone();
+        cur[off..off + 8].fill(val);
+        Payload::Diff(Diff::create(&twin, &cur))
+    }
+
+    #[test]
+    fn publish_collect_roundtrip() {
+        let s = DiffStore::new(2, 64);
+        s.publish(0, 7, 1, vec![1, 0].into(), diff_payload(64, 0, 1));
+        s.publish(0, 7, 2, vec![2, 0].into(), diff_payload(64, 8, 2));
+        let c = s.collect(0, 7, 0, 2);
+        assert_eq!(c.records.len(), 2);
+        assert!(!c.needs_master);
+        let c = s.collect(0, 7, 1, 2);
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].seq, 2);
+    }
+
+    #[test]
+    fn collect_missing_log_wants_master() {
+        let s = DiffStore::new(2, 64);
+        let c = s.collect(1, 3, 0, 5);
+        assert!(c.records.is_empty());
+        assert!(c.needs_master);
+        // ... but if nothing is actually needed, no master either.
+        let c = s.collect(1, 3, 5, 5);
+        assert!(!c.needs_master);
+    }
+
+    #[test]
+    fn fold_moves_content_to_master() {
+        let s = DiffStore::new(2, 64);
+        s.publish(0, 9, 1, vec![1, 0].into(), diff_payload(64, 0, 0xAA));
+        s.publish(0, 9, 2, vec![2, 0].into(), diff_payload(64, 8, 0xBB));
+        s.fold(&[1, 0]);
+        assert_eq!(s.retained_records(), 1);
+
+        let c = s.collect(0, 9, 0, 2);
+        assert_eq!(c.records.len(), 1);
+        assert!(c.needs_master, "record 1 lives in the master now");
+
+        let (data, horizon) = s.master_fetch(9);
+        assert_eq!(horizon, vec![1, 0]);
+        assert!(data[0..8].iter().all(|&b| b == 0xAA));
+        assert!(data[8..16].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn fold_applies_in_causal_order() {
+        // Two full-page snapshots where the later must win.
+        let s = DiffStore::new(2, 16);
+        s.publish(
+            0,
+            0,
+            1,
+            vec![1, 0].into(),
+            Payload::Full(vec![1u8; 16].into_boxed_slice()),
+        );
+        // proc 1 saw proc 0's interval (vc=[1,1]) then wrote everything.
+        s.publish(
+            1,
+            0,
+            1,
+            vec![1, 1].into(),
+            Payload::Full(vec![2u8; 16].into_boxed_slice()),
+        );
+        s.fold(&[1, 1]);
+        let (data, _) = s.master_fetch(0);
+        assert!(data.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn fold_is_idempotent_and_monotone() {
+        let s = DiffStore::new(1, 16);
+        s.publish(0, 0, 1, vec![1].into(), diff_payload(16, 0, 5));
+        s.fold(&[1]);
+        s.fold(&[1]);
+        s.fold(&[0]); // cannot lower the horizon
+        let (_, h) = s.master_fetch(0);
+        assert_eq!(h, vec![1]);
+        assert_eq!(s.retained_records(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Abstract syntax for the Fortran-77-style subset.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    pub fn fortran(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => ".eq.",
+            BinOp::Ne => ".ne.",
+            BinOp::Lt => ".lt.",
+            BinOp::Le => ".le.",
+            BinOp::Gt => ".gt.",
+            BinOp::Ge => ".ge.",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Real(f64),
+    Var(String),
+    /// Array element reference *or* intrinsic call — Fortran syntax
+    /// cannot tell them apart; the parser resolves known intrinsics
+    /// (`mod`, `min`, `max`, `abs`, `sqrt`) to [`Expr::Intrinsic`].
+    ArrayRef(String, Vec<Expr>),
+    Intrinsic(String, Vec<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// All array names referenced anywhere in this expression.
+    pub fn arrays(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::ArrayRef(name, subs) => {
+                out.insert(name.clone());
+                for s in subs {
+                    s.arrays(out);
+                }
+            }
+            Expr::Intrinsic(_, args) => {
+                for a in args {
+                    a.arrays(out);
+                }
+            }
+            Expr::Bin(_, l, r) => {
+                l.arrays(out);
+                r.arrays(out);
+            }
+            Expr::Neg(e) => e.arrays(out),
+            _ => {}
+        }
+    }
+
+    /// Scalar variables read by this expression (not array names).
+    pub fn scalars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::ArrayRef(_, subs) => {
+                for s in subs {
+                    s.scalars(out);
+                }
+            }
+            Expr::Intrinsic(_, args) => {
+                for a in args {
+                    a.scalars(out);
+                }
+            }
+            Expr::Bin(_, l, r) => {
+                l.scalars(out);
+                r.scalars(out);
+            }
+            Expr::Neg(e) => e.scalars(out),
+            _ => {}
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Assign {
+        lhs: Expr,
+        rhs: Expr,
+    },
+    Do {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+    /// A preformatted line the transformer inserted (the `Validate`
+    /// call); printed verbatim by codegen, never produced by the parser.
+    Raw(String),
+}
+
+/// A program unit: the main `PROGRAM` or a `SUBROUTINE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    pub is_program: bool,
+    pub name: String,
+    pub body: Vec<Stmt>,
+    /// Arrays declared shared via `!$SHARED` (file-scoped: directives
+    /// anywhere in the file apply to every unit, standing in for
+    /// `Tmk_malloc` allocation the front end cannot see).
+    pub shared: BTreeSet<String>,
+    /// `DIMENSION name(d1, d2, ...)` shapes; extents may be symbolic.
+    pub dims: BTreeMap<String, Vec<Expr>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub units: Vec<Unit>,
+}
+
+impl Program {
+    pub fn unit(&self, name: &str) -> Option<&Unit> {
+        let lower = name.to_ascii_lowercase();
+        self.units.iter().find(|u| u.name == lower)
+    }
+}

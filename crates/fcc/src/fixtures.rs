@@ -1,0 +1,74 @@
+//! Source fixtures: the paper's Figure 1 (moldyn) and the analogous nbf
+//! kernel, in the Fortran-77-style input language.
+
+/// Figure 1 of the paper: the moldyn main program and the
+/// `ComputeForces` subroutine with its irregular accesses through
+/// `interaction_list`. (`!$SHARED` stands in for `Tmk_malloc` allocation,
+/// and the arrays carry explicit `DIMENSION`s for the section analysis.)
+pub const MOLDYN_SOURCE: &str = "\
+PROGRAM MOLDYN
+!$SHARED x, forces, interaction_list
+      DIMENSION x(num_molecules), forces(num_molecules)
+      DIMENSION interaction_list(2, num_interactions)
+      DO step = 1, nsteps
+        IF (mod(step, update_interval) .eq. 0) THEN
+          call build_interaction_list()
+        ENDIF
+        call ComputeForces()
+      ENDDO
+      END
+
+      SUBROUTINE ComputeForces()
+      DIMENSION x(num_molecules), forces(num_molecules)
+      DIMENSION interaction_list(2, num_interactions)
+      DO i = 1, num_interactions
+        n1 = interaction_list(1, i)
+        n2 = interaction_list(2, i)
+        force = x(n1) - x(n2)
+        forces(n1) = forces(n1) + force
+        forces(n2) = forces(n2) - force
+      ENDDO
+      END
+";
+
+/// The nbf kernel (paper §5.2): per-molecule partner lists, concatenated,
+/// with `last(i)` pointing to the end of molecule `i`'s partners.
+pub const NBF_SOURCE: &str = "\
+PROGRAM NBF
+!$SHARED x, forces, partners, last
+      DIMENSION x(num_molecules), forces(num_molecules)
+      DIMENSION partners(num_pairs), last(num_molecules)
+      DO step = 1, nsteps
+        call ComputeNbfForces()
+      ENDDO
+      END
+
+      SUBROUTINE ComputeNbfForces()
+      DIMENSION x(num_molecules), forces(num_molecules)
+      DIMENSION partners(num_pairs), last(num_molecules)
+      DO i = 1, num_molecules
+        DO k = last(i - 1) + 1, last(i)
+          n2 = partners(k)
+          force = x(i) - x(n2)
+          forces(i) = forces(i) + force
+          forces(n2) = forces(n2) - force
+        ENDDO
+      ENDDO
+      END
+";
+
+/// Figure 2 of the paper — the expected result of transforming
+/// [`MOLDYN_SOURCE`]'s `ComputeForces` (used as a golden reference in
+/// tests; formatting normalized to this code generator's style).
+pub const MOLDYN_TRANSFORMED_COMPUTEFORCES: &str = concat!(
+    "      SUBROUTINE ComputeForces()\n",
+    "      call Validate(1, INDIRECT, x, interaction_list[1:2, 1:num_interactions], READ, 1)\n",
+    "      DO i = 1, num_interactions\n",
+    "        n1 = interaction_list(1, i)\n",
+    "        n2 = interaction_list(2, i)\n",
+    "        force = x(n1) - x(n2)\n",
+    "        local_forces(n1) = local_forces(n1) + force\n",
+    "        local_forces(n2) = local_forces(n2) - force\n",
+    "      ENDDO\n",
+    "      END\n",
+);

@@ -1,0 +1,50 @@
+//! # fcc — the compiler front end (paper §3.3)
+//!
+//! The paper's compile-time support is deliberately minimal: *regular
+//! section analysis* of indirection arrays plus a source-to-source
+//! transformation that inserts `Validate` calls. The authors implemented
+//! it in the ParaScope programming environment for Fortran; this crate
+//! implements the same pipeline for the Fortran-77-style subset the
+//! paper's figures use:
+//!
+//! 1. **Lexer/parser** ([`lexer`], [`parser`]) → AST ([`ast`]).
+//! 2. **Access analysis** ([`analysis`]): for every loop nest, summarize
+//!    array accesses as regular sections (RSDs — linear expressions of
+//!    the loop bounds, with stride). Detect *indirect* accesses
+//!    (`x(n1)` where `n1 = interaction_list(1, i)`) by scalar copy
+//!    tracking, and recognize irregular *reductions*
+//!    (`forces(n1) = forces(n1) + f`).
+//! 3. **Transformation** ([`transform()`]): at each fetch point (procedure
+//!    entry, in the absence of interprocedural analysis — §3.3), insert a
+//!    `Validate` call with one access descriptor per shared array
+//!    accessed; rewrite irregular reductions to accumulate into private
+//!    `local_*` arrays (Figure 2).
+//! 4. **Code generation** ([`codegen`]): print the transformed program —
+//!    running this on the paper's Figure 1 regenerates Figure 2 — and
+//!    emit machine-readable [`ValidateSite`]s that the runtime
+//!    applications consume, so the compiler genuinely drives `Validate`.
+//!
+//! Shared arrays are declared with a `!$SHARED a, b` directive (standing
+//! in for "allocated with `Tmk_malloc`", which a one-pass front end
+//! cannot see), and array shapes with standard `DIMENSION` statements.
+
+pub mod analysis;
+pub mod ast;
+pub mod codegen;
+pub mod fixtures;
+pub mod lexer;
+pub mod parser;
+pub mod transform;
+
+pub use analysis::{analyze_unit, AccessKind, AccessSummary, UnitAnalysis};
+pub use ast::{BinOp, Expr, Program, Stmt, Unit};
+pub use codegen::emit_program;
+pub use parser::parse;
+pub use transform::{transform, DescKind, Reduction, SiteDesc, TransformResult, ValidateSite};
+
+/// End-to-end driver: source text in, transformed source + Validate
+/// sites out.
+pub fn compile(source: &str) -> Result<TransformResult, String> {
+    let program = parse(source)?;
+    Ok(transform(&program))
+}

@@ -1,0 +1,146 @@
+//! Language-coverage tests for the compiler front end: corners of the
+//! input subset beyond the two paper fixtures.
+
+use fcc::analysis::{analyze_unit, Acc, AccessKind};
+use fcc::{compile, emit_program, parse, Stmt};
+
+fn analyze(src: &str, unit: &str) -> fcc::UnitAnalysis {
+    let p = parse(src).unwrap();
+    analyze_unit(p.unit(unit).unwrap())
+}
+
+#[test]
+fn else_branches_analyzed() {
+    let src = "PROGRAM t\n!$SHARED a\n  DIMENSION a(n)\n  DO i = 1, n\n    IF (i .gt. 5) THEN\n      a(i) = 1\n    ELSE\n      a(i) = 2\n    ENDIF\n  ENDDO\nEND\n";
+    let a = analyze(src, "t");
+    assert_eq!(a.accesses.len(), 1);
+    assert_eq!(a.accesses[0].acc, Acc::Write);
+}
+
+#[test]
+fn decreasing_subscript_swaps_bounds() {
+    // a(n - i): decreasing in i → bounds swap so lo ≤ hi.
+    let src = "PROGRAM t\n!$SHARED a\n  DIMENSION a(n)\n  DO i = 0, n - 1\n    a(n - i) = 0.0\n  ENDDO\nEND\n";
+    let a = analyze(src, "t");
+    match &a.accesses[0].kind {
+        AccessKind::Direct { section } => {
+            assert_eq!(section.to_string(), "[1:n]");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn call_clobbers_scalar_copies() {
+    // After a CALL, n1 may have changed: the indirection origin is lost
+    // and x(n1) must not be misattributed to the stale copy.
+    let src = "PROGRAM t\n!$SHARED x, il\n  DIMENSION x(n), il(m)\n  DO i = 1, m\n    n1 = il(i)\n    call clobber()\n    x(n1) = 0.0\n  ENDDO\nEND\n";
+    let a = analyze(src, "t");
+    let x = a.accesses.iter().find(|s| s.array == "x").unwrap();
+    // Conservative: not recognized as indirect through il (whole-array
+    // direct summary instead).
+    assert!(matches!(x.kind, AccessKind::Direct { .. }));
+}
+
+#[test]
+fn two_indirections_two_descriptors() {
+    let src = "PROGRAM t\n!$SHARED x, y, ia, ib\n  DIMENSION x(n), y(n), ia(m), ib(m)\n  DO i = 1, m\n    p = ia(i)\n    q = ib(i)\n    x(p) = x(p) + 1.0\n    y(q) = y(q) + 2.0\n  ENDDO\nEND\n";
+    let r = compile(src).unwrap();
+    let site = &r.sites[0];
+    // Both reductions recognized; no data descriptors remain for x/y.
+    assert_eq!(site.reductions.len(), 2);
+    let locals: Vec<&str> = site.reductions.iter().map(|r| r.local.as_str()).collect();
+    assert!(locals.contains(&"local_x") && locals.contains(&"local_y"));
+}
+
+#[test]
+fn non_reduction_indirect_write_gets_descriptor() {
+    // x(p) = y(p): an irregular WRITE that is NOT a self-accumulation —
+    // must appear as an INDIRECT descriptor, not a reduction.
+    let src = "PROGRAM t\n!$SHARED x, y, ia\n  DIMENSION x(n), y(n), ia(m)\n  DO i = 1, m\n    p = ia(i)\n    x(p) = y(p)\n  ENDDO\nEND\n";
+    let r = compile(src).unwrap();
+    let site = &r.sites[0];
+    assert!(site.reductions.is_empty());
+    let x = site.descriptors.iter().find(|d| d.data == "x").unwrap();
+    assert_eq!(x.access, "WRITE");
+    let y = site.descriptors.iter().find(|d| d.data == "y").unwrap();
+    assert_eq!(y.access, "READ");
+}
+
+#[test]
+fn do_with_explicit_step() {
+    let src = "PROGRAM t\n!$SHARED a\n  DIMENSION a(n)\n  DO i = 1, n, 2\n    a(i) = 0.0\n  ENDDO\nEND\n";
+    let p = parse(src).unwrap();
+    match &p.units[0].body[0] {
+        Stmt::Do { step, .. } => assert!(step.is_some()),
+        other => panic!("{other:?}"),
+    }
+    // Emission round-trips the step.
+    let out = emit_program(&p);
+    assert!(out.contains("DO i = 1, n, 2"));
+}
+
+#[test]
+fn multiple_subroutines_each_get_sites() {
+    let src = "\
+PROGRAM t
+!$SHARED x, ia
+      call a()
+      call b()
+      END
+
+      SUBROUTINE a()
+      DIMENSION x(n), ia(m)
+      DO i = 1, m
+        k = ia(i)
+        s = s + x(k)
+      ENDDO
+      END
+
+      SUBROUTINE b()
+      DIMENSION x(n), ia(m)
+      DO i = 1, m
+        k = ia(i)
+        t = t + x(k)
+      ENDDO
+      END
+";
+    let r = compile(src).unwrap();
+    assert_eq!(r.sites.len(), 2);
+    assert!(r.sites.iter().all(|s| s.unit == "a" || s.unit == "b"));
+    // Validate inserted into both subroutines.
+    assert_eq!(r.source.matches("call Validate(").count(), 2);
+}
+
+#[test]
+fn intrinsics_do_not_become_arrays() {
+    let src = "PROGRAM t\n!$SHARED a\n  DIMENSION a(n)\n  DO i = 1, n\n    a(i) = sqrt(abs(a(i)))\n  ENDDO\nEND\n";
+    let a = analyze(src, "t");
+    // Only `a` is summarized — sqrt/abs are intrinsics, not arrays.
+    assert_eq!(a.accesses.len(), 1);
+    assert_eq!(a.accesses[0].array, "a");
+    assert_eq!(a.accesses[0].acc, Acc::ReadWrite);
+}
+
+#[test]
+fn empty_subroutine_compiles_to_no_site() {
+    let src = "SUBROUTINE nop()\nEND\n";
+    let r = compile(src).unwrap();
+    assert!(r.sites.is_empty());
+    assert!(r.source.contains("SUBROUTINE nop()"));
+}
+
+#[test]
+fn lexer_line_numbers_in_errors() {
+    let err = parse("PROGRAM t\n  x = @\nEND\n").unwrap_err();
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn reduction_with_subtract_form() {
+    // forces(n2) = forces(n2) - force: the minus form is additive too.
+    let src = "PROGRAM t\n!$SHARED f, ia\n  DIMENSION f(n), ia(m)\n  DO i = 1, m\n    k = ia(i)\n    f(k) = f(k) - 1.0\n  ENDDO\nEND\n";
+    let r = compile(src).unwrap();
+    assert_eq!(r.sites[0].reductions.len(), 1);
+    assert!(r.source.contains("local_f(k) = local_f(k) - 1.0"));
+}

@@ -1,0 +1,342 @@
+//! Concrete (fully evaluated) regular sections.
+//!
+//! A [`Dim`] is the arithmetic progression `lo, lo+stride, ..., <= hi`
+//! (Fortran triplet notation `lo:hi:stride`); an [`Rsd`] is the cartesian
+//! product of its dimensions. Bounds are inclusive, matching the paper's
+//! Fortran heritage (e.g. `interaction_list[1:2, 1:num_interactions]`).
+
+use std::fmt;
+
+/// One dimension of a regular section: `lo : hi : stride`, inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim {
+    pub lo: i64,
+    pub hi: i64,
+    pub stride: i64,
+}
+
+impl Dim {
+    pub fn new(lo: i64, hi: i64, stride: i64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        Dim { lo, hi, stride }
+    }
+
+    /// Dense section `lo..=hi`.
+    pub fn dense(lo: i64, hi: i64) -> Self {
+        Dim::new(lo, hi, 1)
+    }
+
+    /// Number of elements in the progression (0 if empty).
+    pub fn len(&self) -> usize {
+        if self.hi < self.lo {
+            0
+        } else {
+            ((self.hi - self.lo) / self.stride + 1) as usize
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hi < self.lo
+    }
+
+    /// Does the progression contain `v`?
+    pub fn contains(&self, v: i64) -> bool {
+        v >= self.lo && v <= self.hi && (v - self.lo) % self.stride == 0
+    }
+
+    /// Last element actually reached (≤ hi), or `None` if empty.
+    pub fn last(&self) -> Option<i64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.lo + ((self.hi - self.lo) / self.stride) * self.stride)
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        (0..self.len() as i64).map(move |k| self.lo + k * self.stride)
+    }
+
+    /// Exact intersection of two arithmetic progressions, again an
+    /// arithmetic progression (possibly empty). Solved with the extended
+    /// Euclid construction: values `v ≡ lo_a (mod s_a)`, `v ≡ lo_b (mod s_b)`.
+    pub fn intersect(&self, other: &Dim) -> Dim {
+        let empty = Dim {
+            lo: 0,
+            hi: -1,
+            stride: 1,
+        };
+        if self.is_empty() || other.is_empty() {
+            return empty;
+        }
+        let (g, x, _) = ext_gcd(self.stride, other.stride);
+        let diff = other.lo - self.lo;
+        if diff % g != 0 {
+            return empty;
+        }
+        let lcm = self.stride / g * other.stride;
+        // v = lo_a + s_a * t where t ≡ x * diff/g (mod s_b/g)
+        let m = other.stride / g;
+        let t0 = (x.rem_euclid(m) * ((diff / g).rem_euclid(m))).rem_euclid(m);
+        let mut lo = self.lo + self.stride * t0;
+        let hi = self.hi.min(other.hi);
+        // Raise lo above both section starts (t0 is already >= 0 so lo >= self.lo).
+        if lo < other.lo {
+            let k = (other.lo - lo + lcm - 1) / lcm;
+            lo += k * lcm;
+        }
+        if lo > hi {
+            empty
+        } else {
+            // Normalize: tighten hi to the last element actually reached,
+            // so equal progressions compare equal structurally.
+            let hi = lo + ((hi - lo) / lcm) * lcm;
+            Dim {
+                lo,
+                hi,
+                stride: lcm,
+            }
+        }
+    }
+
+    /// Smallest dense-ish section containing both (lossy union used for
+    /// summary merging in the compiler): the stride is the gcd of both
+    /// strides *and* of the offset between the section starts, so every
+    /// element of either progression stays on the hull's grid.
+    pub fn hull(&self, other: &Dim) -> Dim {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let g0 = gcd(self.stride, other.stride);
+        let dl = (other.lo - self.lo).abs();
+        let g = if dl == 0 { g0 } else { gcd(g0, dl) };
+        Dim {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            stride: g.max(1),
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.stride == 1 {
+            write!(f, "{}:{}", self.lo, self.hi)
+        } else {
+            write!(f, "{}:{}:{}", self.lo, self.hi, self.stride)
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Returns `(g, x, y)` with `a*x + b*y = g = gcd(a, b)`.
+fn ext_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// A multi-dimensional regular section descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rsd {
+    pub dims: Vec<Dim>,
+}
+
+impl Rsd {
+    pub fn new(dims: Vec<Dim>) -> Self {
+        Rsd { dims }
+    }
+
+    pub fn dense1(lo: i64, hi: i64) -> Self {
+        Rsd {
+            dims: vec![Dim::dense(lo, hi)],
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.dims.iter().map(Dim::len).product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(Dim::is_empty)
+    }
+
+    pub fn contains(&self, point: &[i64]) -> bool {
+        point.len() == self.rank() && self.dims.iter().zip(point).all(|(d, &v)| d.contains(v))
+    }
+
+    /// Dimension-wise intersection (exact: an RSD is a product set).
+    pub fn intersect(&self, other: &Rsd) -> Option<Rsd> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        Some(Rsd {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        })
+    }
+
+    /// Dimension-wise hull (over-approximate union, for access summaries).
+    pub fn hull(&self, other: &Rsd) -> Option<Rsd> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        Some(Rsd {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        })
+    }
+
+    /// Iterate all points, last dimension fastest (column-major callers
+    /// should reverse dims; iteration order never matters to the runtime).
+    pub fn iter_points(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
+        let lens: Vec<usize> = self.dims.iter().map(Dim::len).collect();
+        let total: usize = lens.iter().product();
+        (0..total).map(move |mut k| {
+            let mut pt = vec![0i64; self.dims.len()];
+            for (i, d) in self.dims.iter().enumerate().rev() {
+                let l = lens[i].max(1);
+                let idx = k % l;
+                k /= l;
+                pt[i] = d.lo + idx as i64 * d.stride;
+            }
+            pt
+        })
+    }
+
+    /// For a 1-D section over a linear array: iterate flat element indices.
+    pub fn iter_flat(&self) -> impl Iterator<Item = i64> + '_ {
+        assert_eq!(self.rank(), 1, "iter_flat needs a 1-D section");
+        self.dims[0].iter()
+    }
+}
+
+impl fmt::Display for Rsd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", d)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_len_and_contains() {
+        let d = Dim::new(1, 10, 3); // 1,4,7,10
+        assert_eq!(d.len(), 4);
+        assert!(d.contains(7));
+        assert!(!d.contains(8));
+        assert!(!d.contains(13));
+        assert_eq!(d.last(), Some(10));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 4, 7, 10]);
+    }
+
+    #[test]
+    fn empty_dim() {
+        let d = Dim::new(5, 4, 1);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.last(), None);
+    }
+
+    #[test]
+    fn intersect_same_stride() {
+        let a = Dim::new(0, 100, 4); // 0,4,8,...
+        let b = Dim::new(2, 100, 4); // 2,6,10,... disjoint residues
+        assert!(a.intersect(&b).is_empty());
+        let c = Dim::new(8, 40, 4);
+        let i = a.intersect(&c);
+        assert_eq!((i.lo, i.hi, i.stride), (8, 40, 4));
+    }
+
+    #[test]
+    fn intersect_coprime_strides() {
+        let a = Dim::new(0, 30, 3); // multiples of 3
+        let b = Dim::new(0, 30, 5); // multiples of 5
+        let i = a.intersect(&b);
+        assert_eq!(i.stride, 15);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![0, 15, 30]);
+    }
+
+    #[test]
+    fn intersect_with_offset() {
+        let a = Dim::new(1, 50, 6); // 1,7,13,19,25,31,37,43,49
+        let b = Dim::new(4, 50, 9); // 4,13,22,31,40,49
+        let i = a.intersect(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![13, 31, 49]);
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Dim::new(0, 10, 2);
+        let b = Dim::new(20, 30, 2);
+        let h = a.hull(&b);
+        for v in a.iter().chain(b.iter()) {
+            assert!(h.contains(v), "{v} missing from hull {h}");
+        }
+    }
+
+    #[test]
+    fn rsd_2d() {
+        // interaction_list[1:2, 1:5]
+        let r = Rsd::new(vec![Dim::dense(1, 2), Dim::dense(1, 5)]);
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(&[2, 3]));
+        assert!(!r.contains(&[3, 3]));
+        assert_eq!(r.iter_points().count(), 10);
+        assert_eq!(r.to_string(), "[1:2, 1:5]");
+    }
+
+    #[test]
+    fn rsd_intersect_exact() {
+        let a = Rsd::new(vec![Dim::dense(0, 9), Dim::new(0, 20, 2)]);
+        let b = Rsd::new(vec![Dim::dense(5, 15), Dim::new(0, 20, 3)]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.dims[0], Dim::dense(5, 9));
+        assert_eq!(i.dims[1], Dim::new(0, 18, 6));
+        for p in i.iter_points() {
+            assert!(a.contains(&p) && b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn flat_iteration() {
+        let r = Rsd::dense1(3, 7);
+        assert_eq!(r.iter_flat().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+    }
+}

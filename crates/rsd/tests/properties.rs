@@ -1,0 +1,151 @@
+//! Property-based tests for the regular-section algebra — the foundation
+//! both the compiler's analysis and `Validate`'s page computation rest on.
+
+use proptest::prelude::*;
+use rsd::{pages_of_bytes, pages_of_section, Affine, Dim, Env, PageSet, Rsd, SymDim, SymRsd};
+
+fn dim_strategy() -> impl Strategy<Value = Dim> {
+    (-100i64..100, 0i64..200, 1i64..12)
+        .prop_map(|(lo, len, stride)| Dim::new(lo, lo + len, stride))
+}
+
+proptest! {
+    #[test]
+    fn dim_len_matches_iteration(d in dim_strategy()) {
+        prop_assert_eq!(d.len(), d.iter().count());
+        if let Some(last) = d.last() {
+            prop_assert!(d.contains(last));
+            prop_assert!(last <= d.hi);
+        }
+    }
+
+    #[test]
+    fn dim_contains_iff_iterated(d in dim_strategy(), v in -150i64..350) {
+        let by_iter = d.iter().any(|x| x == v);
+        prop_assert_eq!(d.contains(v), by_iter);
+    }
+
+    #[test]
+    fn intersection_is_exact(a in dim_strategy(), b in dim_strategy()) {
+        let i = a.intersect(&b);
+        // Soundness: everything in the intersection is in both.
+        for v in i.iter() {
+            prop_assert!(a.contains(v) && b.contains(v), "{v} not in both");
+        }
+        // Completeness: everything in both is in the intersection.
+        for v in a.iter() {
+            if b.contains(v) {
+                prop_assert!(i.contains(v), "{v} missing from intersection");
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_commutes(a in dim_strategy(), b in dim_strategy()) {
+        let ab: Vec<i64> = a.intersect(&b).iter().collect();
+        let ba: Vec<i64> = b.intersect(&a).iter().collect();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn hull_contains_both(a in dim_strategy(), b in dim_strategy()) {
+        let h = a.hull(&b);
+        for v in a.iter().chain(b.iter()) {
+            prop_assert!(h.contains(v));
+        }
+    }
+
+    #[test]
+    fn rsd_product_len(dims in proptest::collection::vec(dim_strategy(), 1..4)) {
+        let r = Rsd::new(dims);
+        prop_assert_eq!(r.len(), r.iter_points().count());
+        for p in r.iter_points().take(50) {
+            prop_assert!(r.contains(&p));
+        }
+    }
+
+    #[test]
+    fn pages_of_section_covers_every_element(
+        base_pages in 0usize..4,
+        lo in 0i64..500,
+        len in 0i64..300,
+        stride in 1i64..20,
+        elem in prop::sample::select(vec![4usize, 8, 16, 24]),
+    ) {
+        let page = 256usize;
+        let base = base_pages * page;
+        let hi = lo + len;
+        let set = pages_of_section(base, elem, lo, hi, stride, page);
+        // Every element's bytes are inside pages of the set.
+        let mut i = lo;
+        while i <= hi {
+            let b = base + i as usize * elem;
+            for pg in pages_of_bytes(b, elem, page) {
+                prop_assert!(set.contains(pg), "elem {i} page {pg} missing");
+            }
+            i += stride;
+        }
+        // No page in the set is untouched by any element.
+        for pg in set.iter() {
+            let ps = pg as usize * page;
+            let pe = ps + page;
+            let mut touched = false;
+            let mut i = lo;
+            while i <= hi {
+                let b = base + i as usize * elem;
+                if b < pe && b + elem > ps {
+                    touched = true;
+                    break;
+                }
+                i += stride;
+            }
+            prop_assert!(touched, "page {pg} in set but untouched");
+        }
+    }
+
+    #[test]
+    fn pageset_equals_btreeset(pages in proptest::collection::vec(0u32..500, 0..200)) {
+        let mut ps = PageSet::new();
+        for &p in &pages {
+            ps.insert(p);
+        }
+        ps.finish();
+        let reference: std::collections::BTreeSet<u32> = pages.iter().copied().collect();
+        prop_assert_eq!(ps.iter().collect::<Vec<_>>(),
+                        reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pageset_union_is_set_union(
+        a in proptest::collection::vec(0u32..300, 0..100),
+        b in proptest::collection::vec(0u32..300, 0..100),
+    ) {
+        let pa: PageSet = a.iter().copied().collect();
+        let pb: PageSet = b.iter().copied().collect();
+        let u = pa.union(&pb);
+        let reference: std::collections::BTreeSet<u32> =
+            a.into_iter().chain(b).collect();
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(),
+                        reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn affine_eval_is_linear(c0 in -50i64..50, c1 in -50i64..50, x in -100i64..100, y in -100i64..100) {
+        // (c0·a + c1·b)(x, y) == c0·x + c1·y
+        let e = Affine::sym("a").scale(c0).add(&Affine::sym("b").scale(c1));
+        let env = Env::new().bind("a", x).bind("b", y);
+        prop_assert_eq!(e.eval(&env), Some(c0 * x + c1 * y));
+    }
+
+    #[test]
+    fn sym_rsd_eval_matches_concrete(lo in 0i64..50, len in 0i64..50, stride in 1i64..5, bind in 0i64..100) {
+        let sym = SymRsd::new(vec![SymDim {
+            lo: Affine::constant(lo),
+            hi: Affine::sym("n").offset(len),
+            stride,
+        }]);
+        let env = Env::new().bind("n", bind);
+        let conc = sym.eval(&env).unwrap();
+        prop_assert_eq!(conc.dims[0], Dim::new(lo, bind + len, stride));
+    }
+}

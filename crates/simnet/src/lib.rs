@@ -1,0 +1,31 @@
+//! # simnet — simulated cluster substrate
+//!
+//! The paper evaluates on an 8-processor IBM SP2 connected by the SP2
+//! high-performance switch. This crate replaces that hardware with an
+//! in-process model that the DSM (`dsm`), the aggregated-prefetch runtime
+//! (`sdsm-core`), and the CHAOS baseline (`chaos`) all share, so the
+//! comparison between systems is apples-to-apples:
+//!
+//! * **Simulated processors** are OS threads. Each owns a monotone
+//!   *logical clock* ([`Net::clock`]) measured in nanoseconds of simulated
+//!   time.
+//! * **Every protocol message** is accounted — count and payload bytes —
+//!   per sending processor and per [`MsgKind`]. The paper's "Messages" and
+//!   "Data" columns are read directly from these counters.
+//! * **Time** is charged through a [`CostModel`] (LogGP-flavoured:
+//!   per-message latency, per-byte cost, interrupt-handler cost) whose
+//!   default constants are calibrated against the 1997 SP2 numbers quoted
+//!   in the paper (see `cost.rs`).
+//!
+//! Nothing in this crate knows about pages, diffs, or schedules; it only
+//! moves simulated time forward and counts traffic.
+
+mod cost;
+mod net;
+mod stats;
+mod time;
+
+pub use cost::CostModel;
+pub use net::{Net, ProcId};
+pub use stats::{MsgKind, NetReport, Stats};
+pub use time::SimTime;

@@ -1,0 +1,321 @@
+//! The cluster: per-processor logical clocks plus traffic accounting.
+//!
+//! Clock discipline (DESIGN.md §5):
+//!
+//! * A processor's own thread advances its clock with [`Net::advance`]
+//!   (modeled compute) and the `charge_*` helpers (protocol actions).
+//! * A *request/response* exchange charges the full round trip to the
+//!   requester and an interrupt-handler cost to the server (TreadMarks
+//!   services requests in a SIGIO handler, stealing cycles from whatever
+//!   the server was computing).
+//! * One-way pushes (CHAOS gather/scatter) produce an *arrival time* the
+//!   receiver folds in with [`Net::await_until`].
+//! * Barriers synchronize all clocks to the maximum (plus cost) — done by
+//!   the caller (the DSM / CHAOS runtimes) using [`Net::clock_max`] and
+//!   [`Net::set_all_clocks`] between two thread rendezvous.
+//!
+//! All clock updates are commutative atomics (`fetch_add` / `fetch_max`),
+//! so simulated times are independent of OS thread interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{CostModel, MsgKind, NetReport, SimTime, Stats};
+
+/// A simulated processor's rank, `0..nprocs`.
+pub type ProcId = usize;
+
+/// The simulated cluster shared by every runtime in this workspace.
+#[derive(Debug)]
+pub struct Net {
+    nprocs: usize,
+    cost: CostModel,
+    clocks: Vec<AtomicU64>,
+    stats: Stats,
+}
+
+impl Net {
+    pub fn new(nprocs: usize, cost: CostModel) -> Self {
+        assert!(nprocs >= 1, "need at least one processor");
+        Net {
+            nprocs,
+            cost,
+            clocks: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            stats: Stats::new(nprocs),
+        }
+    }
+
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    // ---- clocks ----
+
+    #[inline]
+    pub fn clock(&self, p: ProcId) -> SimTime {
+        SimTime(self.clocks[p].load(Ordering::Relaxed))
+    }
+
+    /// Advance `p`'s clock by modeled compute time.
+    #[inline]
+    pub fn advance(&self, p: ProcId, dt: SimTime) {
+        self.clocks[p].fetch_add(dt.0, Ordering::Relaxed);
+    }
+
+    /// `p` blocks (logically) until at least `t` — e.g. a message arrival.
+    #[inline]
+    pub fn await_until(&self, p: ProcId, t: SimTime) {
+        self.clocks[p].fetch_max(t.0, Ordering::Relaxed);
+    }
+
+    /// Maximum clock over all processors (the parallel execution time).
+    pub fn clock_max(&self) -> SimTime {
+        SimTime(
+            self.clocks
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Set every clock to `t` (barrier departure). Monotone by `fetch_max`
+    /// so a racing `advance` cannot move a clock backwards.
+    pub fn set_all_clocks(&self, t: SimTime) {
+        for c in &self.clocks {
+            c.fetch_max(t.0, Ordering::Relaxed);
+        }
+    }
+
+    pub fn reset(&self) {
+        for c in &self.clocks {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.stats.reset();
+    }
+
+    // ---- traffic ----
+
+    /// A request/response pair between `requester` and `server`.
+    ///
+    /// Charges the requester the round trip plus `server_work`, charges the
+    /// server the interrupt-handler cost, and counts two messages. This is
+    /// TreadMarks' demand-fetch shape: the paper (§5.2.1) attributes part
+    /// of CHAOS's edge on nbf exactly to this two-message pattern.
+    pub fn request_response(
+        &self,
+        requester: ProcId,
+        server: ProcId,
+        kind_req: MsgKind,
+        req_bytes: usize,
+        kind_resp: MsgKind,
+        resp_bytes: usize,
+        server_work: SimTime,
+    ) {
+        debug_assert_ne!(requester, server, "local access is not a message");
+        self.stats.record(requester, kind_req, req_bytes);
+        self.stats.record(server, kind_resp, resp_bytes);
+        let rt = self.cost.round_trip(req_bytes, resp_bytes) + server_work;
+        self.advance(requester, rt);
+        self.advance(server, self.cost.handler());
+    }
+
+    /// A one-way push from `from`; returns the arrival time at the
+    /// destination. The receiver should fold this in via [`Net::await_until`]
+    /// at its matching receive point. Charges the sender the injection
+    /// overhead (half the latency) plus per-byte cost.
+    pub fn push(&self, from: ProcId, kind: MsgKind, bytes: usize) -> SimTime {
+        self.stats.record(from, kind, bytes);
+        let inject = SimTime::from_us(
+            0.5 * self.cost.msg_latency_us + self.cost.per_byte_us * bytes as f64,
+        );
+        self.advance(from, inject);
+        self.clock(from) + SimTime::from_us(0.5 * self.cost.msg_latency_us)
+    }
+
+    /// Count messages without clock effects (used where the caller has
+    /// already charged an aggregate time, e.g. barrier traffic).
+    #[inline]
+    pub fn count_only(&self, from: ProcId, kind: MsgKind, n: u64, bytes: usize) {
+        self.stats.record_n(from, kind, n, bytes);
+    }
+
+    /// One *parallel* fetch round: the requester sends requests to several
+    /// servers at once and waits for all replies (TreadMarks issues its
+    /// diff requests concurrently, and `Validate` aggregates one exchange
+    /// per peer). The requester pays the latency/handler once, plus the
+    /// per-byte cost of everything it sends and receives; each server pays
+    /// one interrupt handler.
+    ///
+    /// `legs`: `(server, req_kind, req_bytes, resp_kind, resp_bytes)`.
+    pub fn parallel_round(
+        &self,
+        requester: ProcId,
+        legs: &[(ProcId, MsgKind, usize, MsgKind, usize)],
+    ) {
+        if legs.is_empty() {
+            return;
+        }
+        let mut bytes = 0usize;
+        for &(server, kreq, breq, kresp, bresp) in legs {
+            debug_assert_ne!(requester, server);
+            self.stats.record(requester, kreq, breq);
+            self.stats.record(server, kresp, bresp);
+            self.advance(server, self.cost.handler());
+            bytes += breq + bresp;
+        }
+        self.advance(
+            requester,
+            SimTime::from_us(
+                2.0 * self.cost.msg_latency_us
+                    + self.cost.handler_us
+                    + self.cost.per_byte_us * bytes as f64,
+            ),
+        );
+    }
+
+    pub fn report(&self) -> NetReport {
+        NetReport::capture(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> Net {
+        Net::new(n, CostModel::default())
+    }
+
+    #[test]
+    fn advance_and_max() {
+        let n = net(3);
+        n.advance(0, SimTime(100));
+        n.advance(1, SimTime(250));
+        assert_eq!(n.clock(0), SimTime(100));
+        assert_eq!(n.clock_max(), SimTime(250));
+        n.set_all_clocks(SimTime(300));
+        assert_eq!(n.clock(0), SimTime(300));
+        assert_eq!(n.clock(2), SimTime(300));
+    }
+
+    #[test]
+    fn set_all_clocks_is_monotone() {
+        let n = net(2);
+        n.advance(0, SimTime(500));
+        n.set_all_clocks(SimTime(100));
+        // Cannot move proc 0 backwards.
+        assert_eq!(n.clock(0), SimTime(500));
+        assert_eq!(n.clock(1), SimTime(100));
+    }
+
+    #[test]
+    fn request_response_charges_both_sides() {
+        let n = net(2);
+        n.request_response(
+            0,
+            1,
+            MsgKind::DiffRequest,
+            16,
+            MsgKind::DiffReply,
+            4096,
+            SimTime::ZERO,
+        );
+        assert_eq!(n.stats().total_messages(), 2);
+        assert_eq!(n.stats().total_bytes(), 16 + 4096);
+        assert_eq!(n.clock(0), n.cost().round_trip(16, 4096));
+        assert_eq!(n.clock(1), n.cost().handler());
+    }
+
+    #[test]
+    fn push_and_await() {
+        let n = net(2);
+        let arrival = n.push(0, MsgKind::Gather, 1000);
+        assert!(arrival > n.clock(0));
+        n.await_until(1, arrival);
+        assert_eq!(n.clock(1), arrival);
+        assert_eq!(n.stats().messages_of(MsgKind::Gather), 1);
+    }
+
+    #[test]
+    fn await_until_never_rewinds() {
+        let n = net(1);
+        n.advance(0, SimTime(1000));
+        n.await_until(0, SimTime(10));
+        assert_eq!(n.clock(0), SimTime(1000));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let n = net(2);
+        n.advance(0, SimTime(5));
+        n.count_only(1, MsgKind::Other, 4, 40);
+        n.reset();
+        assert_eq!(n.clock_max(), SimTime::ZERO);
+        assert_eq!(n.stats().total_messages(), 0);
+    }
+}
+
+#[cfg(test)]
+mod parallel_round_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_round_charges_latency_once() {
+        let n = Net::new(4, CostModel::default());
+        // Three legs with zero payload: requester pays ONE round trip's
+        // latency+handler, not three.
+        n.parallel_round(
+            0,
+            &[
+                (1, MsgKind::AggRequest, 0, MsgKind::AggReply, 0),
+                (2, MsgKind::AggRequest, 0, MsgKind::AggReply, 0),
+                (3, MsgKind::AggRequest, 0, MsgKind::AggReply, 0),
+            ],
+        );
+        assert_eq!(n.clock(0), n.cost().round_trip(0, 0));
+        // Each server paid one handler.
+        for q in 1..4 {
+            assert_eq!(n.clock(q), n.cost().handler());
+        }
+        assert_eq!(n.stats().total_messages(), 6);
+    }
+
+    #[test]
+    fn parallel_round_bytes_serialize_at_requester() {
+        let n = Net::new(3, CostModel::default());
+        n.parallel_round(
+            0,
+            &[
+                (1, MsgKind::AggRequest, 100, MsgKind::AggReply, 4096),
+                (2, MsgKind::AggRequest, 100, MsgKind::AggReply, 4096),
+            ],
+        );
+        let bytes = 2 * (100 + 4096);
+        let want = SimTime::from_us(
+            2.0 * n.cost().msg_latency_us
+                + n.cost().handler_us
+                + n.cost().per_byte_us * bytes as f64,
+        );
+        assert_eq!(n.clock(0), want);
+        assert_eq!(n.stats().total_bytes(), bytes as u64);
+    }
+
+    #[test]
+    fn empty_round_is_free() {
+        let n = Net::new(2, CostModel::default());
+        n.parallel_round(0, &[]);
+        assert_eq!(n.clock_max(), SimTime::ZERO);
+        assert_eq!(n.stats().total_messages(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Message and byte accounting.
+//!
+//! Counters are per (sending processor × message kind) so the table
+//! harnesses can report both the paper's aggregate "Messages"/"Data"
+//! columns and a per-protocol breakdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ProcId;
+
+/// Category of a protocol message, for breakdown reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum MsgKind {
+    /// DSM: request for diffs of one page (base TreadMarks demand fetch).
+    DiffRequest,
+    /// DSM: reply carrying diffs / full pages.
+    DiffReply,
+    /// DSM: aggregated request for many pages at once (`Validate`).
+    AggRequest,
+    /// DSM: aggregated reply.
+    AggReply,
+    /// DSM: barrier arrival/departure traffic (write notices ride along).
+    Barrier,
+    /// DSM: lock acquire/forward/grant traffic.
+    Lock,
+    /// CHAOS: inspector translation-table traffic.
+    Translate,
+    /// CHAOS: inspector schedule exchange.
+    Schedule,
+    /// CHAOS: executor gather (owner → consumer data push).
+    Gather,
+    /// CHAOS: executor scatter (consumer → owner contributions).
+    Scatter,
+    /// Application-level broadcast/reduction outside the DSM (rare).
+    Other,
+}
+
+impl MsgKind {
+    pub const COUNT: usize = 11;
+
+    pub const ALL: [MsgKind; MsgKind::COUNT] = [
+        MsgKind::DiffRequest,
+        MsgKind::DiffReply,
+        MsgKind::AggRequest,
+        MsgKind::AggReply,
+        MsgKind::Barrier,
+        MsgKind::Lock,
+        MsgKind::Translate,
+        MsgKind::Schedule,
+        MsgKind::Gather,
+        MsgKind::Scatter,
+        MsgKind::Other,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::DiffRequest => "diff-req",
+            MsgKind::DiffReply => "diff-rep",
+            MsgKind::AggRequest => "agg-req",
+            MsgKind::AggReply => "agg-rep",
+            MsgKind::Barrier => "barrier",
+            MsgKind::Lock => "lock",
+            MsgKind::Translate => "translate",
+            MsgKind::Schedule => "schedule",
+            MsgKind::Gather => "gather",
+            MsgKind::Scatter => "scatter",
+            MsgKind::Other => "other",
+        }
+    }
+}
+
+/// Lock-free counters: `[proc][kind]` message counts and payload bytes.
+#[derive(Debug)]
+pub struct Stats {
+    msgs: Vec<[AtomicU64; MsgKind::COUNT]>,
+    bytes: Vec<[AtomicU64; MsgKind::COUNT]>,
+}
+
+impl Stats {
+    pub fn new(nprocs: usize) -> Self {
+        let make = || {
+            (0..nprocs)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect::<Vec<_>>()
+        };
+        Stats {
+            msgs: make(),
+            bytes: make(),
+        }
+    }
+
+    /// Record one message of `payload` bytes sent by `from`.
+    #[inline]
+    pub fn record(&self, from: ProcId, kind: MsgKind, payload: usize) {
+        self.msgs[from][kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.bytes[from][kind.index()].fetch_add(payload as u64, Ordering::Relaxed);
+    }
+
+    /// Record `n` messages totalling `payload` bytes.
+    #[inline]
+    pub fn record_n(&self, from: ProcId, kind: MsgKind, n: u64, payload: usize) {
+        self.msgs[from][kind.index()].fetch_add(n, Ordering::Relaxed);
+        self.bytes[from][kind.index()].fetch_add(payload as u64, Ordering::Relaxed);
+    }
+
+    pub fn total_messages(&self) -> u64 {
+        self.msgs
+            .iter()
+            .flat_map(|a| a.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+            .iter()
+            .flat_map(|a| a.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn messages_of(&self, kind: MsgKind) -> u64 {
+        self.msgs
+            .iter()
+            .map(|a| a[kind.index()].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn bytes_of(&self, kind: MsgKind) -> u64 {
+        self.bytes
+            .iter()
+            .map(|a| a[kind.index()].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn reset(&self) {
+        for row in self.msgs.iter().chain(self.bytes.iter()) {
+            for c in row {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A frozen snapshot of the counters, for reports and table rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetReport {
+    pub messages: u64,
+    pub bytes: u64,
+    pub per_kind: Vec<(MsgKind, u64, u64)>,
+}
+
+impl NetReport {
+    pub fn capture(stats: &Stats) -> Self {
+        NetReport {
+            messages: stats.total_messages(),
+            bytes: stats.total_bytes(),
+            per_kind: MsgKind::ALL
+                .iter()
+                .map(|&k| (k, stats.messages_of(k), stats.bytes_of(k)))
+                .filter(|&(_, m, b)| m > 0 || b > 0)
+                .collect(),
+        }
+    }
+
+    pub fn megabytes(&self) -> f64 {
+        self.bytes as f64 / 1e6
+    }
+
+    pub fn messages_per_kind(&self, kind: MsgKind) -> u64 {
+        self.per_kind
+            .iter()
+            .find(|&&(k, _, _)| k == kind)
+            .map_or(0, |&(_, m, _)| m)
+    }
+
+    pub fn bytes_per_kind(&self, kind: MsgKind) -> u64 {
+        self.per_kind
+            .iter()
+            .find(|&&(k, _, _)| k == kind)
+            .map_or(0, |&(_, _, b)| b)
+    }
+
+    /// Difference between two snapshots (for per-phase accounting).
+    pub fn delta(&self, earlier: &NetReport) -> NetReport {
+        let mut per_kind = Vec::new();
+        for &(k, m, b) in &self.per_kind {
+            let (m0, b0) = earlier
+                .per_kind
+                .iter()
+                .find(|&&(k0, _, _)| k0 == k)
+                .map(|&(_, m0, b0)| (m0, b0))
+                .unwrap_or((0, 0));
+            if m > m0 || b > b0 {
+                per_kind.push((k, m - m0, b - b0));
+            }
+        }
+        NetReport {
+            messages: self.messages - earlier.messages,
+            bytes: self.bytes - earlier.bytes,
+            per_kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let s = Stats::new(2);
+        s.record(0, MsgKind::DiffRequest, 16);
+        s.record(1, MsgKind::DiffReply, 4096);
+        s.record_n(0, MsgKind::Barrier, 3, 120);
+        assert_eq!(s.total_messages(), 5);
+        assert_eq!(s.total_bytes(), 16 + 4096 + 120);
+        assert_eq!(s.messages_of(MsgKind::Barrier), 3);
+        assert_eq!(s.bytes_of(MsgKind::DiffReply), 4096);
+    }
+
+    #[test]
+    fn report_delta() {
+        let s = Stats::new(1);
+        s.record(0, MsgKind::Gather, 100);
+        let before = NetReport::capture(&s);
+        s.record(0, MsgKind::Gather, 50);
+        s.record(0, MsgKind::Scatter, 10);
+        let after = NetReport::capture(&s);
+        let d = after.delta(&before);
+        assert_eq!(d.messages, 2);
+        assert_eq!(d.bytes, 60);
+        assert_eq!(d.per_kind.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = Stats::new(1);
+        s.record(0, MsgKind::Other, 9);
+        s.reset();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_unique() {
+        let mut seen = [false; MsgKind::COUNT];
+        for k in MsgKind::ALL {
+            assert!(!seen[k.index()], "duplicate index {}", k.index());
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}
