@@ -1,0 +1,37 @@
+# Tier-1 verification and common entry points. CI (.github/workflows/ci.yml)
+# runs the same commands; `make tier1` is the local equivalent.
+
+.PHONY: tier1 build test clippy bench examples tables clean
+
+tier1: build test
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+bench:
+	cargo bench
+
+examples:
+	cargo run --release --example quickstart
+	cargo run --release --example moldyn -- --quick
+	cargo run --release --example nbf -- --quick
+	cargo run --release --example umesh
+	cargo run --release --example compiler_pipeline
+	cargo run --release --example validate_interface
+
+# Paper tables at quick scale (drop --quick for the paper's exact sizes).
+tables:
+	cargo run --release -p bench --bin table1 -- --quick
+	cargo run --release -p bench --bin table2 -- --quick
+	cargo run --release -p bench --bin overhead1p -- --quick
+	cargo run --release -p bench --bin figures
+	cargo run --release -p bench --bin ablation -- --quick
+
+clean:
+	cargo clean

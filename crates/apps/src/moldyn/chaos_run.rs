@@ -138,8 +138,8 @@ pub fn run_chaos(
 
             // --- owner integrates positions ---
             for (l, xi) in x_own.iter_mut().enumerate() {
-                for d in 0..3 {
-                    xi[d] += DT * fg.owned[3 * l + d];
+                for (d, c) in xi.iter_mut().enumerate() {
+                    *c += DT * fg.owned[3 * l + d];
                 }
             }
             cp.compute(work::t(work::MOLDYN_UPDATE_US, nloc));

@@ -140,8 +140,8 @@ mod tests {
         assert_eq!(a.pos.len(), 512);
         // All molecules inside the box.
         for p in &a.pos {
-            for d in 0..3 {
-                assert!(p[d] > -0.5 && p[d] < a.box_l + 0.5);
+            for &c in p {
+                assert!(c > -0.5 && c < a.box_l + 0.5);
             }
         }
     }

@@ -104,8 +104,8 @@ pub fn run_tmk(
 
         // --- untimed initialization: positions + initial list build ---
         for i in my_mols.clone() {
-            for d in 0..3 {
-                p.write(&x, 3 * i + d, pos_new[i][d]);
+            for (d, &c) in pos_new[i].iter().enumerate() {
+                p.write(&x, 3 * i + d, c);
             }
         }
         p.barrier();
@@ -190,6 +190,9 @@ pub fn run_tmk(
                         }],
                     );
                 }
+                // `e` is simultaneously the shared-array and private-array
+                // index (owner-computes), so the range loop is the honest form.
+                #[allow(clippy::needless_range_loop)]
                 if s == 0 {
                     for e in elo..ehi {
                         p.write(&forces, e, local[e]);

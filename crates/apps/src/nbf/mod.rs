@@ -146,7 +146,7 @@ mod tests {
         // Molecule 0's farthest partner ≈ 2n/3 away.
         let far = w.partners[..cfg.partners]
             .iter()
-            .map(|&p| (p as usize - 1))
+            .map(|&p| p as usize - 1)
             .max()
             .unwrap();
         let frac = far as f64 / cfg.n as f64;

@@ -11,13 +11,13 @@
 
 fn main() {
     let which: Option<u32> = std::env::args().nth(1).and_then(|a| a.parse().ok());
-    if which.map_or(true, |w| w == 1) {
+    if which.is_none_or(|w| w == 1) {
         figure1();
     }
-    if which.map_or(true, |w| w == 2) {
+    if which.is_none_or(|w| w == 2) {
         figure2();
     }
-    if which.map_or(true, |w| w == 3) {
+    if which.is_none_or(|w| w == 3) {
         figure3();
     }
 }

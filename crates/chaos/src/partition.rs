@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn remap_is_a_permutation() {
         let p = cyclic_partition(100, 7);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for e in 0..100 {
             let k = p.new_of[e] as usize;
             assert!(!seen[k]);

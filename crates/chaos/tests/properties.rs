@@ -17,7 +17,7 @@ proptest! {
     #[test]
     fn partition_remap_is_bijective(o in owners(64, 4)) {
         let p = Partition::from_owners(o, 4);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for e in 0..64 {
             let k = p.new_of[e] as usize;
             prop_assert!(!seen[k]);
@@ -67,7 +67,7 @@ proptest! {
     fn translation_table_agrees_with_partition(o in owners(48, 3)) {
         let part = Partition::from_owners(o, 3);
         let tt = TTable::new(TTableKind::Replicated, &part);
-        let mut next = vec![0u32; 3];
+        let mut next = [0u32; 3];
         for e in 0..48u32 {
             let (owner, off) = tt.translate_free(e);
             prop_assert_eq!(owner, part.owner[e as usize]);
@@ -135,7 +135,7 @@ fn executor_roundtrip_counts_references() {
     });
     let got = results.into_inner();
     // Reference counts: 1 (owner) + number of procs referencing each elem.
-    for e in 0..n {
+    for (e, &g) in got.iter().enumerate() {
         let mut want = 1.0; // owner's own reference
         for me in 0..nprocs {
             for k in 0..12 {
@@ -156,6 +156,6 @@ fn executor_roundtrip_counts_references() {
                 }
             }
         }
-        assert_eq!(got[e], want, "element {e}");
+        assert_eq!(g, want, "element {e}");
     }
 }

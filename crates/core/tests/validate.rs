@@ -40,13 +40,13 @@ fn schedule_cached_until_indirection_changes() {
         p.barrier();
 
         let d = indirect_desc(&data, &ind, 16, AccessType::Read, 1);
-        validate(p, &mut v, &[d.clone()]);
+        validate(p, &mut v, std::slice::from_ref(&d));
         let s1 = v.schedule(1).unwrap();
         assert_eq!(s1.recomputes, 1);
         assert_eq!(s1.pages.len(), 8, "16 targets spread over 8 data pages");
 
         // Unchanged indirection: Validate does NOT rescan.
-        validate(p, &mut v, &[d.clone()]);
+        validate(p, &mut v, std::slice::from_ref(&d));
         assert_eq!(v.schedule(1).unwrap().recomputes, 1);
         p.barrier();
 

@@ -78,12 +78,12 @@ impl TmkProc<'_> {
                 .map(|q| cl.board().range_bytes(q, st.target[q], new_target[q]))
                 .collect();
             let total: usize = deltas.iter().sum();
-            for p in 0..nprocs {
+            for (p, &delta) in deltas.iter().enumerate() {
                 if p == manager {
                     continue;
                 }
-                net.count_only(p, MsgKind::Barrier, 1, 16 + deltas[p]);
-                net.count_only(manager, MsgKind::Barrier, 1, 16 + (total - deltas[p]));
+                net.count_only(p, MsgKind::Barrier, 1, 16 + delta);
+                net.count_only(manager, MsgKind::Barrier, 1, 16 + (total - delta));
             }
 
             // Synchronize simulated clocks: everyone leaves at

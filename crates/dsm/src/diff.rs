@@ -156,8 +156,8 @@ mod tests {
     fn coalesces_adjacent_words() {
         let twin = page(256);
         let mut cur = page(256);
-        for b in 32..72 {
-            cur[b] = 0xAB; // ten adjacent modified words, one run
+        for b in &mut cur[32..72] {
+            *b = 0xAB; // ten adjacent modified words, one run
         }
         cur[160] = 0xCD; // one separate word
         let d = Diff::create(&twin, &cur);

@@ -352,12 +352,12 @@ impl<'c> TmkProc<'c> {
             }
             let mut records = Vec::new();
             let mut master = false;
-            for q in 0..self.nprocs {
-                if upto[q] == 0 {
+            for (q, &u) in upto.iter().enumerate() {
+                if u == 0 {
                     continue;
                 }
                 debug_assert_ne!(q, self.me, "own writes are always applied");
-                let c = self.cl.store().collect(q, page, f.applied[q], upto[q]);
+                let c = self.cl.store().collect(q, page, f.applied[q], u);
                 records.extend(c.records);
                 master |= c.needs_master;
             }
@@ -585,12 +585,11 @@ impl<'c> TmkProc<'c> {
     /// every newly covered interval, invalidating local copies.
     pub(crate) fn apply_notices(&mut self, target: &[u32]) {
         let me = self.me;
-        for q in 0..self.nprocs {
-            if q == me || target[q] <= self.inner.vc[q] {
+        for (q, &to) in target.iter().enumerate() {
+            if q == me || to <= self.inner.vc[q] {
                 continue;
             }
             let from = self.inner.vc[q];
-            let to = target[q];
             // Collect first (board lock), then mutate frames.
             let mut hits: Vec<(u32, u32)> = Vec::new(); // (page, seq)
             self.cl.board().for_range(q, from, to, |seq, rec| {

@@ -84,7 +84,7 @@ impl DiffStore {
         let mut map = self.per_proc[proc].write();
         let log = map.entry(page).or_default();
         debug_assert!(
-            log.records.last().map_or(true, |r| r.seq < seq),
+            log.records.last().is_none_or(|r| r.seq < seq),
             "records must be published in seq order"
         );
         log.records.push(Record {

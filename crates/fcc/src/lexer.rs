@@ -84,7 +84,7 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, String> {
             || trimmed.starts_with('*')
             || (trimmed.len() == line.len()
                 && (line.starts_with('c') || line.starts_with('C'))
-                && line.chars().nth(1).map_or(true, |c| c == ' '))
+                && line.chars().nth(1).is_none_or(|c| c == ' '))
         {
             continue; // comment line
         }

@@ -112,6 +112,7 @@ impl Net {
     /// server the interrupt-handler cost, and counts two messages. This is
     /// TreadMarks' demand-fetch shape: the paper (§5.2.1) attributes part
     /// of CHAOS's edge on nbf exactly to this two-message pattern.
+    #[allow(clippy::too_many_arguments)]
     pub fn request_response(
         &self,
         requester: ProcId,

@@ -1,0 +1,150 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The workspace builds without registry access, so this provides the small
+//! surface the applications use — `StdRng::seed_from_u64` + `Rng::gen_range`
+//! — backed by SplitMix64. The stream is deterministic across platforms and
+//! runs, which is exactly what the seeded workload generators want; it is
+//! *not* the ChaCha stream real `rand 0.8` would produce, so absolute
+//! workload geometry differs from a crates.io build, but every in-repo
+//! cross-check compares builds against each other under the same stream.
+
+use std::ops::Range;
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `gen_range` can sample from a half-open `Range`.
+pub trait UniformSample: Copy + PartialOrd {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = range.end.wrapping_sub(range.start) as u128;
+                range.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                (range.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                range.start + (unit as $t) * (range.end - range.start)
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+pub trait Rng: RngCore {
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_range(0.0f64..1.0) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — tiny, full-period, deterministic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.gen_range(-3.0f64..3.0);
+            assert_eq!(x, b.gen_range(-3.0f64..3.0));
+            assert!((-3.0..3.0).contains(&x));
+            let k = a.gen_range(0u32..17);
+            assert_eq!(k, b.gen_range(0u32..17));
+            assert!(k < 17);
+            let s = a.gen_range(-5i64..5);
+            assert_eq!(s, b.gen_range(-5i64..5));
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u32> = (0..8).map(|_| a.gen_range(0u32..1000)).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.gen_range(0u32..1000)).collect();
+        assert_ne!(va, vb);
+    }
+}
