@@ -1,7 +1,7 @@
 # Tier-1 verification and common entry points. CI (.github/workflows/ci.yml)
 # runs the same commands; `make tier1` is the local equivalent.
 
-.PHONY: tier1 build test clippy bench examples tables clean
+.PHONY: tier1 build test clippy bench examples tables soak clean
 
 tier1: build test
 
@@ -19,6 +19,7 @@ bench:
 
 examples:
 	cargo run --release --example quickstart
+	cargo run --release --example adaptive
 	cargo run --release --example moldyn -- --quick
 	cargo run --release --example nbf -- --quick
 	cargo run --release --example umesh
@@ -29,9 +30,16 @@ examples:
 tables:
 	cargo run --release -p bench --bin table1 -- --quick
 	cargo run --release -p bench --bin table2 -- --quick
+	cargo run --release -p bench --bin table_adapt -- --quick
 	cargo run --release -p bench --bin overhead1p -- --quick
 	cargo run --release -p bench --bin figures
 	cargo run --release -p bench --bin ablation -- --quick
+
+# Nightly-style depth: high-case-count property tests (failures print a
+# PROPTEST_SEED for exact replay) + the adaptive acceptance smoke.
+soak:
+	PROPTEST_CASES=512 cargo test -q -p chaos -p dsm
+	cargo run --release -p bench --bin table_adapt -- --quick
 
 clean:
 	cargo clean

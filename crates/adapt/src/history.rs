@@ -1,0 +1,134 @@
+//! Epoch-history tables: the per-page and per-epoch statistics the
+//! adaptive policy learns from.
+//!
+//! The per-page table is indexed not by raw barrier epoch but by
+//! *invalidation events*: one observation window opens when a write
+//! notice invalidates the page and closes at the page's next
+//! invalidation. What matters for the prefetch decision is "every time
+//! this page is invalidated, do I go on to miss on it?" — raw epochs
+//! would break the signal for periodic patterns (moldyn's pipelined
+//! reduction touches a given page once every `nprocs + 1` barriers, so
+//! its miss history is all zeros on an epoch axis but all ones on an
+//! invalidation axis).
+
+/// Compact per-page history: one bit per *completed* observation window
+/// (LSB = most recent), for three event streams.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageHistory {
+    /// Did a demand miss occur inside the window?
+    pub miss_bits: u8,
+    /// Did this processor dirty the page inside the window?
+    pub dirty_bits: u8,
+    /// Completed windows so far (saturating; only low values matter).
+    pub windows: u8,
+}
+
+impl PageHistory {
+    /// Close an observation window, shifting its outcome in. The bits
+    /// are a diagnostic trace (read back through
+    /// `AdaptivePolicy::page_history`); the predictor itself tracks
+    /// need gaps, not these bits.
+    pub fn push(&mut self, missed: bool, dirtied: bool) {
+        self.miss_bits = (self.miss_bits << 1) | missed as u8;
+        self.dirty_bits = (self.dirty_bits << 1) | dirtied as u8;
+        self.windows = self.windows.saturating_add(1);
+    }
+}
+
+/// One aggregate row of the per-epoch decision log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochRow {
+    pub epoch: u64,
+    /// Pages invalidated at this barrier.
+    pub invalidated: u32,
+    /// Demand misses observed during the *preceding* epoch.
+    pub misses: u32,
+    /// Pages chosen for batched prefetch at this barrier.
+    pub prefetched: u32,
+    /// Demand→prefetch mode switches decided at this barrier.
+    pub promotions: u32,
+    /// Prefetch→demand mode switches decided at this barrier.
+    pub demotions: u32,
+    /// Prefetch-mode pages deliberately left to demand-fault (probes).
+    pub probes: u32,
+}
+
+/// A bounded ring of [`EpochRow`]s — the "flight recorder" a table
+/// harness or test can read back after a run.
+#[derive(Debug, Clone)]
+pub struct EpochLog {
+    rows: Vec<EpochRow>,
+    cap: usize,
+    total: u64,
+}
+
+impl EpochLog {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1);
+        EpochLog {
+            rows: Vec::with_capacity(cap.min(64)),
+            cap,
+            total: 0,
+        }
+    }
+
+    pub fn push(&mut self, row: EpochRow) {
+        if self.rows.len() == self.cap {
+            self.rows.remove(0);
+        }
+        self.rows.push(row);
+        self.total += 1;
+    }
+
+    /// Retained rows, oldest first.
+    pub fn rows(&self) -> &[EpochRow] {
+        &self.rows
+    }
+
+    /// Epochs ever logged (including evicted rows).
+    pub fn total_epochs(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_bits_shift_in_window_order() {
+        let mut h = PageHistory::default();
+        h.push(true, false);
+        h.push(true, true);
+        h.push(false, false);
+        h.push(true, false);
+        // LSB = most recent window.
+        assert_eq!(h.miss_bits, 0b1101);
+        assert_eq!(h.dirty_bits, 0b0100);
+        assert_eq!(h.windows, 4);
+    }
+
+    #[test]
+    fn history_saturates_without_wrapping() {
+        let mut h = PageHistory::default();
+        for _ in 0..300 {
+            h.push(true, false);
+        }
+        assert_eq!(h.windows, u8::MAX);
+        assert_eq!(h.miss_bits, 0xFF);
+    }
+
+    #[test]
+    fn epoch_log_is_bounded() {
+        let mut log = EpochLog::new(4);
+        for e in 0..10u64 {
+            log.push(EpochRow {
+                epoch: e,
+                ..Default::default()
+            });
+        }
+        assert_eq!(log.rows().len(), 4);
+        assert_eq!(log.rows()[0].epoch, 6, "oldest retained row");
+        assert_eq!(log.total_epochs(), 10);
+    }
+}

@@ -1,0 +1,71 @@
+//! # adapt — a runtime-adaptive aggregation engine for the DSM
+//!
+//! The paper's comparison is three-way: plain TreadMarks demand paging,
+//! compiler-directed aggregation (`Validate` descriptors emitted by
+//! `fcc`), and the CHAOS inspector/executor. The compiler path wins
+//! big — but only where source-level access analysis succeeds. This
+//! crate adds the fourth system: **no compiler, no inspector — the
+//! runtime watches itself**.
+//!
+//! Follow-on work on TreadMarks-lineage systems (adaptive protocols
+//! that switch pages between invalidate and update modes from runtime
+//! history) showed that per-page, per-epoch statistics recover most of
+//! the aggregation win with zero source access. [`AdaptivePolicy`]
+//! implements that idea on the [`dsm`] crate's `ProtocolPolicy` hook:
+//!
+//! 1. **Observe** — every demand miss, every locally dirtied page, and
+//!    every barrier-time invalidation lands in a per-page
+//!    [epoch-history table](history::PageHistory), keyed by
+//!    invalidation events so periodic patterns (a page touched every
+//!    `nprocs + 1` barriers) are seen as stable.
+//! 2. **Decide** — a page whose last [`AdaptConfig::promote_after`]
+//!    windows each went "invalidated, then missed" is promoted: at the
+//!    barrier that invalidates it, it is fetched immediately, batched
+//!    with every other promoted page into **one aggregated exchange per
+//!    peer** (`AdaptRequest`/`AdaptReply`) — the same wire pattern
+//!    `Validate` produces from compiler hints.
+//! 3. **Retreat** — periodic probes ([`AdaptConfig::probe_every`])
+//!    withhold the prefetch at exactly base-TreadMarks cost; a clean
+//!    probe demotes the page, so a dissolved pattern cannot keep
+//!    wasting traffic.
+//!
+//! The engine only moves fetches earlier; it never changes which
+//! records a fetch applies, so results are **bitwise identical** to
+//! base TreadMarks, while the message count drops toward the
+//! compiler-optimized build's. Decision counters are published through
+//! [`simnet::PolicyStats`] and each engine keeps a per-epoch
+//! [decision log](history::EpochLog) for diagnostics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adapt::{AdaptConfig, AdaptivePolicy};
+//! use dsm::{Cluster, DsmConfig};
+//!
+//! let cl = Cluster::new(DsmConfig::with_nprocs(4));
+//! let data = cl.alloc::<f64>(4096);
+//! // Install the engine on every processor, then run the app unchanged.
+//! cl.run(|p| p.set_policy(Box::new(AdaptivePolicy::new(AdaptConfig::default()))));
+//! cl.run(|p| {
+//!     for _step in 0..4 {
+//!         if p.rank() == 0 {
+//!             for i in 0..data.len() {
+//!                 p.write(&data, i, 1.0);
+//!             }
+//!         }
+//!         p.barrier();
+//!         let _ = p.read(&data, 17); // readers learn, then prefetch
+//!         p.barrier();
+//!     }
+//! });
+//! assert!(cl.net().policy_report().epochs > 0);
+//! ```
+
+mod history;
+mod policy;
+
+pub use history::{EpochLog, EpochRow, PageHistory};
+pub use policy::{AdaptConfig, AdaptivePolicy, PageMode};
+
+pub use dsm::{ProtocolPolicy, StaticPolicy};
+pub use simnet::{PolicyReport, PolicyStats};

@@ -1,0 +1,485 @@
+//! The adaptive policy: learn, per page, *when* demand misses follow
+//! invalidations, and batch the fetches it can predict.
+//!
+//! ## The need-gap predictor
+//!
+//! Every page's life is measured on its **invalidation axis**: event
+//! `t` is the page's `t`-th invalidation, and window `W_t` is the epoch
+//! span from event `t` to event `t+1`. A *need* is a window that
+//! contained a demand miss (or was covered by one of our prefetches).
+//! The predictor tracks the **gap** between consecutive needs in
+//! invalidation events:
+//!
+//! * a page read every time it is invalidated (nbf's partner pages,
+//!   umesh ghost pages, moldyn's coordinate array) has gap 1;
+//! * a page touched once per period of a pipelined reduction (moldyn's
+//!   force chunks: invalidated at every round barrier, used in one
+//!   round per step) has a stable gap of ~`nprocs`.
+//!
+//! Once [`AdaptConfig::promote_after`] consecutive gaps agree, the page
+//! is promoted and prefetched **only at the predicted event** — all
+//! predictions that fire at one barrier share a single aggregated
+//! exchange per peer. A page prefetched at every invalidation but used
+//! once per period would cost more than demand paging; the phase-aware
+//! predictor is what lets the engine capture pipelined patterns that
+//! blind per-invalidation prefetch cannot.
+//!
+//! A mispredicted phase self-corrects: the true miss lands in a later
+//! window, the observed gap changes, stability is lost, and the page
+//! falls back to demand paging until the gap re-stabilizes. Pages that
+//! stop being used entirely are caught by probes
+//! ([`AdaptConfig::probe_every`]): every n-th prediction is withheld at
+//! exactly base-TreadMarks cost, and a clean probe resets the
+//! predictor.
+
+use dsm::ProtocolPolicy;
+use simnet::{PolicyStats, ProcId};
+
+use crate::history::{EpochLog, EpochRow, PageHistory};
+
+/// Tuning knobs of the adaptive engine.
+#[derive(Debug, Clone)]
+pub struct AdaptConfig {
+    /// Consecutive *stable* need-gaps required before a page is
+    /// promoted (1 = promote once two consecutive gaps agree, i.e.
+    /// after the third confirmed need; higher values demand a longer
+    /// stable run). Range 1–8.
+    pub promote_after: u32,
+    /// Every `probe_every`-th prediction of a promoted page is a
+    /// *probe*: the prefetch is withheld, and if no demand miss follows
+    /// before the page's next invalidation the predictor is reset.
+    /// This bounds how long a dead pattern can waste prefetch traffic
+    /// (a gap-1 page that quietly leaves the working set has no other
+    /// honest signal — its prefetches mask every would-be miss), at
+    /// exactly base-TreadMarks cost during the probe itself.
+    pub probe_every: u64,
+    /// Retained rows of the per-epoch decision log (diagnostics only).
+    pub log_window: usize,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            promote_after: 1,
+            probe_every: 8,
+            log_window: 64,
+        }
+    }
+}
+
+/// Which way a page's data currently moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageMode {
+    /// Invalidate on notice, fetch on fault (base TreadMarks).
+    Demand,
+    /// Promoted: fetched at the predicted barrier, batched with every
+    /// other prediction into one exchange per peer.
+    Prefetch,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    hist: PageHistory,
+    /// Demand miss since the page's last invalidation.
+    missed: bool,
+    /// Locally dirtied since the page's last invalidation.
+    dirtied: bool,
+    /// The current window was covered by one of our prefetches.
+    prefetched: bool,
+    /// The current window is a probe (prediction withheld).
+    probing: bool,
+    /// Invalidation events seen.
+    invs: u64,
+    /// Event at which the last need was recorded (0 = none).
+    last_need: u64,
+    /// Most recent need gap in invalidation events (0 = unknown).
+    gap: u32,
+    /// Consecutive needs whose gap matched the previous one.
+    stable_needs: u32,
+    /// Predictions issued (drives the probe cadence).
+    predictions: u64,
+    /// Currently promoted? (tracked to count mode flips)
+    promoted: bool,
+}
+
+impl PageEntry {
+    fn new() -> Self {
+        PageEntry {
+            hist: PageHistory::default(),
+            missed: false,
+            dirtied: false,
+            prefetched: false,
+            probing: false,
+            invs: 0,
+            last_need: 0,
+            gap: 0,
+            stable_needs: 0,
+            predictions: 0,
+            promoted: false,
+        }
+    }
+}
+
+/// The runtime-adaptive protocol engine (one per processor).
+///
+/// See the [module docs](self) for the prediction model. The engine
+/// never changes what data a page holds — only when it is fetched — so
+/// program results are bitwise identical to base TreadMarks under any
+/// knob setting.
+#[derive(Debug)]
+pub struct AdaptivePolicy {
+    cfg: AdaptConfig,
+    table: Vec<PageEntry>,
+    log: EpochLog,
+    /// Demand misses since the last epoch boundary (for the log).
+    epoch_misses: u32,
+}
+
+impl AdaptivePolicy {
+    pub fn new(cfg: AdaptConfig) -> Self {
+        assert!((1..=8).contains(&cfg.promote_after), "promote_after: 1–8");
+        assert!(cfg.probe_every >= 2, "probe_every: at least 2");
+        AdaptivePolicy {
+            log: EpochLog::new(cfg.log_window),
+            cfg,
+            table: Vec::new(),
+            epoch_misses: 0,
+        }
+    }
+
+    pub fn config(&self) -> &AdaptConfig {
+        &self.cfg
+    }
+
+    /// The per-epoch decision log (diagnostics).
+    pub fn log(&self) -> &EpochLog {
+        &self.log
+    }
+
+    /// Current mode of `page` (pages never seen are `Demand`).
+    pub fn page_mode(&self, page: u32) -> PageMode {
+        match self.table.get(page as usize) {
+            Some(e) if e.promoted => PageMode::Prefetch,
+            _ => PageMode::Demand,
+        }
+    }
+
+    /// The page's current stable need gap, if promoted.
+    pub fn page_gap(&self, page: u32) -> Option<u32> {
+        self.table
+            .get(page as usize)
+            .filter(|e| e.promoted)
+            .map(|e| e.gap)
+    }
+
+    /// Completed-window history of `page`, if any events were recorded.
+    pub fn page_history(&self, page: u32) -> Option<PageHistory> {
+        self.table.get(page as usize).map(|e| e.hist)
+    }
+
+    fn entry_mut(&mut self, page: u32) -> &mut PageEntry {
+        let idx = page as usize;
+        if idx >= self.table.len() {
+            self.table.resize(idx + 1, PageEntry::new());
+        }
+        &mut self.table[idx]
+    }
+}
+
+impl ProtocolPolicy for AdaptivePolicy {
+    fn note_miss(&mut self, page: u32) {
+        self.epoch_misses += 1;
+        self.entry_mut(page).missed = true;
+    }
+
+    fn note_interval_close(&mut self, pages: &[u32]) {
+        for &page in pages {
+            self.entry_mut(page).dirtied = true;
+        }
+    }
+
+    fn epoch_end(
+        &mut self,
+        epoch: u64,
+        invalidated: &[u32],
+        stats: &PolicyStats,
+        me: ProcId,
+    ) -> Vec<u32> {
+        stats.record_epoch(me);
+        let mut row = EpochRow {
+            epoch,
+            invalidated: invalidated.len() as u32,
+            misses: self.epoch_misses,
+            ..Default::default()
+        };
+        self.epoch_misses = 0;
+
+        let promote_after = self.cfg.promote_after;
+        let probe_every = self.cfg.probe_every;
+        let mut picks = Vec::new();
+        for &page in invalidated {
+            let e = self.entry_mut(page);
+            e.invs += 1;
+            let t = e.invs;
+
+            // Close window W_{t-1}: did the page turn out to be needed?
+            let need = e.missed || e.prefetched;
+            let was_probe = e.probing;
+            e.hist.push(e.missed, e.dirtied);
+            if need {
+                if e.last_need > 0 {
+                    let g = (t - e.last_need).min(u32::MAX as u64) as u32;
+                    if g == e.gap {
+                        e.stable_needs = e.stable_needs.saturating_add(1);
+                    } else {
+                        e.stable_needs = 0;
+                        e.gap = g;
+                    }
+                }
+                e.last_need = t;
+            } else if was_probe {
+                // Clean probe: the pattern dissolved. Full reset — the
+                // page must re-earn promotion from live misses.
+                e.gap = 0;
+                e.stable_needs = 0;
+                e.last_need = 0;
+                e.predictions = 0;
+            }
+            e.probing = false;
+            e.missed = false;
+            e.dirtied = false;
+            e.prefetched = false;
+
+            // Promotion state (flip counting only).
+            let now_promoted = e.gap > 0 && e.stable_needs >= promote_after;
+            if now_promoted != e.promoted {
+                e.promoted = now_promoted;
+                if now_promoted {
+                    row.promotions += 1;
+                } else {
+                    row.demotions += 1;
+                }
+            }
+
+            // Predict: the next need is at event `last_need + gap`;
+            // window W_t is the one that need falls in iff
+            // last_need + gap == t + 1. Only then is prefetching now
+            // cheaper than demand-faulting later.
+            if e.promoted && e.last_need + e.gap as u64 == t + 1 {
+                e.predictions += 1;
+                if e.predictions % probe_every == 0 {
+                    e.probing = true;
+                    row.probes += 1;
+                } else {
+                    e.prefetched = true;
+                    picks.push(page);
+                }
+            }
+        }
+
+        row.prefetched = picks.len() as u32;
+        if row.promotions > 0 {
+            stats.record_promotions(me, row.promotions as u64);
+        }
+        if row.demotions > 0 {
+            stats.record_demotions(me, row.demotions as u64);
+        }
+        if row.probes > 0 {
+            stats.record_probes(me, row.probes as u64);
+        }
+        self.log.push(row);
+        picks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut AdaptivePolicy, stats: &PolicyStats, inv: &[u32]) -> Vec<u32> {
+        let epoch = p.log().total_epochs() + 1;
+        p.epoch_end(epoch, inv, stats, 0)
+    }
+
+    #[test]
+    fn gap1_pattern_promotes_after_three_confirmed_needs() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+
+        // Needs at events 1, 2, 3 → gap 1 confirmed twice at event 3.
+        p.note_miss(7);
+        assert!(drive(&mut p, &stats, &[7]).is_empty()); // first need: no gap yet
+        p.note_miss(7);
+        assert!(drive(&mut p, &stats, &[7]).is_empty()); // gap=1, unconfirmed
+        p.note_miss(7);
+        let picks = drive(&mut p, &stats, &[7]); // gap=1 again → stable → predict
+        assert_eq!(p.page_mode(7), PageMode::Prefetch);
+        assert_eq!(p.page_gap(7), Some(1));
+        assert_eq!(picks, vec![7], "promoted and prefetched for the next window");
+
+        // Steady state: keeps prefetching with no further misses (the
+        // prefetch itself counts as the predicted need).
+        for _ in 0..5 {
+            assert_eq!(drive(&mut p, &stats, &[7]), vec![7]);
+        }
+        let rep = simnet::PolicyReport::capture(&stats);
+        assert_eq!(rep.promotions, 1);
+        assert_eq!(rep.demotions, 0);
+    }
+
+    #[test]
+    fn periodic_pattern_prefetches_only_at_the_predicted_phase() {
+        // A pipelined-reduction page: invalidated every event, needed
+        // every 4th event. Blind prefetch would fetch 4x too often.
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+        let mut prefetches = Vec::new();
+        let mut misses = 0;
+        for t in 1u64..=40 {
+            // The app misses in window W_t iff t % 4 == 1 and the page
+            // was not prefetched for that window.
+            let picks = drive(&mut p, &stats, &[5]);
+            if !picks.is_empty() {
+                prefetches.push(t);
+            } else if t % 4 == 1 {
+                p.note_miss(5);
+                misses += 1;
+            }
+        }
+        // Misses in W_1, W_5, W_9 are recorded at window close (events
+        // 2, 6, 10) → gap 4 is stable at event 10; the first prediction
+        // fires at t = 13 (covering W_13, whose need closes at 14),
+        // then every 4 events — and nowhere else.
+        assert_eq!(prefetches, vec![13, 17, 21, 25, 29, 33, 37]);
+        assert!(misses <= 3, "only the learning needs demand-fault");
+        assert_eq!(p.page_gap(5), Some(4));
+    }
+
+    #[test]
+    fn unaccessed_pages_are_never_prefetched() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+        for _ in 0..20 {
+            // Invalidated every epoch but never missed on.
+            assert!(drive(&mut p, &stats, &[3]).is_empty());
+        }
+        assert_eq!(p.page_mode(3), PageMode::Demand);
+        assert!(!simnet::PolicyReport::capture(&stats).is_active());
+    }
+
+    #[test]
+    fn phase_shift_self_corrects_via_gap_instability() {
+        // A periodic page whose phase slips by one event (moldyn's
+        // rebuild barriers do exactly this): the mispredicted prefetch
+        // registers a virtual need at the wrong event, the real miss
+        // lands one event later, the observed gap changes, stability
+        // breaks, and the predictor re-learns the shifted phase — all
+        // without waiting for a probe.
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+        let mut wasted = 0;
+        let mut demand_misses = 0;
+        for t in 1u64..=60 {
+            let picks = drive(&mut p, &stats, &[6]);
+            // Phase slips at t=30: needs move from W_{t: t%4==1} to
+            // W_{t: t%4==2}.
+            let used = if t < 30 { t % 4 == 1 } else { t % 4 == 2 };
+            match (used, picks.is_empty()) {
+                (true, true) => {
+                    p.note_miss(6);
+                    demand_misses += 1;
+                }
+                (false, false) => wasted += 1,
+                _ => {}
+            }
+        }
+        // The shifted phase is re-locked and predicted again.
+        assert_eq!(p.page_mode(6), PageMode::Prefetch);
+        assert_eq!(p.page_gap(6), Some(4));
+        assert!(wasted <= 2, "one misprediction per shift, got {wasted}");
+        // Learning (3 needs) + re-learning (3 needs) demand-fault; the
+        // rest is prefetched.
+        assert!((5..=8).contains(&demand_misses), "got {demand_misses}");
+    }
+
+    #[test]
+    fn clean_probe_resets_a_dead_pattern() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig {
+            promote_after: 1,
+            probe_every: 4,
+            log_window: 16,
+        });
+        // Gap-1 pattern, promoted at event 3 (prediction #1).
+        for _ in 0..3 {
+            p.note_miss(9);
+            drive(&mut p, &stats, &[9]);
+        }
+        // The program stops touching the page; writers keep writing.
+        // Predictions 2, 3 prefetch; prediction 4 is the probe; the
+        // clean probe window resets the predictor.
+        assert_eq!(drive(&mut p, &stats, &[9]), vec![9]); // prediction 2
+        assert_eq!(drive(&mut p, &stats, &[9]), vec![9]); // prediction 3
+        assert!(drive(&mut p, &stats, &[9]).is_empty()); // prediction 4 = probe
+        assert!(drive(&mut p, &stats, &[9]).is_empty()); // clean → reset
+        assert_eq!(p.page_mode(9), PageMode::Demand);
+        let rep = simnet::PolicyReport::capture(&stats);
+        assert_eq!(rep.probes, 1);
+        assert!(rep.demotions >= 1);
+        // And it stays quiet afterwards.
+        for _ in 0..8 {
+            assert!(drive(&mut p, &stats, &[9]).is_empty());
+        }
+    }
+
+    #[test]
+    fn probe_miss_keeps_the_page_promoted() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig {
+            promote_after: 1,
+            probe_every: 2,
+            log_window: 16,
+        });
+        for _ in 0..3 {
+            p.note_miss(5);
+            drive(&mut p, &stats, &[5]);
+        }
+        // Prediction #2 is a probe; the page is still live, so the
+        // probe demand-faults and the pattern survives.
+        assert!(drive(&mut p, &stats, &[5]).is_empty()); // probe
+        p.note_miss(5);
+        assert_eq!(drive(&mut p, &stats, &[5]), vec![5]); // prediction 3
+        assert_eq!(p.page_mode(5), PageMode::Prefetch);
+        assert_eq!(simnet::PolicyReport::capture(&stats).demotions, 0);
+    }
+
+    #[test]
+    fn epoch_log_records_decisions() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+        for _ in 0..2 {
+            p.note_miss(1);
+            p.note_miss(2);
+            drive(&mut p, &stats, &[1, 2]);
+        }
+        p.note_miss(1); // page 1 needs a third time; page 2 goes quiet
+        drive(&mut p, &stats, &[1, 2]);
+        let rows = p.log().rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].invalidated, 2);
+        assert_eq!(rows[0].misses, 2);
+        assert_eq!(rows[2].promotions, 1, "page 1 promoted, page 2 not");
+        assert_eq!(rows[2].prefetched, 1);
+    }
+
+    #[test]
+    fn dirty_stream_is_tracked_per_window() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+        p.note_interval_close(&[4]);
+        drive(&mut p, &stats, &[4]);
+        let h = p.page_history(4).unwrap();
+        assert_eq!(h.dirty_bits & 1, 1);
+        assert_eq!(h.miss_bits & 1, 0);
+    }
+}

@@ -6,13 +6,21 @@
 //! * **nbf** (§5.2): the GROMOS non-bonded-force kernel. Concatenated
 //!   per-molecule partner lists form a *static* indirection array.
 //!
+//! A third workload, **umesh** (unstructured-mesh edge relaxation),
+//! fills the remaining corner of the design space: a static *pair*
+//! list.
+//!
 //! Each application comes as:
 //!
 //! 1. a **sequential** reference ([`moldyn::run_seq`], [`nbf::run_seq`]),
 //! 2. **Tmk base** — plain demand-paged DSM,
 //! 3. **Tmk optimized** — compiler-inserted `Validate` (the descriptors
 //!    come from `fcc` compiling the paper's Figure-1 sources),
-//! 4. **CHAOS** — hand-coded inspector/executor.
+//! 4. **Tmk adaptive** — the runtime-adaptive engine (`adapt` crate):
+//!    no compiler hints, the protocol learns the pattern
+//!    ([`moldyn::run_adaptive`], [`nbf::run_adaptive`],
+//!    [`umesh::run_adaptive`]),
+//! 5. **CHAOS** — hand-coded inspector/executor.
 //!
 //! All four compute identical physics from identical seeded workloads, so
 //! results cross-check to floating-point reordering tolerance, while

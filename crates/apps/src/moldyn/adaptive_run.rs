@@ -1,0 +1,83 @@
+//! moldyn under the runtime-adaptive engine — the fourth system variant.
+//!
+//! Same SPMD program as the `Tmk base` build (no `Validate` calls, no
+//! compiler involvement): each processor installs an
+//! [`adapt::AdaptivePolicy`] and the protocol layer does the rest. The
+//! pattern the engine learns here is moldyn's whole story: between list
+//! rebuilds, every step re-reads the *same* 30–50% of the coordinate
+//! pages through the interaction list, and the pipelined force
+//! reduction touches the same chunk pages every `nprocs + 1` barriers.
+//! Both repeat, so both get promoted to batched barrier-time prefetch
+//! within two steps.
+
+use simnet::SimTime;
+
+use super::geometry::MoldynWorld;
+use super::tmk::{run_tmk, TmkMode};
+use super::MoldynConfig;
+use crate::report::RunReport;
+
+/// moldyn's adaptive knobs. The interaction list is rebuilt every
+/// `update_interval` steps, which shifts part of the read set; the
+/// default two-window promotion re-learns a shifted page in two steps,
+/// and the probe cadence retires pages that left the working set.
+pub fn knobs() -> adapt::AdaptConfig {
+    adapt::AdaptConfig::default()
+}
+
+/// The policy instance each processor installs (called from the shared
+/// SPMD body in `tmk.rs` when the mode is [`TmkMode::Adaptive`]).
+pub(super) fn policy() -> Box<dyn adapt::ProtocolPolicy> {
+    Box::new(adapt::AdaptivePolicy::new(knobs()))
+}
+
+/// Run moldyn under the adaptive engine. Returns the table row (with
+/// [`RunReport::policy`] filled) and the final positions in original
+/// numbering.
+pub fn run_adaptive(
+    cfg: &MoldynConfig,
+    world: &MoldynWorld,
+    seq_time: SimTime,
+) -> (RunReport, Vec<[f64; 3]>) {
+    run_tmk(cfg, world, TmkMode::Adaptive, seq_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{gen_positions, run_seq};
+    use super::*;
+
+    #[test]
+    fn adaptive_is_bitwise_identical_to_base_and_cuts_messages() {
+        let cfg = MoldynConfig::small();
+        let world = gen_positions(&cfg);
+        let seq = run_seq(&cfg, &world);
+        let (base, xb) = run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
+        let (ad, xa) = run_adaptive(&cfg, &world, seq.report.time);
+        // The policy only moves fetches earlier; the physics is
+        // untouched, so agreement is exact — not a tolerance.
+        assert_eq!(xa, xb, "adaptive must be bitwise identical to base");
+        assert!(
+            ad.messages < base.messages,
+            "adaptive {} !< base {}",
+            ad.messages,
+            base.messages
+        );
+        assert!(ad.time < base.time, "batched fetches must also be faster");
+        let pol = ad.policy.expect("adaptive run reports policy decisions");
+        assert!(pol.promotions > 0, "the stable read set must be learned");
+        assert!(pol.prefetch_rounds > 0);
+    }
+
+    #[test]
+    fn adaptive_deterministic_across_runs() {
+        let cfg = MoldynConfig::small();
+        let world = gen_positions(&cfg);
+        let seq = run_seq(&cfg, &world);
+        let (r1, x1) = run_adaptive(&cfg, &world, seq.report.time);
+        let (r2, x2) = run_adaptive(&cfg, &world, seq.report.time);
+        assert_eq!(x1, x2);
+        assert_eq!((r1.messages, r1.bytes, r1.time), (r2.messages, r2.bytes, r2.time));
+        assert_eq!(r1.policy, r2.policy, "decision stream is deterministic");
+    }
+}

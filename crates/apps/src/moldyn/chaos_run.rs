@@ -178,6 +178,7 @@ pub fn run_chaos(
             untimed_inspector_s: t_un,
             validate_scan_s: 0.0,
             checksum,
+            policy: None,
         },
         final_x,
     )

@@ -64,6 +64,7 @@ pub fn run_seq(cfg: &MoldynConfig, world: &MoldynWorld) -> SeqResult {
             untimed_inspector_s: 0.0,
             validate_scan_s: 0.0,
             checksum,
+            policy: None,
         },
         x,
     }

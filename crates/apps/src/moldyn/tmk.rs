@@ -41,6 +41,20 @@ pub enum TmkMode {
     Base,
     /// Compiler-inserted `Validate`: aggregation + prefetch + `*_ALL`.
     Optimized,
+    /// Runtime-adaptive aggregation (`adapt` crate): same program as
+    /// `Base`, but each processor carries an [`adapt::AdaptivePolicy`]
+    /// that learns the access pattern and batches predictable fetches.
+    Adaptive,
+}
+
+impl TmkMode {
+    pub(crate) fn system_kind(self) -> SystemKind {
+        match self {
+            TmkMode::Base => SystemKind::TmkBase,
+            TmkMode::Optimized => SystemKind::TmkOpt,
+            TmkMode::Adaptive => SystemKind::TmkAdaptive,
+        }
+    }
 }
 
 /// Run moldyn on the simulated DSM. Returns the Table-1 row and the
@@ -94,6 +108,9 @@ pub fn run_tmk(
     let scan_secs: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
 
     cl.run(|p| {
+        if mode == TmkMode::Adaptive {
+            p.set_policy(super::adaptive_run::policy());
+        }
         let me = p.rank();
         let my_mols = part.range_of(me);
         let rc2 = world.cutoff * world.cutoff;
@@ -238,6 +255,10 @@ pub fn run_tmk(
         p.barrier();
     });
 
+    // Policy decisions of the timed region (extraction reads below do
+    // not touch these counters).
+    let policy = (mode == TmkMode::Adaptive).then(|| cl.net().policy_report());
+
     // --- untimed result extraction ---
     let final_x: Mutex<Vec<[f64; 3]>> = Mutex::new(vec![[0.0; 3]; n]);
     cl.run(|p| {
@@ -258,10 +279,7 @@ pub fn run_tmk(
     let scan = scan_secs.into_inner();
     (
         RunReport {
-            system: match mode {
-                TmkMode::Base => SystemKind::TmkBase,
-                TmkMode::Optimized => SystemKind::TmkOpt,
-            },
+            system: mode.system_kind(),
             time,
             seq_time,
             messages,
@@ -270,6 +288,7 @@ pub fn run_tmk(
             untimed_inspector_s: 0.0,
             validate_scan_s: scan.iter().sum::<f64>() / nprocs as f64,
             checksum,
+            policy,
         },
         final_x,
     )

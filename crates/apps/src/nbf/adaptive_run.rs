@@ -1,0 +1,78 @@
+//! nbf under the runtime-adaptive engine — the fourth system variant.
+//!
+//! nbf is the engine's best case: the partner list is *static*, so the
+//! set of coordinate pages each processor reads through it never
+//! changes. After `promote_after` steps the whole remote read set is
+//! promoted and every step's page-at-a-time demand traffic collapses
+//! into one exchange per peer — the same shape `Validate` reaches, but
+//! learned instead of compiled. (This is the paper's §5.2 workload
+//! whose indirection even a compiler can handle; the point of the
+//! adaptive build is that *nothing* about the source was needed.)
+
+use simnet::SimTime;
+
+use super::tmk::run_tmk;
+use super::{NbfConfig, NbfWorld, TmkMode};
+use crate::report::RunReport;
+
+/// nbf's adaptive knobs: the pattern is perfectly stable, so the
+/// defaults are right; a longer probe cadence would also be safe.
+pub fn knobs() -> adapt::AdaptConfig {
+    adapt::AdaptConfig::default()
+}
+
+pub(super) fn policy() -> Box<dyn adapt::ProtocolPolicy> {
+    Box::new(adapt::AdaptivePolicy::new(knobs()))
+}
+
+/// Run nbf under the adaptive engine. Returns the table row (with
+/// [`RunReport::policy`] filled) and the final coordinates.
+pub fn run_adaptive(
+    cfg: &NbfConfig,
+    world: &NbfWorld,
+    seq_time: SimTime,
+) -> (RunReport, Vec<f64>) {
+    run_tmk(cfg, world, TmkMode::Adaptive, seq_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{gen_world, run_seq};
+    use super::*;
+
+    #[test]
+    fn adaptive_is_bitwise_identical_to_base_and_cuts_messages() {
+        let cfg = NbfConfig::small();
+        let world = gen_world(&cfg);
+        let seq = run_seq(&cfg, &world);
+        let (base, xb) = run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
+        let (ad, xa) = run_adaptive(&cfg, &world, seq.report.time);
+        assert_eq!(xa, xb, "adaptive must be bitwise identical to base");
+        assert!(
+            ad.messages < base.messages,
+            "adaptive {} !< base {}",
+            ad.messages,
+            base.messages
+        );
+        assert!(ad.time < base.time);
+        let pol = ad.policy.expect("policy report");
+        assert!(pol.promotions > 0);
+        assert!(pol.prefetch_pages > 0);
+        assert_eq!(
+            pol.demotions, 0,
+            "a static partner list never dissolves the pattern"
+        );
+    }
+
+    #[test]
+    fn one_processor_never_prefetches() {
+        let mut cfg = NbfConfig::small();
+        cfg.nprocs = 1;
+        let world = gen_world(&cfg);
+        let seq = run_seq(&cfg, &world);
+        let (rep, _) = run_adaptive(&cfg, &world, seq.report.time);
+        assert_eq!(rep.messages, 0);
+        let pol = rep.policy.expect("policy report");
+        assert_eq!(pol.prefetch_rounds, 0, "nothing is ever invalidated");
+    }
+}

@@ -8,10 +8,12 @@
 //! spread evenly over about 2/3 of the total space, so "a simple BLOCK
 //! partition suffices to balance the load."
 
+mod adaptive_run;
 mod chaos_run;
 mod seq;
 mod tmk;
 
+pub use adaptive_run::{knobs as adaptive_knobs, run_adaptive};
 pub use chaos_run::run_chaos;
 pub use seq::run_seq;
 pub use tmk::run_tmk;

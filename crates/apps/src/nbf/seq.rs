@@ -52,6 +52,7 @@ pub fn run_seq(cfg: &NbfConfig, world: &NbfWorld) -> SeqResult {
             untimed_inspector_s: 0.0,
             validate_scan_s: 0.0,
             checksum,
+            policy: None,
         },
         x,
     }

@@ -19,7 +19,7 @@ use simnet::SimTime;
 use chaos::block_partition;
 
 use super::{nbf_force, NbfConfig, NbfWorld, TmkMode, DT};
-use crate::report::{RunReport, SystemKind};
+use crate::report::RunReport;
 use crate::work;
 
 /// Run nbf on the simulated DSM. Returns the Table-2 row and the final
@@ -63,6 +63,9 @@ pub fn run_tmk(
     let scan_secs: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
 
     cl.run(|p| {
+        if mode == TmkMode::Adaptive {
+            p.set_policy(super::adaptive_run::policy());
+        }
         let me = p.rank();
         let my = part.range_of(me);
         let mut v = Validator::new();
@@ -216,6 +219,8 @@ pub fn run_tmk(
         p.barrier();
     });
 
+    let policy = (mode == TmkMode::Adaptive).then(|| cl.net().policy_report());
+
     // Untimed extraction.
     let final_x: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);
     cl.run(|p| {
@@ -233,10 +238,7 @@ pub fn run_tmk(
     let scan = scan_secs.into_inner();
     (
         RunReport {
-            system: match mode {
-                TmkMode::Base => SystemKind::TmkBase,
-                TmkMode::Optimized => SystemKind::TmkOpt,
-            },
+            system: mode.system_kind(),
             time,
             seq_time,
             messages,
@@ -245,6 +247,7 @@ pub fn run_tmk(
             untimed_inspector_s: 0.0,
             validate_scan_s: scan.iter().sum::<f64>() / nprocs as f64,
             checksum,
+            policy,
         },
         final_x,
     )

@@ -1,6 +1,6 @@
 //! Run reports: the numbers that become the rows of Tables 1 and 2.
 
-use simnet::SimTime;
+use simnet::{PolicyReport, SimTime};
 
 /// Which system produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -9,6 +9,8 @@ pub enum SystemKind {
     Chaos,
     TmkBase,
     TmkOpt,
+    /// The fourth variant: runtime-adaptive aggregation, no compiler.
+    TmkAdaptive,
 }
 
 impl SystemKind {
@@ -18,6 +20,7 @@ impl SystemKind {
             SystemKind::Chaos => "CHAOS",
             SystemKind::TmkBase => "Tmk base",
             SystemKind::TmkOpt => "Tmk optimized",
+            SystemKind::TmkAdaptive => "Tmk adaptive",
         }
     }
 }
@@ -44,6 +47,9 @@ pub struct RunReport {
     pub validate_scan_s: f64,
     /// Physics checksum (Σ|x| at the end), for cross-variant comparison.
     pub checksum: f64,
+    /// Policy-decision counters of the timed region — present only for
+    /// the adaptive build (`None` everywhere else).
+    pub policy: Option<PolicyReport>,
 }
 
 impl RunReport {
@@ -92,6 +98,7 @@ mod tests {
             untimed_inspector_s: 1.0,
             validate_scan_s: 0.0,
             checksum: 1.0,
+            policy: None,
         };
         assert!((r.speedup() - 6.0).abs() < 1e-9);
         assert!((r.megabytes() - 5.0).abs() < 1e-12);

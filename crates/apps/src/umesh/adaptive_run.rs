@@ -1,0 +1,53 @@
+//! umesh under the runtime-adaptive engine — the fourth system variant.
+//!
+//! The mesh is static and the owner-side reduction reads the same
+//! remote endpoint pages every sweep, so the "invalidate → fault"
+//! pattern is perfectly periodic from the second sweep on: the engine
+//! promotes the whole ghost-page set and the per-sweep demand traffic
+//! collapses into one exchange per neighbouring partition — CHAOS's
+//! gather shape, discovered without an inspector.
+
+use simnet::SimTime;
+
+use super::{run_tmk, Mesh, TmkMode, UmeshConfig};
+use crate::report::RunReport;
+
+/// umesh's adaptive knobs: a static mesh cannot dissolve the pattern,
+/// so probes are pure re-validation; the default cadence is fine.
+pub fn knobs() -> adapt::AdaptConfig {
+    adapt::AdaptConfig::default()
+}
+
+pub(super) fn policy() -> Box<dyn adapt::ProtocolPolicy> {
+    Box::new(adapt::AdaptivePolicy::new(knobs()))
+}
+
+/// Run umesh under the adaptive engine. Returns the table row (with
+/// [`RunReport::policy`] filled) and the final node values.
+pub fn run_adaptive(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+    run_tmk(cfg, mesh, TmkMode::Adaptive, seq_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{gen_mesh, run_seq};
+    use super::*;
+
+    #[test]
+    fn adaptive_matches_base_bitwise_with_fewer_messages() {
+        let cfg = UmeshConfig::small();
+        let mesh = gen_mesh(&cfg);
+        let seq = run_seq(&cfg, &mesh);
+        let (base, xb) = run_tmk(&cfg, &mesh, TmkMode::Base, seq.report.time);
+        let (ad, xa) = run_adaptive(&cfg, &mesh, seq.report.time);
+        assert_eq!(xa, xb, "adaptive must be bitwise identical to base");
+        assert!(
+            ad.messages <= base.messages,
+            "adaptive {} must never exceed base {}",
+            ad.messages,
+            base.messages
+        );
+        let pol = ad.policy.expect("policy report");
+        assert!(pol.epochs > 0);
+    }
+}

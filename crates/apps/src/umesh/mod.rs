@@ -9,6 +9,25 @@
 //! relaxes the node values. Structure-wise this is nbf with a *pair*
 //! list (like moldyn) but a *static* one (like nbf), so it exercises the
 //! remaining corner of the design space.
+//!
+//! ## Deterministic reduction: fixed-order owner-side accumulation
+//!
+//! Every parallel build accumulates a node's fluxes **on the node's
+//! owner, in global edge order**: the owner of node `i` walks `i`'s
+//! incident edges (sorted as the global edge list is sorted), computes
+//! each flux itself from the coherent start-of-sweep values, and applies
+//! the contributions in exactly the order the sequential sweep does.
+//! Each edge is therefore computed by up to two processors — a modest
+//! compute duplication that buys a *bitwise* contract: seq, Tmk base,
+//! Tmk optimized, Tmk adaptive, and CHAOS all produce identical bit
+//! patterns, extending the bitwise cross-check to the third workload.
+//! (The earlier owner-last pipelined reduction merged per-processor
+//! partial sums, which reassociates floating-point addition and only
+//! agreed to 1e-9.)
+
+mod adaptive_run;
+
+pub use adaptive_run::{knobs as adaptive_knobs, run_adaptive};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -17,10 +36,7 @@ use rsd::{Dim, Rsd};
 use sdsm_core::{validate, AccessType, Cluster, Desc, DsmConfig, RegionRef, Validator};
 use simnet::{CostModel, SimTime};
 
-use chaos::{
-    block_partition, gather, inspector, scatter_add, ChaosWorld, Ghosted, TTable, TTableCache,
-    TTableKind,
-};
+use chaos::{block_partition, gather, inspector, ChaosWorld, Ghosted, TTable, TTableCache, TTableKind};
 
 use crate::report::{RunReport, SystemKind};
 use crate::work;
@@ -29,10 +45,12 @@ pub use crate::moldyn::TmkMode;
 /// Relaxation weight per sweep.
 pub const KAPPA: f64 = 0.05;
 
-/// Modeled cost of one edge flux. Mesh kernels of this era computed a
-/// nontrivial per-edge stencil (upwinding, limiters); 25 µs keeps the
-/// workload compute-bound at the 1997 cost scale, like the paper's two
-/// applications.
+/// Modeled cost of one edge-flux evaluation. Mesh kernels of this era
+/// computed a nontrivial per-edge stencil (upwinding, limiters); 25 µs
+/// keeps the workload compute-bound at the 1997 cost scale, like the
+/// paper's two applications. Charged per *incident visit* — the
+/// owner-side reduction evaluates an edge once per distinct endpoint
+/// owner, so cross-partition edges cost it twice.
 pub const EDGE_US: f64 = 25.0;
 
 #[derive(Debug, Clone)]
@@ -116,6 +134,29 @@ pub fn gen_mesh(cfg: &UmeshConfig) -> Mesh {
     Mesh { x0, edges }
 }
 
+/// Per-node incident edges, in global (sorted) edge order — the order in
+/// which the sequential sweep touches each node's accumulator. This is
+/// the fixed order every owner-side reduction replays.
+fn incident_lists(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<(u32, u32)>> {
+    let mut inc: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        inc[a as usize].push((a, b));
+        inc[b as usize].push((a, b));
+    }
+    inc
+}
+
+/// One node's contribution from one incident edge, exactly as the
+/// sequential sweep applies it.
+#[inline]
+fn accumulate(acc: &mut f64, node: u32, a: u32, flux: f64) {
+    if node == a {
+        *acc -= flux;
+    } else {
+        *acc += flux;
+    }
+}
+
 /// One relaxation sweep over plain slices (the shared physics kernel).
 fn sweep(x: &[f64], edges: &[(u32, u32)], acc: &mut [f64]) {
     acc.iter_mut().for_each(|a| *a = 0.0);
@@ -155,14 +196,17 @@ pub fn run_seq(cfg: &UmeshConfig, mesh: &Mesh) -> SeqResult {
             untimed_inspector_s: 0.0,
             validate_scan_s: 0.0,
             checksum,
+            policy: None,
         },
         x,
     }
 }
 
-/// umesh on the DSM (base / optimized). Nodes are BLOCK-partitioned by
-/// grid row (spatial locality); edges go to the owner of their first
-/// endpoint; the force-style accumulation uses the owner-last pipeline.
+/// umesh on the DSM (base / optimized / adaptive). Nodes are
+/// BLOCK-partitioned by grid row (spatial locality); each sweep, every
+/// processor reads its nodes' incident endpoints through the shared
+/// edge list, accumulates owner-side in global edge order, and updates
+/// only its own block — one barrier per sweep, bitwise-equal results.
 pub fn run_tmk(
     cfg: &UmeshConfig,
     mesh: &Mesh,
@@ -172,13 +216,13 @@ pub fn run_tmk(
     let n = cfg.n();
     let nprocs = cfg.nprocs;
     let part = block_partition(n, nprocs);
+    let incident = incident_lists(n, &mesh.edges);
 
-    // Per-processor edge sections (owner of endpoint `a`).
-    let mut per_proc: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nprocs];
-    for &(a, b) in &mesh.edges {
-        per_proc[part.owner[a as usize]].push((a, b));
-    }
-    let cap_pp = per_proc.iter().map(Vec::len).max().unwrap() + 1;
+    // Per-processor incident sections: Σ deg(i) entries over owned nodes.
+    let flat_counts: Vec<usize> = (0..nprocs)
+        .map(|q| part.range_of(q).map(|i| incident[i].len()).sum())
+        .collect();
+    let cap_pp = flat_counts.iter().copied().max().unwrap() + 1;
 
     let cl = Cluster::new(DsmConfig {
         nprocs,
@@ -186,90 +230,94 @@ pub fn run_tmk(
         cost: cfg.cost.clone(),
     });
     let x = cl.alloc::<f64>(n);
-    let elist = cl.alloc::<i32>(2 * cap_pp * nprocs);
+    let ilist = cl.alloc::<i32>(2 * cap_pp * nprocs);
 
     let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
     let scan_secs: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
 
     cl.run(|p| {
+        if mode == TmkMode::Adaptive {
+            p.set_policy(adaptive_run::policy());
+        }
         let me = p.rank();
         let my = part.range_of(me);
-        let my_edges = &per_proc[me];
+        let my_flat = flat_counts[me];
         let my_start = me * cap_pp;
         let mut v = if mode == TmkMode::Optimized {
             Validator::incremental()
         } else {
             Validator::new()
         };
-        let mut local = vec![0.0f64; n];
+        let mut acc = vec![0.0f64; my.len()];
 
-        // untimed init
+        // untimed init: own block of x, own incident section of the list
         for i in my.clone() {
             p.write(&x, i, mesh.x0[i]);
         }
-        for (k, &(a, b)) in my_edges.iter().enumerate() {
-            let flat = 2 * (my_start + k);
-            p.write(&elist, flat, a as i32 + 1);
-            p.write(&elist, flat + 1, b as i32 + 1);
+        let mut k = my_start;
+        for i in my.clone() {
+            for &(a, b) in &incident[i] {
+                p.write(&ilist, 2 * k, a as i32 + 1);
+                p.write(&ilist, 2 * k + 1, b as i32 + 1);
+                k += 1;
+            }
         }
         p.barrier();
         p.start_timed_region();
         p.reset_counters();
 
         for _sweep in 0..cfg.sweeps {
-            if mode == TmkMode::Optimized && !my_edges.is_empty() {
+            if mode == TmkMode::Optimized && my_flat > 0 {
                 validate(
                     p,
                     &mut v,
-                    &[Desc::Indirect {
-                        data: RegionRef::of(&x),
-                        ind: elist,
-                        ind_dims: vec![2, cap_pp * nprocs],
-                        section: Rsd::new(vec![
-                            Dim::dense(1, 2),
-                            Dim::dense(my_start as i64 + 1, (my_start + my_edges.len()) as i64),
-                        ]),
-                        access: AccessType::Read,
-                        sched: 1,
-                    }],
+                    &[
+                        // The endpoint reads, through the static list.
+                        Desc::Indirect {
+                            data: RegionRef::of(&x),
+                            ind: ilist,
+                            ind_dims: vec![2, cap_pp * nprocs],
+                            section: Rsd::new(vec![
+                                Dim::dense(1, 2),
+                                Dim::dense(my_start as i64 + 1, (my_start + my_flat) as i64),
+                            ]),
+                            access: AccessType::Read,
+                            sched: 1,
+                        },
+                        // The owner-side x update over my block.
+                        Desc::Direct {
+                            data: RegionRef::of(&x),
+                            section: Rsd::dense1(my.start as i64 + 1, my.end as i64),
+                            access: AccessType::ReadWriteAll,
+                            sched: 2,
+                        },
+                    ],
                 );
             }
-            for l in local.iter_mut() {
-                *l = 0.0;
+            // Fixed-order owner-side accumulation: node by node, each
+            // node's incident edges in global edge order.
+            acc.iter_mut().for_each(|a| *a = 0.0);
+            let mut k = my_start;
+            for (li, i) in my.clone().enumerate() {
+                for _ in 0..incident[i].len() {
+                    let a = p.read(&ilist, 2 * k) as u32 - 1;
+                    let b = p.read(&ilist, 2 * k + 1) as u32 - 1;
+                    let flux = (p.read(&x, a as usize) - p.read(&x, b as usize)) * KAPPA;
+                    accumulate(&mut acc[li], i as u32, a, flux);
+                    k += 1;
+                }
             }
-            p.compute(work::t(work::ZERO_US, n));
-            for k in 0..my_edges.len() {
-                let flat = 2 * (my_start + k);
-                let a = p.read(&elist, flat) as usize - 1;
-                let b = p.read(&elist, flat + 1) as usize - 1;
-                let flux = (p.read(&x, a) - p.read(&x, b)) * KAPPA;
-                local[a] -= flux;
-                local[b] += flux;
-            }
-            p.compute(work::t(EDGE_US, my_edges.len()));
+            p.compute(work::t(EDGE_US, my_flat) + work::t(work::ZERO_US, 2 * my.len()));
 
-            // owner-last pipelined update of x: x[i] += Σ local contributions
-            for s in 0..p.nprocs() {
-                let chunk = (me + s + 1) % p.nprocs();
-                let cr = part.range_of(chunk);
-                if mode == TmkMode::Optimized {
-                    validate(
-                        p,
-                        &mut v,
-                        &[Desc::Direct {
-                            data: RegionRef::of(&x),
-                            section: Rsd::dense1(cr.start as i64 + 1, cr.end as i64),
-                            access: AccessType::ReadWriteAll,
-                            sched: 100 + chunk as u32,
-                        }],
-                    );
-                }
-                for i in cr {
-                    let cur = p.read(&x, i);
-                    p.write(&x, i, cur + local[i]);
-                }
-                p.barrier();
+            // Owner-only update: all fluxes were computed from the
+            // coherent start-of-sweep values, so writing now is safe —
+            // other processors still read their own (pre-update) copies
+            // until the barrier's write notices arrive.
+            for (li, i) in my.clone().enumerate() {
+                let cur = p.read(&x, i);
+                p.write(&x, i, cur + acc[li]);
             }
+            p.barrier();
         }
 
         if me == 0 {
@@ -279,6 +327,8 @@ pub fn run_tmk(
         scan_secs.lock()[me] = v.scan_seconds();
         p.barrier();
     });
+
+    let policy = (mode == TmkMode::Adaptive).then(|| cl.net().policy_report());
 
     let final_x: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);
     cl.run(|p| {
@@ -295,10 +345,7 @@ pub fn run_tmk(
     let scan = scan_secs.into_inner();
     (
         RunReport {
-            system: match mode {
-                TmkMode::Base => SystemKind::TmkBase,
-                TmkMode::Optimized => SystemKind::TmkOpt,
-            },
+            system: mode.system_kind(),
             time,
             seq_time,
             messages,
@@ -307,22 +354,22 @@ pub fn run_tmk(
             untimed_inspector_s: 0.0,
             validate_scan_s: scan.iter().sum::<f64>() / nprocs as f64,
             checksum,
+            policy,
         },
         final_x,
     )
 }
 
 /// umesh under CHAOS: inspector once (static mesh), gather endpoint
-/// values, accumulate, scatter contributions.
+/// values, accumulate owner-side in the same fixed order. The owner of
+/// a node computes all of its fluxes itself, so no scatter phase is
+/// needed — and the result is bitwise identical to the other builds.
 pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunReport, Vec<f64>) {
     let n = cfg.n();
     let nprocs = cfg.nprocs;
     let part = block_partition(n, nprocs);
     let tt = TTable::new(TTableKind::Replicated, &part);
-    let mut per_proc: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nprocs];
-    for &(a, b) in &mesh.edges {
-        per_proc[part.owner[a as usize]].push((a, b));
-    }
+    let incident = incident_lists(n, &mesh.edges);
 
     let w = ChaosWorld::new(nprocs, cfg.cost.clone());
     let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
@@ -332,21 +379,23 @@ pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunRepor
     w.run(|cp| {
         let me = cp.rank();
         let my = part.range_of(me);
-        let my_edges = &per_proc[me];
         let mut cache = TTableCache::new();
         let mut x_own: Vec<f64> = mesh.x0[my.clone()].to_vec();
+        let my_flat: usize = my.clone().map(|i| incident[i].len()).sum();
 
         let t0 = cp.now();
         let sched = inspector(
             cp,
             &tt,
             &mut cache,
-            my_edges.iter().flat_map(|&(a, b)| [a, b]),
+            my.clone()
+                .flat_map(|i| incident[i].iter().flat_map(|&(a, b)| [a, b])),
         );
         insp.lock()[me] = (cp.now() - t0).as_secs_f64();
-        let locs: Vec<(chaos::Loc, chaos::Loc)> = my_edges
-            .iter()
-            .map(|&(a, b)| {
+        let locs: Vec<(chaos::Loc, chaos::Loc)> = my
+            .clone()
+            .flat_map(|i| incident[i].iter().copied())
+            .map(|(a, b)| {
                 let (oa, fa) = tt.translate_free(a);
                 let (ob, fb) = tt.translate_free(b);
                 (sched.locate(me, oa, fa), sched.locate(me, ob, fb))
@@ -357,17 +406,19 @@ pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunRepor
         for _ in 0..cfg.sweeps {
             let mut xg = Ghosted::new(x_own.clone(), &sched);
             gather(cp, &sched, &mut xg);
-            let mut ag = Ghosted::new(vec![0.0; my.len()], &sched);
-            for (k, _) in my_edges.iter().enumerate() {
-                let (la, lb) = locs[k];
-                let flux = (xg.get(la) - xg.get(lb)) * KAPPA;
-                ag.add(la, -flux);
-                ag.add(lb, flux);
+            let mut k = 0usize;
+            let mut acc = vec![0.0f64; my.len()];
+            for (li, i) in my.clone().enumerate() {
+                for &(a, _) in &incident[i] {
+                    let (la, lb) = locs[k];
+                    let flux = (xg.get(la) - xg.get(lb)) * KAPPA;
+                    accumulate(&mut acc[li], i as u32, a, flux);
+                    k += 1;
+                }
             }
-            cp.compute(work::t(EDGE_US, my_edges.len()) + work::t(work::ZERO_US, my.len()));
-            scatter_add(cp, &sched, &mut ag);
-            for (l, xi) in x_own.iter_mut().enumerate() {
-                *xi += ag.owned[l];
+            cp.compute(work::t(EDGE_US, my_flat) + work::t(work::ZERO_US, 2 * my.len()));
+            for (xi, a) in x_own.iter_mut().zip(&acc) {
+                *xi += a;
             }
             cp.sync();
         }
@@ -395,6 +446,7 @@ pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunRepor
             untimed_inspector_s: insp.into_inner().iter().sum::<f64>() / nprocs as f64,
             validate_scan_s: 0.0,
             checksum,
+            policy: None,
         },
         final_x,
     )
@@ -420,18 +472,34 @@ mod tests {
     }
 
     #[test]
+    fn incident_lists_preserve_global_order() {
+        let cfg = UmeshConfig::small();
+        let m = gen_mesh(&cfg);
+        let inc = incident_lists(cfg.n(), &m.edges);
+        // Every incident list is a subsequence of the sorted edge list.
+        for list in &inc {
+            for w in list.windows(2) {
+                assert!(w[0] < w[1], "incident edges in global order");
+            }
+        }
+        // Degrees sum to 2·edges.
+        let deg: usize = inc.iter().map(Vec::len).sum();
+        assert_eq!(deg, 2 * m.edges.len());
+    }
+
+    #[test]
     fn all_variants_agree() {
         let cfg = UmeshConfig::small();
         let mesh = gen_mesh(&cfg);
         let seq = run_seq(&cfg, &mesh);
-        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 + 1e-10 * b.abs();
         let (base, xb) = run_tmk(&cfg, &mesh, TmkMode::Base, seq.report.time);
         let (opt, xo) = run_tmk(&cfg, &mesh, TmkMode::Optimized, seq.report.time);
+        let (ad, xa) = run_adaptive(&cfg, &mesh, seq.report.time);
         let (chaos, xc) = run_chaos(&cfg, &mesh, seq.report.time);
-        for (label, x) in [("base", &xb), ("opt", &xo), ("chaos", &xc)] {
-            for (g, w) in x.iter().zip(&seq.x) {
-                assert!(close(*g, *w), "{label}: {g} vs {w}");
-            }
+        // Fixed-order owner-side accumulation: the contract is bitwise,
+        // not a tolerance — every build replays the sequential order.
+        for (label, x) in [("base", &xb), ("opt", &xo), ("adaptive", &xa), ("chaos", &xc)] {
+            assert_eq!(x, &seq.x, "{label} must be bitwise identical to seq");
         }
         // At this tiny scale communication dominates compute (a page
         // fetch costs more than a whole sweep's work), so we assert the
@@ -439,6 +507,10 @@ mod tests {
         assert!(opt.messages < base.messages);
         assert!(opt.time < base.time);
         assert!(chaos.messages < base.messages);
+        assert!(
+            ad.messages <= base.messages,
+            "adaptive must never send more than base"
+        );
     }
 
     #[test]

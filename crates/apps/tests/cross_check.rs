@@ -1,10 +1,15 @@
-//! Cross-variant verification: all four builds of each application must
-//! compute the same physics (to floating-point reordering tolerance),
-//! and the protocol-level shape of the paper's comparison must hold even
-//! at test scale: aggregation cuts messages, demand paging inflates them.
+//! Cross-variant verification: all builds of each application must
+//! compute the same physics — to floating-point reordering tolerance
+//! against the sequential reference (whose accumulation order the
+//! pipelined reduction reassociates), and **bitwise** among the DSM
+//! builds (base / optimized / adaptive run the same program; the
+//! protocol layers only move data earlier or later). The protocol-level
+//! shape of the paper's comparison must hold even at test scale:
+//! aggregation cuts messages, demand paging inflates them.
 
 use apps::moldyn::{self, MoldynConfig, TmkMode};
 use apps::nbf::{self, NbfConfig};
+use apps::umesh::{self, UmeshConfig};
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 + 1e-9 * a.abs().max(b.abs())
@@ -74,6 +79,102 @@ fn nbf_all_variants_agree_with_sequential() {
     assert!(rep_opt.messages < rep_base.messages);
     assert!(rep_opt.time < rep_base.time);
     assert!(rep_chaos.messages < rep_base.messages);
+}
+
+#[test]
+fn moldyn_adaptive_agrees_bitwise_and_cuts_messages() {
+    let cfg = MoldynConfig::small();
+    let world = moldyn::gen_positions(&cfg);
+    let seq = moldyn::run_seq(&cfg, &world);
+
+    let (rep_base, x_base) = moldyn::run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
+    let (rep_opt, x_opt) = moldyn::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    let (rep_ad, x_ad) = moldyn::run_adaptive(&cfg, &world, seq.report.time);
+
+    // The adaptive engine only moves fetches to the barrier; every DSM
+    // build computes in the identical order, so agreement across them
+    // is bitwise — and still within tolerance of the sequential
+    // reference like every other build.
+    assert_eq!(x_ad, x_base, "adaptive must be bitwise identical to Tmk base");
+    assert_eq!(x_ad, x_opt, "adaptive must be bitwise identical to Tmk optimized");
+    assert_positions_match("tmk-adaptive", &x_ad, &seq.x);
+
+    // The learned aggregation must pay off, and must never cost more
+    // than demand paging.
+    assert!(
+        rep_ad.messages < rep_base.messages,
+        "adaptive {} !< base {}",
+        rep_ad.messages,
+        rep_base.messages
+    );
+    assert!(rep_ad.time < rep_base.time);
+    let pol = rep_ad.policy.as_ref().expect("adaptive policy report");
+    assert!(pol.promotions > 0 && pol.prefetch_rounds > 0);
+    // The compiler path still knows more than the runtime can learn.
+    assert!(rep_opt.messages <= rep_ad.messages);
+}
+
+#[test]
+fn nbf_adaptive_agrees_bitwise_and_cuts_messages() {
+    let cfg = NbfConfig::small();
+    let world = nbf::gen_world(&cfg);
+    let seq = nbf::run_seq(&cfg, &world);
+
+    let (rep_base, x_base) = nbf::run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
+    let (_rep_opt, x_opt) = nbf::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    let (rep_ad, x_ad) = nbf::run_adaptive(&cfg, &world, seq.report.time);
+
+    assert_eq!(x_ad, x_base, "adaptive must be bitwise identical to Tmk base");
+    assert_eq!(x_ad, x_opt, "adaptive must be bitwise identical to Tmk optimized");
+    for (g, w) in x_ad.iter().zip(&seq.x) {
+        assert!(close(*g, *w), "nbf-adaptive: {g} vs {w}");
+    }
+
+    assert!(rep_ad.messages < rep_base.messages);
+    assert!(rep_ad.time < rep_base.time);
+    let pol = rep_ad.policy.as_ref().expect("adaptive policy report");
+    assert!(pol.promotions > 0);
+    assert_eq!(pol.demotions, 0, "a static partner list never demotes");
+}
+
+#[test]
+fn umesh_adaptive_agrees_bitwise_with_sequential() {
+    // With the fixed-order owner-side reduction, umesh's contract is
+    // the strongest: the adaptive build is bitwise-equal to the
+    // sequential program itself, not just to the other DSM builds.
+    let cfg = UmeshConfig::small();
+    let mesh = umesh::gen_mesh(&cfg);
+    let seq = umesh::run_seq(&cfg, &mesh);
+    let (rep_base, x_base) = umesh::run_tmk(&cfg, &mesh, TmkMode::Base, seq.report.time);
+    let (rep_ad, x_ad) = umesh::run_adaptive(&cfg, &mesh, seq.report.time);
+    assert_eq!(x_ad, seq.x, "adaptive must be bitwise identical to seq");
+    assert_eq!(x_ad, x_base);
+    assert!(rep_ad.messages <= rep_base.messages);
+}
+
+#[test]
+fn adaptive_never_sends_more_than_base_on_any_app() {
+    // The ISSUE-level guarantee, at test scale, across all three apps.
+    let mcfg = MoldynConfig::small();
+    let mworld = moldyn::gen_positions(&mcfg);
+    let mseq = moldyn::run_seq(&mcfg, &mworld);
+    let (mb, _) = moldyn::run_tmk(&mcfg, &mworld, TmkMode::Base, mseq.report.time);
+    let (ma, _) = moldyn::run_adaptive(&mcfg, &mworld, mseq.report.time);
+    assert!(ma.messages <= mb.messages, "moldyn: {} > {}", ma.messages, mb.messages);
+
+    let ncfg = NbfConfig::small();
+    let nworld = nbf::gen_world(&ncfg);
+    let nseq = nbf::run_seq(&ncfg, &nworld);
+    let (nb, _) = nbf::run_tmk(&ncfg, &nworld, TmkMode::Base, nseq.report.time);
+    let (na, _) = nbf::run_adaptive(&ncfg, &nworld, nseq.report.time);
+    assert!(na.messages <= nb.messages, "nbf: {} > {}", na.messages, nb.messages);
+
+    let ucfg = UmeshConfig::small();
+    let umesh_mesh = umesh::gen_mesh(&ucfg);
+    let useq = umesh::run_seq(&ucfg, &umesh_mesh);
+    let (ub, _) = umesh::run_tmk(&ucfg, &umesh_mesh, TmkMode::Base, useq.report.time);
+    let (ua, _) = umesh::run_adaptive(&ucfg, &umesh_mesh, useq.report.time);
+    assert!(ua.messages <= ub.messages, "umesh: {} > {}", ua.messages, ub.messages);
 }
 
 #[test]

@@ -1,0 +1,165 @@
+//! The fourth-system comparison: sequential vs plain TreadMarks vs
+//! compiler-optimized (`Validate`) vs **runtime-adaptive** on all three
+//! applications. This is the table the `adapt` crate exists for — how
+//! much of the compiler's aggregation win does a purely runtime policy
+//! recover, with no source analysis at all?
+//!
+//! ```text
+//! cargo run --release -p bench --bin table_adapt            # paper scale
+//! cargo run --release -p bench --bin table_adapt -- --quick # reduced scale
+//! ```
+//!
+//! The run doubles as the acceptance check for the adaptive engine: it
+//! verifies (per the `simnet` counters) that on moldyn and nbf the
+//! adaptive build sends ≥ 25% fewer messages than plain Tmk, and that
+//! it never sends more messages than plain Tmk on any application.
+
+use apps::moldyn::{self, MoldynConfig, TmkMode};
+use apps::nbf::{self, NbfConfig};
+use apps::report::RunReport;
+use apps::umesh::{self, UmeshConfig};
+use bench::{print_group, Scale};
+
+struct Group {
+    app: &'static str,
+    seq_secs: f64,
+    base: RunReport,
+    opt: RunReport,
+    adaptive: RunReport,
+}
+
+impl Group {
+    fn reduction_vs_base(&self) -> f64 {
+        100.0 * (self.base.messages.saturating_sub(self.adaptive.messages)) as f64
+            / self.base.messages.max(1) as f64
+    }
+
+    fn print(&self) {
+        print_group(
+            self.app,
+            self.seq_secs,
+            &[&self.base, &self.opt, &self.adaptive],
+        );
+        let pol = self.adaptive.policy.clone().expect("adaptive policy report");
+        println!(
+            "  adaptive vs base: {:.1}% fewer messages (opt reaches {:.1}%)",
+            self.reduction_vs_base(),
+            100.0 * (self.base.messages.saturating_sub(self.opt.messages)) as f64
+                / self.base.messages.max(1) as f64,
+        );
+        println!(
+            "  policy decisions: {} epochs, {} promotions, {} demotions, {} probes; \
+             {} prefetch rounds covering {} pages",
+            pol.epochs,
+            pol.promotions,
+            pol.demotions,
+            pol.probes,
+            pol.prefetch_rounds,
+            pol.prefetch_pages
+        );
+    }
+}
+
+fn moldyn_group(scale: Scale) -> Group {
+    let mut cfg = MoldynConfig::paper(15);
+    if scale == Scale::Quick {
+        // 1/8 the molecules with 1/4 the page size keeps the paper's
+        // pages-per-array regime (~dozens of coordinate pages), which
+        // is what both aggregation paths feed on.
+        cfg.n = 2048;
+        cfg.cutoff_frac = 0.2;
+        cfg.page_size = 1024;
+    }
+    let world = moldyn::gen_positions(&cfg);
+    let seq = moldyn::run_seq(&cfg, &world);
+    let (base, xb) = moldyn::run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
+    let (opt, _) = moldyn::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    let (adaptive, xa) = moldyn::run_adaptive(&cfg, &world, seq.report.time);
+    assert_eq!(xa, xb, "moldyn: adaptive must be bitwise identical to base");
+    Group {
+        app: "moldyn (rebuild every 15 steps)",
+        seq_secs: seq.report.time.as_secs_f64(),
+        base,
+        opt,
+        adaptive,
+    }
+}
+
+fn nbf_group(scale: Scale) -> Group {
+    let mut cfg = NbfConfig::paper(65536);
+    if scale == Scale::Quick {
+        cfg.n /= 8;
+        cfg.partners = 50;
+        cfg.page_size = 1024; // preserve the pages-per-array regime
+    }
+    let world = nbf::gen_world(&cfg);
+    let seq = nbf::run_seq(&cfg, &world);
+    let (base, xb) = nbf::run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
+    let (opt, _) = nbf::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
+    let (adaptive, xa) = nbf::run_adaptive(&cfg, &world, seq.report.time);
+    assert_eq!(xa, xb, "nbf: adaptive must be bitwise identical to base");
+    Group {
+        app: "nbf (static partner list)",
+        seq_secs: seq.report.time.as_secs_f64(),
+        base,
+        opt,
+        adaptive,
+    }
+}
+
+fn umesh_group(scale: Scale) -> Group {
+    let cfg = if scale == Scale::Quick {
+        let mut c = UmeshConfig::small();
+        c.side = 64;
+        c.sweeps = 8;
+        c
+    } else {
+        UmeshConfig::medium()
+    };
+    let mesh = umesh::gen_mesh(&cfg);
+    let seq = umesh::run_seq(&cfg, &mesh);
+    let (base, xb) = umesh::run_tmk(&cfg, &mesh, TmkMode::Base, seq.report.time);
+    let (opt, _) = umesh::run_tmk(&cfg, &mesh, TmkMode::Optimized, seq.report.time);
+    let (adaptive, xa) = umesh::run_adaptive(&cfg, &mesh, seq.report.time);
+    assert_eq!(xa, xb, "umesh: adaptive must be bitwise identical to base");
+    Group {
+        app: "umesh (static mesh)",
+        seq_secs: seq.report.time.as_secs_f64(),
+        base,
+        opt,
+        adaptive,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("=== table_adapt: the runtime-adaptive fourth system ===");
+    println!("(seq / Tmk base / Tmk+compiler / Tmk adaptive; times simulated;");
+    println!(" the adaptive build uses NO compiler hints and NO inspector)");
+
+    let groups = [moldyn_group(scale), nbf_group(scale), umesh_group(scale)];
+    for g in &groups {
+        g.print();
+    }
+
+    // Acceptance checks, per the simnet counters.
+    for g in &groups {
+        assert!(
+            g.adaptive.messages <= g.base.messages,
+            "{}: adaptive sent MORE messages than plain Tmk ({} > {})",
+            g.app,
+            g.adaptive.messages,
+            g.base.messages
+        );
+    }
+    for g in &groups[..2] {
+        assert!(
+            g.reduction_vs_base() >= 25.0,
+            "{}: adaptive reduction {:.1}% below the 25% bar",
+            g.app,
+            g.reduction_vs_base()
+        );
+    }
+    println!("\nacceptance: adaptive ≥25% fewer messages on moldyn and nbf,");
+    println!("            and never more than plain Tmk on any app  ✓");
+}

@@ -6,6 +6,9 @@
 //! * `table1` — moldyn, 16 384 molecules, list rebuilt every {20, 15, 11}
 //!   steps (paper Table 1).
 //! * `table2` — nbf at {64×1024, 64×1000, 32×1024} (paper Table 2).
+//! * `table_adapt` — the four-system comparison (seq / Tmk base /
+//!   Tmk+compiler / Tmk adaptive) on all three apps, with the adaptive
+//!   engine's policy-decision counters and acceptance checks.
 //! * `figures` — regenerates Figure 1 (input), Figure 2 (transformed
 //!   source), and Figure 3 (the Validate interface, as implemented).
 //! * `overhead1p` — the §5 single-processor sanity numbers.

@@ -71,7 +71,7 @@ fn key(owner: ProcId, off: u32) -> u64 {
     ((owner as u64) << 32) | off as u64
 }
 
-/// Run the inspector (collective): hash-dedup `accesses` (original
+/// Run the inspector (collective): bitmap-dedup `accesses` (original
 /// element ids), translate them, and build the communication schedule.
 ///
 /// Charges: one hash per access (including duplicates — that is the
@@ -87,16 +87,25 @@ pub fn inspector(
     let nprocs = cp.nprocs();
     let cost = cp.net().cost().clone();
 
-    // Duplicate elimination.
-    let mut seen: HashMap<u32, ()> = HashMap::new();
+    // Duplicate elimination — the paper's "hash table whose size is
+    // proportional to the size of the data array", realized as a dense
+    // bitmap over element ids. One O(1) test-and-set per access replaces
+    // the former hash-map insert plus O(d log d) sort of the distinct
+    // set (the known-slow path: ~8.8 ms per 64k refs). First-seen order
+    // is deterministic, and every downstream consumer (the per-owner
+    // receive lists) re-sorts anyway.
+    let mut seen = vec![0u64; ttable.len().div_ceil(64)];
+    let mut distinct: Vec<u32> = Vec::new();
     let mut total = 0usize;
     for e in accesses {
         total += 1;
-        seen.entry(e).or_insert(());
+        let (word, bit) = ((e / 64) as usize, e % 64);
+        if seen[word] & (1 << bit) == 0 {
+            seen[word] |= 1 << bit;
+            distinct.push(e);
+        }
     }
     cp.compute(cost.inspector_hash(total));
-    let mut distinct: Vec<u32> = seen.into_keys().collect();
-    distinct.sort_unstable(); // determinism
 
     // Translate (collective for non-replicated tables).
     let translated = ttable.lookup_batch(cp, &distinct, cache);

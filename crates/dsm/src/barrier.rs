@@ -108,10 +108,28 @@ impl TmkProc<'_> {
 
         // Phase B: snapshot is ready; merge notices.
         ctl.rendezvous.wait();
-        let target = ctl.state.lock().target.clone();
-        self.apply_notices(&target);
+        let (target, epoch) = {
+            let st = ctl.state.lock();
+            (st.target.clone(), st.epoch)
+        };
+        let invalidated = self.apply_notices(&target, true);
         self.inner.counters.barriers += 1;
         self.inner.last_barrier_seen.copy_from_slice(&target);
+
+        // Epoch boundary for the protocol policy: it may answer the
+        // just-applied invalidations with a batched prefetch — one
+        // aggregated exchange per peer instead of a demand fault per
+        // page. The records it needs were published before Phase A, so
+        // fetching inside the B→C window reads a stable store.
+        let picks =
+            self.inner
+                .policy
+                .epoch_end(epoch, &invalidated, cl.net().policy(), self.me);
+        let todo: Vec<u32> = picks.into_iter().filter(|&pg| self.page_invalid(pg)).collect();
+        if !todo.is_empty() {
+            cl.net().policy().record_prefetch(self.me, todo.len());
+            self.fetch_pages(&todo, crate::proc::FetchClass::Prefetch);
+        }
 
         // Phase C: nobody publishes new intervals until all have merged.
         ctl.rendezvous.wait();

@@ -41,6 +41,12 @@
 //! — on top of the hooks this crate exposes ([`TmkProc::fetch_pages`],
 //! [`TmkProc::pre_twin`], [`TmkProc::mark_full_write`],
 //! [`TmkProc::watch_pages`]).
+//!
+//! A third consumer is the runtime-adaptive engine in the `adapt` crate:
+//! each processor carries a [`ProtocolPolicy`] that observes demand
+//! misses and barrier-time invalidations and may answer an epoch with a
+//! batched prefetch — same aggregation machinery, no compiler. The
+//! default [`StaticPolicy`] keeps the exact base-TreadMarks behavior.
 
 mod barrier;
 mod cluster;
@@ -48,6 +54,7 @@ mod diff;
 mod heap;
 mod interval;
 mod lock;
+mod policy;
 mod proc;
 mod store;
 
@@ -55,7 +62,8 @@ pub use cluster::{Cluster, DsmConfig};
 pub use diff::{Diff, Payload, DIFF_WORD};
 pub use heap::{Pod, SharedSlice};
 pub use interval::{covers, vc_key, IntervalRec, NoticeBoard, Vc};
+pub use policy::{ProtocolPolicy, StaticPolicy};
 pub use proc::{FetchClass, PageState, ProcCounters, TmkProc};
 pub use store::{DiffStore, Record};
 
-pub use simnet::{CostModel, MsgKind, Net, NetReport, ProcId, SimTime};
+pub use simnet::{CostModel, MsgKind, Net, NetReport, PolicyReport, PolicyStats, ProcId, SimTime};

@@ -129,7 +129,9 @@ impl TmkProc<'_> {
             }
             target = st.release_vc.clone();
         }
-        self.apply_notices(&target);
+        // Lock acquires are not policy epoch boundaries (the apps are
+        // barrier-structured), so skip the invalidation bookkeeping.
+        let _ = self.apply_notices(&target, false);
         self.inner.counters.lock_acquires += 1;
     }
 

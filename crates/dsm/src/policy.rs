@@ -1,0 +1,82 @@
+//! Protocol policies: the per-processor decision layer between the DSM's
+//! mechanism (invalidate, fault, fetch, diff) and *when* data moves.
+//!
+//! Base TreadMarks is purely reactive: a write notice invalidates a page,
+//! and the next access demand-fetches it — one request/reply pair per
+//! page. The paper's `Validate` runtime replaces that with compiler-
+//! directed aggregation. A [`ProtocolPolicy`] is the third option: a
+//! runtime observer that sees every demand miss, every interval close,
+//! and every barrier-time invalidation, and may answer a barrier epoch
+//! with a set of pages to prefetch in **one aggregated exchange per
+//! peer** — the same machinery `Validate` uses ([`FetchClass::Prefetch`]
+//! → `AdaptRequest`/`AdaptReply` messages), but with no compiler in the
+//! loop.
+//!
+//! The policy is deliberately *mechanism-preserving*: it can only change
+//! when invalid pages are brought up to date, never what data they
+//! contain, so any policy produces bitwise-identical program results.
+//! [`StaticPolicy`] (the default) observes nothing and prefetches
+//! nothing — byte-for-byte the original TreadMarks behavior. The
+//! `adapt` crate provides the learning implementation.
+//!
+//! [`FetchClass::Prefetch`]: crate::FetchClass::Prefetch
+
+use simnet::{PolicyStats, ProcId};
+
+/// Per-processor protocol decision hooks.
+///
+/// One boxed policy lives inside each processor's persistent protocol
+/// state (installed with [`TmkProc::set_policy`]); it survives across
+/// [`Cluster::run`] calls like the page table does. All hooks default to
+/// no-ops so a policy only implements what it observes.
+///
+/// [`TmkProc::set_policy`]: crate::TmkProc::set_policy
+/// [`Cluster::run`]: crate::Cluster::run
+pub trait ProtocolPolicy: Send + std::fmt::Debug {
+    /// A demand fault on `page` required a fetch (the page was invalid).
+    /// Not called for aggregated or prefetch fetches.
+    fn note_miss(&mut self, _page: u32) {}
+
+    /// The interval just closed dirtied `pages` (this processor wrote
+    /// them since the previous release).
+    fn note_interval_close(&mut self, _pages: &[u32]) {}
+
+    /// A barrier epoch boundary. `epoch` is the barrier sequence number,
+    /// `invalidated` the pages write notices just invalidated for this
+    /// processor (sorted, deduplicated). Returns the pages to bring up to
+    /// date *now*, in one aggregated exchange per peer, instead of
+    /// leaving them to demand-fault one at a time. Decision counters go
+    /// to `stats` (per-processor slot `me`).
+    fn epoch_end(
+        &mut self,
+        _epoch: u64,
+        _invalidated: &[u32],
+        _stats: &PolicyStats,
+        _me: ProcId,
+    ) -> Vec<u32> {
+        Vec::new()
+    }
+}
+
+/// The do-nothing policy: plain TreadMarks demand paging. Installing it
+/// is equivalent to having no policy at all — no state, no prefetch, no
+/// message or timing difference.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StaticPolicy;
+
+impl ProtocolPolicy for StaticPolicy {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_policy_decides_nothing() {
+        let stats = PolicyStats::new(1);
+        let mut p = StaticPolicy;
+        p.note_miss(3);
+        p.note_interval_close(&[1, 2]);
+        assert!(p.epoch_end(1, &[1, 2, 3], &stats, 0).is_empty());
+        assert_eq!(simnet::PolicyReport::capture(&stats), Default::default());
+    }
+}

@@ -11,6 +11,7 @@ use crate::cluster::Cluster;
 use crate::diff::{Diff, Payload};
 use crate::heap::{Pod, SharedSlice};
 use crate::interval::{IntervalRec, Vc};
+use crate::policy::{ProtocolPolicy, StaticPolicy};
 use crate::store::Record;
 
 /// Access state of one page in one processor's view — the analogue of the
@@ -88,6 +89,9 @@ pub enum FetchClass {
     Demand,
     /// Aggregated prefetch of a whole schedule (`Validate`).
     Aggregated,
+    /// Aggregated prefetch decided by a runtime [`ProtocolPolicy`]
+    /// (no compiler hints): accounted as `AdaptRequest`/`AdaptReply`.
+    Prefetch,
 }
 
 /// Persistent per-processor state (survives across [`Cluster::run`] calls).
@@ -103,6 +107,8 @@ pub(crate) struct ProcInner {
     watch_dirty: Vec<Vec<u32>>,
     pub(crate) counters: ProcCounters,
     pub(crate) last_barrier_seen: Vc,
+    /// The protocol decision layer (default: plain demand paging).
+    pub(crate) policy: Box<dyn ProtocolPolicy>,
 }
 
 impl ProcInner {
@@ -116,6 +122,7 @@ impl ProcInner {
             watch_dirty: Vec::new(),
             counters: ProcCounters::default(),
             last_barrier_seen: vec![0; nprocs],
+            policy: Box::new(StaticPolicy),
         }
     }
 
@@ -230,6 +237,7 @@ impl<'c> TmkProc<'c> {
     #[cold]
     fn read_fault(&mut self, page: u32) {
         self.inner.counters.read_faults += 1;
+        self.inner.policy.note_miss(page);
         self.compute(self.cl.net().cost().page_fault());
         self.fetch_pages(&[page], FetchClass::Demand);
     }
@@ -246,6 +254,7 @@ impl<'c> TmkProc<'c> {
             self.inner.frames[page as usize].watch_protect = false;
         }
         if self.inner.frames[page as usize].state == PageState::Invalid {
+            self.inner.policy.note_miss(page);
             self.fetch_pages(&[page], FetchClass::Demand);
         }
         let page_size = self.page_size;
@@ -419,6 +428,7 @@ impl<'c> TmkProc<'c> {
         let (kreq, kresp) = match class {
             FetchClass::Demand => (MsgKind::DiffRequest, MsgKind::DiffReply),
             FetchClass::Aggregated => (MsgKind::AggRequest, MsgKind::AggReply),
+            FetchClass::Prefetch => (MsgKind::AdaptRequest, MsgKind::AdaptReply),
         };
         const REQ_FIXED: usize = 16; // header + vc digest
         const REQ_PER_PAGE: usize = 8; // page id + applied seq
@@ -447,16 +457,9 @@ impl<'c> TmkProc<'c> {
                 )
             })
             .collect();
-        match class {
-            FetchClass::Demand => {
-                // One fault = one (parallel) round per page; `pages` is a
-                // single page on this path.
-                self.cl.net().parallel_round(self.me, &legs);
-            }
-            FetchClass::Aggregated => {
-                self.cl.net().parallel_round(self.me, &legs);
-            }
-        }
+        // One parallel exchange round: a demand fault covers one page; the
+        // aggregated classes cover a whole schedule's worth per peer.
+        self.cl.net().parallel_round(self.me, &legs);
 
         // Phase 3: apply, master copies first, then records causally.
         let cost = self.cl.net().cost();
@@ -530,6 +533,7 @@ impl<'c> TmkProc<'c> {
         let mut dirty = std::mem::take(&mut self.inner.dirty);
         dirty.sort_unstable();
         dirty.dedup();
+        self.inner.policy.note_interval_close(&dirty);
 
         // Build payloads first; only non-empty ones publish.
         let mut payloads: Vec<(u32, Payload)> = Vec::new();
@@ -582,9 +586,14 @@ impl<'c> TmkProc<'c> {
     }
 
     /// Merge knowledge up to `target` (an acquire): apply write notices of
-    /// every newly covered interval, invalidating local copies.
-    pub(crate) fn apply_notices(&mut self, target: &[u32]) {
+    /// every newly covered interval, invalidating local copies. With
+    /// `collect_invalidated`, returns the pages invalidated by this
+    /// acquire (sorted, deduplicated) for the protocol policy's epoch
+    /// bookkeeping — barriers pass `true`; the lock path passes `false`
+    /// and keeps its old zero-allocation acquire.
+    pub(crate) fn apply_notices(&mut self, target: &[u32], collect_invalidated: bool) -> Vec<u32> {
         let me = self.me;
+        let mut invalidated: Vec<u32> = Vec::new();
         for (q, &to) in target.iter().enumerate() {
             if q == me || to <= self.inner.vc[q] {
                 continue;
@@ -601,16 +610,38 @@ impl<'c> TmkProc<'c> {
                 let f = &mut self.inner.frames[page as usize];
                 f.pending.push((q, seq));
                 f.state = PageState::Invalid;
+                if collect_invalidated {
+                    invalidated.push(page);
+                }
                 if f.watched {
                     self.fire_watch(page);
                 }
             }
             self.inner.vc[q] = to;
         }
+        invalidated.sort_unstable();
+        invalidated.dedup();
+        invalidated
     }
 
     pub(crate) fn vc(&self) -> &[u32] {
         &self.inner.vc
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol policy (the adaptive decision layer).
+    // ------------------------------------------------------------------
+
+    /// Install a protocol policy on this processor. The policy persists
+    /// across [`Cluster::run`] calls (like the page table); installing
+    /// replaces any previous policy and its learned state.
+    pub fn set_policy(&mut self, policy: Box<dyn ProtocolPolicy>) {
+        self.inner.policy = policy;
+    }
+
+    /// The installed protocol policy (diagnostics).
+    pub fn policy(&self) -> &dyn ProtocolPolicy {
+        self.inner.policy.as_ref()
     }
 
     // ------------------------------------------------------------------

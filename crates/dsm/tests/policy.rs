@@ -1,0 +1,184 @@
+//! Protocol-policy plumbing tests: the policy hooks observe the right
+//! events, a prefetching policy moves traffic from per-page demand pairs
+//! to aggregated exchanges without changing results, and the static
+//! policy is invisible.
+
+use dsm::{Cluster, DsmConfig, MsgKind, PolicyStats, ProcId, ProtocolPolicy};
+
+/// Prefetch every page the barrier just invalidated — the maximally
+/// eager policy. Useful for plumbing tests: after the barrier, no
+/// demand fault can occur on a notice-invalidated page.
+#[derive(Debug, Default)]
+struct PrefetchAll {
+    misses: Vec<u32>,
+    closes: Vec<Vec<u32>>,
+    epochs: Vec<u64>,
+}
+
+impl ProtocolPolicy for PrefetchAll {
+    fn note_miss(&mut self, page: u32) {
+        self.misses.push(page);
+    }
+    fn note_interval_close(&mut self, pages: &[u32]) {
+        self.closes.push(pages.to_vec());
+    }
+    fn epoch_end(
+        &mut self,
+        epoch: u64,
+        invalidated: &[u32],
+        stats: &PolicyStats,
+        me: ProcId,
+    ) -> Vec<u32> {
+        stats.record_epoch(me);
+        self.epochs.push(epoch);
+        invalidated.to_vec()
+    }
+}
+
+/// Producer/consumer over several pages and epochs: proc 0 writes, all
+/// others read everything each epoch.
+fn producer_consumer(cl: &Cluster, epochs: usize, elems: usize) -> f64 {
+    let s = cl.alloc::<f64>(elems);
+    let sum = parking_lot::Mutex::new(0.0f64);
+    cl.run(|p| {
+        for e in 0..epochs {
+            if p.rank() == 0 {
+                for i in 0..elems {
+                    p.write(&s, i, (e * elems + i) as f64);
+                }
+            }
+            p.barrier();
+            let mut local = 0.0;
+            for i in 0..elems {
+                local += p.read(&s, i);
+            }
+            if p.rank() == 1 {
+                *sum.lock() = local;
+            }
+            p.barrier();
+        }
+    });
+    sum.into_inner()
+}
+
+#[test]
+fn prefetch_policy_eliminates_demand_faults_and_preserves_results() {
+    let elems = 4 * 512; // 4 pages of f64 at 4 KB
+    let epochs = 4;
+
+    let base = Cluster::new(DsmConfig::with_nprocs(3));
+    let base_sum = producer_consumer(&base, epochs, elems);
+    let base_rep = base.report();
+    assert!(base_rep.messages_per_kind(MsgKind::DiffRequest) > 0);
+    assert_eq!(base_rep.messages_per_kind(MsgKind::AdaptRequest), 0);
+    assert!(
+        !base.net().policy_report().is_active(),
+        "static policy records no decisions"
+    );
+
+    let ad = Cluster::new(DsmConfig::with_nprocs(3));
+    {
+        // Install the policy before the shared traffic starts.
+        ad.run(|p| p.set_policy(Box::new(PrefetchAll::default())));
+    }
+    let ad_sum = producer_consumer(&ad, epochs, elems);
+    let ad_rep = ad.report();
+
+    assert_eq!(ad_sum, base_sum, "policy must not change results");
+    // Every notice-invalidated page was prefetched at the barrier, so no
+    // demand fetch ever fires after the first epoch's cold reads... and
+    // even those are preceded by a barrier here, so none at all.
+    assert_eq!(ad_rep.messages_per_kind(MsgKind::DiffRequest), 0);
+    assert!(ad_rep.messages_per_kind(MsgKind::AdaptRequest) > 0);
+    // Aggregation: fewer total messages than per-page demand pairs.
+    assert!(
+        ad_rep.messages < base_rep.messages,
+        "adaptive {} !< base {}",
+        ad_rep.messages,
+        base_rep.messages
+    );
+    let pol = ad.net().policy_report();
+    assert!(pol.epochs > 0);
+    assert!(pol.prefetch_rounds > 0);
+    assert!(pol.prefetch_pages >= pol.prefetch_rounds);
+}
+
+#[test]
+fn policy_hooks_observe_misses_closes_and_epochs() {
+    let cl = Cluster::new(DsmConfig::with_nprocs(2));
+    let s = cl.alloc::<f64>(1024);
+    let seen = parking_lot::Mutex::new((0usize, 0usize, 0usize));
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        misses: usize,
+        closes: usize,
+        epochs: usize,
+    }
+    impl ProtocolPolicy for Recorder {
+        fn note_miss(&mut self, _page: u32) {
+            self.misses += 1;
+        }
+        fn note_interval_close(&mut self, pages: &[u32]) {
+            assert!(!pages.is_empty());
+            self.closes += 1;
+        }
+        fn epoch_end(
+            &mut self,
+            _epoch: u64,
+            _invalidated: &[u32],
+            _stats: &PolicyStats,
+            _me: ProcId,
+        ) -> Vec<u32> {
+            self.epochs += 1;
+            Vec::new()
+        }
+    }
+
+    cl.run(|p| {
+        if p.rank() == 1 {
+            p.set_policy(Box::new(Recorder::default()));
+        }
+        if p.rank() == 0 {
+            p.write(&s, 0, 1.0);
+        }
+        p.barrier();
+        let _ = p.read(&s, 0);
+        p.barrier();
+        if p.rank() == 1 {
+            // Downcast-free introspection: count through Debug output.
+            let dbg = format!("{:?}", p.policy());
+            let grab = |k: &str| -> usize {
+                let at = dbg.find(k).unwrap() + k.len() + 2;
+                dbg[at..].chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().unwrap()
+            };
+            *seen.lock() = (grab("misses"), grab("closes"), grab("epochs"));
+        }
+    });
+    let (misses, closes, epochs) = seen.into_inner();
+    assert_eq!(misses, 1, "one demand miss on the shared page");
+    assert_eq!(closes, 0, "proc 1 never wrote");
+    assert_eq!(epochs, 2, "two barriers crossed");
+}
+
+#[test]
+fn policy_persists_across_runs() {
+    let cl = Cluster::new(DsmConfig::with_nprocs(2));
+    let s = cl.alloc::<f64>(512);
+    cl.run(|p| {
+        if p.rank() == 1 {
+            p.set_policy(Box::new(PrefetchAll::default()));
+        }
+    });
+    cl.run(|p| {
+        if p.rank() == 0 {
+            p.write(&s, 0, 2.5);
+        }
+        p.barrier();
+        assert_eq!(p.read(&s, 0), 2.5);
+    });
+    // The reader's fetch went through the adaptive path, proving the
+    // policy survived into the second run().
+    assert!(cl.report().messages_per_kind(MsgKind::AdaptRequest) > 0);
+    assert_eq!(cl.report().messages_per_kind(MsgKind::DiffRequest), 0);
+}

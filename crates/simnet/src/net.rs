@@ -19,6 +19,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::stats::{PolicyReport, PolicyStats};
 use crate::{CostModel, MsgKind, NetReport, SimTime, Stats};
 
 /// A simulated processor's rank, `0..nprocs`.
@@ -31,6 +32,7 @@ pub struct Net {
     cost: CostModel,
     clocks: Vec<AtomicU64>,
     stats: Stats,
+    policy: PolicyStats,
 }
 
 impl Net {
@@ -41,6 +43,7 @@ impl Net {
             cost,
             clocks: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
             stats: Stats::new(nprocs),
+            policy: PolicyStats::new(nprocs),
         }
     }
 
@@ -57,6 +60,12 @@ impl Net {
     #[inline]
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Policy-decision counters (adaptive protocol engines).
+    #[inline]
+    pub fn policy(&self) -> &PolicyStats {
+        &self.policy
     }
 
     // ---- clocks ----
@@ -102,6 +111,7 @@ impl Net {
             c.store(0, Ordering::Relaxed);
         }
         self.stats.reset();
+        self.policy.reset();
     }
 
     // ---- traffic ----
@@ -187,6 +197,10 @@ impl Net {
 
     pub fn report(&self) -> NetReport {
         NetReport::capture(&self.stats)
+    }
+
+    pub fn policy_report(&self) -> PolicyReport {
+        PolicyReport::capture(&self.policy)
     }
 }
 

@@ -20,6 +20,11 @@ pub enum MsgKind {
     AggRequest,
     /// DSM: aggregated reply.
     AggReply,
+    /// DSM: aggregated prefetch request issued by a runtime-adaptive
+    /// protocol policy at a barrier (no compiler hints involved).
+    AdaptRequest,
+    /// DSM: adaptive-prefetch reply.
+    AdaptReply,
     /// DSM: barrier arrival/departure traffic (write notices ride along).
     Barrier,
     /// DSM: lock acquire/forward/grant traffic.
@@ -37,13 +42,15 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     pub const ALL: [MsgKind; MsgKind::COUNT] = [
         MsgKind::DiffRequest,
         MsgKind::DiffReply,
         MsgKind::AggRequest,
         MsgKind::AggReply,
+        MsgKind::AdaptRequest,
+        MsgKind::AdaptReply,
         MsgKind::Barrier,
         MsgKind::Lock,
         MsgKind::Translate,
@@ -64,6 +71,8 @@ impl MsgKind {
             MsgKind::DiffReply => "diff-rep",
             MsgKind::AggRequest => "agg-req",
             MsgKind::AggReply => "agg-rep",
+            MsgKind::AdaptRequest => "adapt-req",
+            MsgKind::AdaptReply => "adapt-rep",
             MsgKind::Barrier => "barrier",
             MsgKind::Lock => "lock",
             MsgKind::Translate => "translate",
@@ -145,6 +154,119 @@ impl Stats {
                 c.store(0, Ordering::Relaxed);
             }
         }
+    }
+}
+
+/// Per-epoch policy-decision counters for runtime-adaptive protocol
+/// engines: how often the engine chose batched prefetch over demand
+/// paging, and how its per-page modes churned. Plain (static-policy)
+/// runs never touch these, so they stay zero and cost nothing.
+///
+/// Counters are per processor, like [`Stats`], and lock-free.
+#[derive(Debug)]
+pub struct PolicyStats {
+    epochs: Vec<AtomicU64>,
+    prefetch_rounds: Vec<AtomicU64>,
+    prefetch_pages: Vec<AtomicU64>,
+    promotions: Vec<AtomicU64>,
+    demotions: Vec<AtomicU64>,
+    probes: Vec<AtomicU64>,
+}
+
+impl PolicyStats {
+    pub fn new(nprocs: usize) -> Self {
+        let make = || (0..nprocs).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        PolicyStats {
+            epochs: make(),
+            prefetch_rounds: make(),
+            prefetch_pages: make(),
+            promotions: make(),
+            demotions: make(),
+            probes: make(),
+        }
+    }
+
+    /// One barrier epoch observed by `p`'s policy.
+    #[inline]
+    pub fn record_epoch(&self, p: ProcId) {
+        self.epochs[p].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `p` issued one aggregated prefetch exchange covering `pages` pages.
+    #[inline]
+    pub fn record_prefetch(&self, p: ProcId, pages: usize) {
+        self.prefetch_rounds[p].fetch_add(1, Ordering::Relaxed);
+        self.prefetch_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
+    }
+
+    /// `n` pages switched from demand paging to batched prefetch at `p`.
+    #[inline]
+    pub fn record_promotions(&self, p: ProcId, n: u64) {
+        self.promotions[p].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` pages fell back from batched prefetch to demand paging at `p`.
+    #[inline]
+    pub fn record_demotions(&self, p: ProcId, n: u64) {
+        self.demotions[p].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` prefetch-mode pages were left to demand-fault this epoch to
+    /// re-validate that they are still worth prefetching.
+    #[inline]
+    pub fn record_probes(&self, p: ProcId, n: u64) {
+        self.probes[p].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn reset(&self) {
+        for row in [
+            &self.epochs,
+            &self.prefetch_rounds,
+            &self.prefetch_pages,
+            &self.promotions,
+            &self.demotions,
+            &self.probes,
+        ] {
+            for c in row.iter() {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Frozen totals of [`PolicyStats`] (summed over processors).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyReport {
+    /// Barrier epochs the policies observed (summed over processors).
+    pub epochs: u64,
+    /// Aggregated prefetch exchanges issued.
+    pub prefetch_rounds: u64,
+    /// Pages covered by those exchanges.
+    pub prefetch_pages: u64,
+    /// Demand → prefetch mode switches.
+    pub promotions: u64,
+    /// Prefetch → demand mode switches.
+    pub demotions: u64,
+    /// Probe epochs (prefetch withheld to re-validate the pattern).
+    pub probes: u64,
+}
+
+impl PolicyReport {
+    pub fn capture(stats: &PolicyStats) -> Self {
+        let sum = |v: &Vec<AtomicU64>| v.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        PolicyReport {
+            epochs: sum(&stats.epochs),
+            prefetch_rounds: sum(&stats.prefetch_rounds),
+            prefetch_pages: sum(&stats.prefetch_pages),
+            promotions: sum(&stats.promotions),
+            demotions: sum(&stats.demotions),
+            probes: sum(&stats.probes),
+        }
+    }
+
+    /// Did any adaptive decision actually happen?
+    pub fn is_active(&self) -> bool {
+        self.promotions > 0 || self.prefetch_rounds > 0
     }
 }
 
@@ -246,6 +368,30 @@ mod tests {
         s.reset();
         assert_eq!(s.total_messages(), 0);
         assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn policy_counters_roundtrip() {
+        let s = PolicyStats::new(2);
+        s.record_epoch(0);
+        s.record_epoch(1);
+        s.record_prefetch(0, 12);
+        s.record_prefetch(1, 3);
+        s.record_promotions(0, 4);
+        s.record_demotions(1, 1);
+        s.record_probes(0, 2);
+        let r = PolicyReport::capture(&s);
+        assert_eq!(r.epochs, 2);
+        assert_eq!(r.prefetch_rounds, 2);
+        assert_eq!(r.prefetch_pages, 15);
+        assert_eq!(r.promotions, 4);
+        assert_eq!(r.demotions, 1);
+        assert_eq!(r.probes, 2);
+        assert!(r.is_active());
+        s.reset();
+        let z = PolicyReport::capture(&s);
+        assert_eq!(z, PolicyReport::default());
+        assert!(!z.is_active());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! cargo run --release -p bench --bin table1 -- --quick
 //! ```
 
+/// The runtime-adaptive aggregation engine (the fourth system variant).
+pub use adapt;
 /// The applications: moldyn and nbf in sequential / Tmk / CHAOS builds.
 pub use apps;
 /// The CHAOS inspector/executor baseline run-time.

@@ -89,17 +89,47 @@ fn umesh_example_path() {
     let seq = umesh::run_seq(&cfg, &mesh);
     let (chaos, xc) = umesh::run_chaos(&cfg, &mesh, seq.report.time);
     let (opt, xo) = umesh::run_tmk(&cfg, &mesh, umesh::TmkMode::Optimized, seq.report.time);
-    // Reduction order differs across systems, so agreement is to
-    // floating-point reordering tolerance (same contract as the
-    // `all_variants_agree` test in `apps::umesh`), not bitwise.
-    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 + 1e-10 * b.abs();
+    // Fixed-order owner-side accumulation: every build replays the
+    // sequential flux order, so agreement is bitwise (same contract as
+    // the `all_variants_agree` test in `apps::umesh`).
     for (label, got) in [("chaos", &xc), ("tmk-opt", &xo)] {
-        for (g, w) in got.iter().zip(&seq.x) {
-            assert!(close(*g, *w), "{label} diverges from sequential: {g} vs {w}");
-        }
+        assert_eq!(got, &seq.x, "{label} must be bitwise identical to seq");
     }
     assert!(chaos.untimed_inspector_s > 0.0);
     assert!(opt.time < seq.report.time);
+}
+
+/// `examples/adaptive.rs`: the fourth variant learns a stable irregular
+/// pattern and cuts messages without compiler hints.
+#[test]
+fn adaptive_example_path() {
+    use sdsm_repro::adapt::{AdaptConfig, AdaptivePolicy};
+    let cl = Cluster::new(DsmConfig::with_nprocs(4));
+    let data = cl.alloc::<f64>(8 * 512);
+    cl.run(|p| p.set_policy(Box::new(AdaptivePolicy::new(AdaptConfig::default()))));
+    cl.run(|p| {
+        let me = p.rank();
+        let n = data.len();
+        let chunk = n / p.nprocs();
+        for e in 0..6 {
+            for i in me * chunk..(me + 1) * chunk {
+                p.write(&data, i, (e + i) as f64);
+            }
+            p.barrier();
+            // Fixed irregular read set: the same remote elements each epoch.
+            let mut acc = 0.0;
+            for k in 0..32 {
+                acc += p.read(&data, (me * 97 + k * 131) % n);
+            }
+            assert!(acc >= 0.0);
+            p.barrier();
+        }
+    });
+    let pol = cl.net().policy_report();
+    assert!(pol.promotions > 0, "the stable pattern must be learned");
+    assert!(pol.prefetch_rounds > 0);
+    let rep = cl.report();
+    assert!(rep.messages_per_kind(sdsm_repro::simnet::MsgKind::AdaptRequest) > 0);
 }
 
 /// `examples/compiler_pipeline.rs`: Figure 1 compiles and the Validate

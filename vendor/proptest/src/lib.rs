@@ -8,7 +8,22 @@
 //! from a per-test deterministic seed (no shrinking, no persisted failure
 //! regressions), and `prop_assert*` panics immediately instead of
 //! returning a `TestCaseError`. Case count defaults to 64 and is
-//! overridable with `PROPTEST_CASES`.
+//! overridable with `PROPTEST_CASES` — soak runs can set
+//! `PROPTEST_CASES=512` or more.
+//!
+//! ## Reproducing failures
+//!
+//! When a case fails, the harness prints the generator state that
+//! produced it:
+//!
+//! ```text
+//! proptest: path::my_test failed at case 17/512; rerun just this case with PROPTEST_TEST=path::my_test PROPTEST_SEED=0x1234abcd5678ef00
+//! ```
+//!
+//! Re-running with both environment variables replays exactly the
+//! failing case of exactly that test (independent of `PROPTEST_CASES`;
+//! every other property keeps its normal coverage), which is what makes
+//! high-case-count soak failures debuggable.
 
 use std::ops::Range;
 
@@ -42,6 +57,17 @@ impl TestRng {
         assert!(n > 0);
         self.next_u64() % n
     }
+
+    /// Resume from a previously reported state (failure replay).
+    pub fn from_state(state: u64) -> TestRng {
+        TestRng { state }
+    }
+
+    /// The current generator state — printed on failure so the exact
+    /// case can be replayed with `PROPTEST_SEED`.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 /// Number of cases each `proptest!` test runs (env `PROPTEST_CASES`).
@@ -50,6 +76,52 @@ pub fn num_cases() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(64)
+}
+
+/// Drive one property: sample and run `case` [`num_cases`] times from the
+/// test's deterministic seed, reporting the failing case's generator
+/// state on panic. With `PROPTEST_TEST=<name> PROPTEST_SEED=0x…` in the
+/// environment, the *named* test replays exactly one case from that
+/// state — the failure-reproduction path for soak runs. The name gate
+/// matters: the seed is meaningless to any other test, and without it a
+/// bare `PROPTEST_SEED` would silently collapse every other property in
+/// the run to one alien-seeded case.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng)) {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        let target = std::env::var("PROPTEST_TEST").unwrap_or_default();
+        if !target.is_empty() && name.ends_with(&target) {
+            let state = parse_seed(&seed).unwrap_or_else(|| {
+                panic!("PROPTEST_SEED: expected 0x-hex or decimal, got {seed:?}")
+            });
+            eprintln!("proptest: {name}: replaying single case with PROPTEST_SEED={state:#018x}");
+            let mut rng = TestRng::from_state(state);
+            case(&mut rng);
+            return;
+        }
+        // Not the targeted test (or no target given): run normally so
+        // the rest of the suite keeps its full coverage.
+    }
+    let mut rng = TestRng::deterministic(name);
+    let cases = num_cases();
+    for i in 0..cases {
+        let seed = rng.state();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest: {name} failed at case {i}/{cases}; rerun just this case with \
+                 PROPTEST_TEST={name} PROPTEST_SEED={seed:#018x}"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
 }
 
 pub trait Strategy {
@@ -241,19 +313,22 @@ pub mod prelude {
 
 /// The `proptest!` block: each contained `#[test] fn name(arg in strategy,
 /// ...) { body }` becomes a plain `#[test]` that samples its strategies
-/// [`num_cases`] times. The `#[test]` attribute is captured with the other
-/// metas and re-emitted verbatim.
+/// [`num_cases`] times via [`run_cases`] (which reports the failing
+/// case's seed and honors `PROPTEST_SEED` replay). The `#[test]`
+/// attribute is captured with the other metas and re-emitted verbatim.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
-                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-                for _case in 0..$crate::num_cases() {
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
-                    $body
-                }
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                        $body
+                    },
+                );
             }
         )*
     };
@@ -302,6 +377,73 @@ mod tests {
         #[test]
         fn prop_map_applies(d in (0i64..5, 1i64..4).prop_map(|(a, b)| a * b)) {
             prop_assert!((0..20).contains(&d));
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_replayable_seed() {
+        // Drive run_cases directly with a property that fails on its
+        // 4th case; capture the reported seed and replay it.
+        let mut states = Vec::new();
+        let mut calls = 0usize;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_cases("shim::selftest", |rng| {
+                states.push(rng.state());
+                calls += 1;
+                let v = (0u64..1000).sample(rng);
+                assert!(calls < 4, "boom at value {v}");
+            });
+        }));
+        assert!(outcome.is_err(), "the 4th case must fail");
+        assert_eq!(calls, 4);
+        // The reported seed is the rng state *before* the failing case:
+        // replaying from it regenerates the same sample.
+        let failing_state = states[3];
+        let mut a = crate::TestRng::from_state(failing_state);
+        let mut b = crate::TestRng::from_state(failing_state);
+        assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
+    }
+
+    #[test]
+    fn seed_replay_is_gated_on_test_name() {
+        std::env::set_var("PROPTEST_SEED", "0x10");
+        // No PROPTEST_TEST: every test keeps its full case count.
+        let mut n = 0;
+        crate::run_cases("shim::gate_a", |_| n += 1);
+        assert_eq!(n, crate::num_cases());
+        // Name mismatch: still full count.
+        std::env::set_var("PROPTEST_TEST", "shim::something_else");
+        let mut m = 0;
+        crate::run_cases("shim::gate_b", |_| m += 1);
+        assert_eq!(m, crate::num_cases());
+        // Name match: exactly one case, from exactly the given state.
+        std::env::set_var("PROPTEST_TEST", "shim::gate_c");
+        let (mut k, mut st) = (0, 0);
+        crate::run_cases("shim::gate_c", |rng| {
+            k += 1;
+            st = rng.state();
+        });
+        assert_eq!((k, st), (1, 0x10));
+        std::env::remove_var("PROPTEST_SEED");
+        std::env::remove_var("PROPTEST_TEST");
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(crate::parse_seed("0x10"), Some(16));
+        assert_eq!(crate::parse_seed("0X0000000000000010"), Some(16));
+        assert_eq!(crate::parse_seed("42"), Some(42));
+        assert_eq!(crate::parse_seed("zzz"), None);
+    }
+
+    #[test]
+    fn cases_honor_env_default() {
+        // PROPTEST_CASES is read per call; without the env var the
+        // default is 64.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(crate::num_cases(), 64);
+        } else {
+            assert!(crate::num_cases() > 0);
         }
     }
 }
