@@ -1,7 +1,7 @@
 # Tier-1 verification and common entry points. CI (.github/workflows/ci.yml)
 # runs the same commands; `make tier1` is the local equivalent.
 
-.PHONY: tier1 build test clippy bench examples tables soak clean
+.PHONY: tier1 build test clippy bench examples tables soak synth clean
 
 tier1: build test
 
@@ -22,6 +22,7 @@ examples:
 	cargo run --release --example adaptive
 	cargo run --release --example moldyn -- --quick
 	cargo run --release --example nbf -- --quick
+	cargo run --release --example synth
 	cargo run --release --example umesh
 	cargo run --release --example compiler_pipeline
 	cargo run --release --example validate_interface
@@ -31,15 +32,23 @@ tables:
 	cargo run --release -p bench --bin table1 -- --quick
 	cargo run --release -p bench --bin table2 -- --quick
 	cargo run --release -p bench --bin table_adapt -- --quick
+	cargo run --release -p bench --bin table_synth -- --quick
 	cargo run --release -p bench --bin overhead1p -- --quick
 	cargo run --release -p bench --bin figures
 	cargo run --release -p bench --bin ablation -- --quick
 
+# The full synthetic scenario grid at paper scale (minutes; the --quick
+# form runs in seconds and is part of `make tables` and CI soak).
+synth:
+	cargo run --release -p bench --bin table_synth
+
 # Nightly-style depth: high-case-count property tests (failures print a
-# PROPTEST_SEED for exact replay) + the adaptive acceptance smoke.
+# PROPTEST_SEED for exact replay and a shrunk minimal input) + the
+# adaptive and scenario-matrix acceptance smokes.
 soak:
 	PROPTEST_CASES=512 cargo test -q -p chaos -p dsm
 	cargo run --release -p bench --bin table_adapt -- --quick
+	cargo run --release -p bench --bin table_synth -- --quick
 
 clean:
 	cargo clean

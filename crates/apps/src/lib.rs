@@ -33,10 +33,13 @@
 //! the paper's timings (moldyn ≈ 267 s at one rebuild; nbf 64×1024 ≈
 //! 78 s — see `work.rs`).
 
+pub mod harness;
 pub mod moldyn;
 pub mod nbf;
 pub mod umesh;
 pub mod report;
 pub mod work;
+pub mod workload;
 
 pub use report::{RunReport, SystemKind};
+pub use workload::{run_matrix, CheckMode, Variant, Workload, WorkloadMatrix};

@@ -44,9 +44,7 @@ pub fn run_chaos(
     let w = ChaosWorld::new(nprocs, cfg.cost.clone());
     let rebuilds = cfg.rebuild_steps();
 
-    let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
-    let inspector_timed: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
-    let inspector_untimed: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
+    let cap = crate::harness::Capture::new(nprocs);
     let finals: Mutex<Vec<(usize, Vec<[f64; 3]>)>> = Mutex::new(Vec::new());
 
     w.run(|cp| {
@@ -72,7 +70,7 @@ pub fn run_chaos(
             &mut cache,
             pairs.iter().flat_map(|&(i, j)| [i, j]),
         );
-        inspector_untimed.lock()[me] = (cp.now() - t0).as_secs_f64();
+        cap.set_untimed_inspector(me, (cp.now() - t0).as_secs_f64());
         let mut locs: Vec<(chaos::Loc, chaos::Loc)> = resolve(&pairs, &tt, &sched, me);
 
         cp.start_timed_region();
@@ -146,11 +144,8 @@ pub fn run_chaos(
             cp.sync();
         }
 
-        if me == 0 {
-            let rep = cp.net().report();
-            *captured.lock() = Some((cp.net().clock_max(), rep.messages, rep.bytes));
-        }
-        inspector_timed.lock()[me] = inspector_in_region;
+        cap.freeze_chaos(cp);
+        cap.set_inspector(me, inspector_in_region);
         finals.lock().push((me, x_own));
     });
 
@@ -163,23 +158,9 @@ pub fn run_chaos(
         }
     }
 
-    let (time, messages, bytes) = captured.into_inner().expect("captured");
     let checksum = final_x.iter().flatten().map(|v| v.abs()).sum();
-    let t_in: f64 = inspector_timed.into_inner().iter().sum::<f64>() / nprocs as f64;
-    let t_un: f64 = inspector_untimed.into_inner().iter().sum::<f64>() / nprocs as f64;
     (
-        RunReport {
-            system: SystemKind::Chaos,
-            time,
-            seq_time,
-            messages,
-            bytes,
-            inspector_s: t_in,
-            untimed_inspector_s: t_un,
-            validate_scan_s: 0.0,
-            checksum,
-            policy: None,
-        },
+        cap.report(SystemKind::Chaos, seq_time, checksum, None),
         final_x,
     )
 }

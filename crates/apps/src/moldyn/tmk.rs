@@ -48,7 +48,7 @@ pub enum TmkMode {
 }
 
 impl TmkMode {
-    pub(crate) fn system_kind(self) -> SystemKind {
+    pub fn system_kind(self) -> SystemKind {
         match self {
             TmkMode::Base => SystemKind::TmkBase,
             TmkMode::Optimized => SystemKind::TmkOpt,
@@ -104,8 +104,7 @@ pub fn run_tmk(
     let npairs = cl.alloc::<i64>(nprocs);
 
     let rebuilds = cfg.rebuild_steps();
-    let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
-    let scan_secs: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
+    let cap = crate::harness::Capture::new(nprocs);
 
     cl.run(|p| {
         if mode == TmkMode::Adaptive {
@@ -247,11 +246,8 @@ pub fn run_tmk(
         }
 
         // Capture the timed region before any result extraction.
-        if me == 0 {
-            let rep = cl.report();
-            *captured.lock() = Some((cl.elapsed(), rep.messages, rep.bytes));
-        }
-        scan_secs.lock()[me] = v.scan_seconds();
+        cap.freeze_tmk(me, &cl);
+        cap.set_scan(me, v.scan_seconds());
         p.barrier();
     });
 
@@ -274,22 +270,9 @@ pub fn run_tmk(
     });
     let final_x = final_x.into_inner();
 
-    let (time, messages, bytes) = captured.into_inner().expect("captured");
     let checksum = final_x.iter().flatten().map(|v| v.abs()).sum();
-    let scan = scan_secs.into_inner();
     (
-        RunReport {
-            system: mode.system_kind(),
-            time,
-            seq_time,
-            messages,
-            bytes,
-            inspector_s: 0.0,
-            untimed_inspector_s: 0.0,
-            validate_scan_s: scan.iter().sum::<f64>() / nprocs as f64,
-            checksum,
-            policy,
-        },
+        cap.report(mode.system_kind(), seq_time, checksum, policy),
         final_x,
     )
 }

@@ -32,8 +32,7 @@ pub fn run_chaos(
     let tt = TTable::new(TTableKind::Replicated, &part);
 
     let w = ChaosWorld::new(nprocs, cfg.cost.clone());
-    let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
-    let inspector_untimed: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
+    let cap = crate::harness::Capture::new(nprocs);
     let finals: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
 
     w.run(|cp| {
@@ -53,7 +52,7 @@ pub fn run_chaos(
             &mut cache,
             world.partners[klo..khi].iter().map(|&j| j as u32 - 1),
         );
-        inspector_untimed.lock()[me] = (cp.now() - t0).as_secs_f64();
+        cap.set_untimed_inspector(me, (cp.now() - t0).as_secs_f64());
 
         // Pre-resolve each partner reference.
         let locs: Vec<chaos::Loc> = world.partners[klo..khi]
@@ -101,10 +100,7 @@ pub fn run_chaos(
             cp.sync();
         }
 
-        if me == 0 {
-            let rep = cp.net().report();
-            *captured.lock() = Some((cp.net().clock_max(), rep.messages, rep.bytes));
-        }
+        cap.freeze_chaos(cp);
         finals.lock().push((me, x_own));
     });
 
@@ -114,22 +110,9 @@ pub fn run_chaos(
         final_x[r].copy_from_slice(&block);
     }
 
-    let (time, messages, bytes) = captured.into_inner().expect("captured");
     let checksum = final_x.iter().map(|v| v.abs()).sum();
-    let t_un = inspector_untimed.into_inner().iter().sum::<f64>() / nprocs as f64;
     (
-        RunReport {
-            system: SystemKind::Chaos,
-            time,
-            seq_time,
-            messages,
-            bytes,
-            inspector_s: 0.0,
-            untimed_inspector_s: t_un,
-            validate_scan_s: 0.0,
-            checksum,
-            policy: None,
-        },
+        cap.report(SystemKind::Chaos, seq_time, checksum, None),
         final_x,
     )
 }

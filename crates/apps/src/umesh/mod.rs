@@ -232,8 +232,7 @@ pub fn run_tmk(
     let x = cl.alloc::<f64>(n);
     let ilist = cl.alloc::<i32>(2 * cap_pp * nprocs);
 
-    let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
-    let scan_secs: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
+    let cap = crate::harness::Capture::new(nprocs);
 
     cl.run(|p| {
         if mode == TmkMode::Adaptive {
@@ -320,11 +319,8 @@ pub fn run_tmk(
             p.barrier();
         }
 
-        if me == 0 {
-            let rep = cl.report();
-            *captured.lock() = Some((cl.elapsed(), rep.messages, rep.bytes));
-        }
-        scan_secs.lock()[me] = v.scan_seconds();
+        cap.freeze_tmk(me, &cl);
+        cap.set_scan(me, v.scan_seconds());
         p.barrier();
     });
 
@@ -340,22 +336,9 @@ pub fn run_tmk(
         }
     });
     let final_x = final_x.into_inner();
-    let (time, messages, bytes) = captured.into_inner().expect("captured");
     let checksum = final_x.iter().map(|v| v.abs()).sum();
-    let scan = scan_secs.into_inner();
     (
-        RunReport {
-            system: mode.system_kind(),
-            time,
-            seq_time,
-            messages,
-            bytes,
-            inspector_s: 0.0,
-            untimed_inspector_s: 0.0,
-            validate_scan_s: scan.iter().sum::<f64>() / nprocs as f64,
-            checksum,
-            policy,
-        },
+        cap.report(mode.system_kind(), seq_time, checksum, policy),
         final_x,
     )
 }
@@ -372,8 +355,7 @@ pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunRepor
     let incident = incident_lists(n, &mesh.edges);
 
     let w = ChaosWorld::new(nprocs, cfg.cost.clone());
-    let captured: Mutex<Option<(SimTime, u64, u64)>> = Mutex::new(None);
-    let insp: Mutex<Vec<f64>> = Mutex::new(vec![0.0; nprocs]);
+    let cap = crate::harness::Capture::new(nprocs);
     let finals: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
 
     w.run(|cp| {
@@ -391,7 +373,7 @@ pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunRepor
             my.clone()
                 .flat_map(|i| incident[i].iter().flat_map(|&(a, b)| [a, b])),
         );
-        insp.lock()[me] = (cp.now() - t0).as_secs_f64();
+        cap.set_untimed_inspector(me, (cp.now() - t0).as_secs_f64());
         let locs: Vec<(chaos::Loc, chaos::Loc)> = my
             .clone()
             .flat_map(|i| incident[i].iter().copied())
@@ -422,10 +404,7 @@ pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunRepor
             }
             cp.sync();
         }
-        if me == 0 {
-            let rep = cp.net().report();
-            *captured.lock() = Some((cp.net().clock_max(), rep.messages, rep.bytes));
-        }
+        cap.freeze_chaos(cp);
         finals.lock().push((me, x_own));
     });
 
@@ -433,21 +412,9 @@ pub fn run_chaos(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunRepor
     for (me, block) in finals.into_inner() {
         final_x[part.range_of(me)].copy_from_slice(&block);
     }
-    let (time, messages, bytes) = captured.into_inner().expect("captured");
     let checksum = final_x.iter().map(|v| v.abs()).sum();
     (
-        RunReport {
-            system: SystemKind::Chaos,
-            time,
-            seq_time,
-            messages,
-            bytes,
-            inspector_s: 0.0,
-            untimed_inspector_s: insp.into_inner().iter().sum::<f64>() / nprocs as f64,
-            validate_scan_s: 0.0,
-            checksum,
-            policy: None,
-        },
+        cap.report(SystemKind::Chaos, seq_time, checksum, None),
         final_x,
     )
 }

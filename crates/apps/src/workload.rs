@@ -1,0 +1,344 @@
+//! The `Workload` trait: one contract every application — moldyn, nbf,
+//! umesh, and every synthetic scenario from the `synth` crate —
+//! implements, plus the generic five-variant runner that replaces the
+//! per-app copy-pasted table harnesses.
+//!
+//! A workload is "a deterministic irregular computation that can run as
+//! any of the five system variants and hand back a flattened final
+//! state for cross-checking". The runner ([`run_matrix`]) runs the
+//! sequential reference first, feeds its simulated time to the four
+//! parallel variants, and enforces the repo's agreement contract:
+//!
+//! * the three Tmk builds (base / optimized / adaptive) are **always**
+//!   bitwise identical — the protocol layers only move fetches earlier
+//!   or later, never change data;
+//! * against the sequential reference, each workload declares its
+//!   [`CheckMode`]: `Bitwise` where the parallel reduction replays the
+//!   sequential accumulation order (umesh, all synth scenarios),
+//!   `Tolerance` where a pipelined reduction reassociates floating-point
+//!   addition (moldyn, nbf).
+
+use simnet::SimTime;
+
+use crate::moldyn::{self, MoldynConfig, MoldynWorld, TmkMode};
+use crate::nbf::{self, NbfConfig, NbfWorld};
+use crate::report::{table_header, RunReport, SystemKind};
+use crate::umesh::{self, Mesh, UmeshConfig};
+
+/// The five system variants of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    Seq,
+    TmkBase,
+    TmkOpt,
+    TmkAdaptive,
+    Chaos,
+}
+
+impl Variant {
+    pub const ALL: [Variant; 5] = [
+        Variant::Seq,
+        Variant::TmkBase,
+        Variant::TmkOpt,
+        Variant::TmkAdaptive,
+        Variant::Chaos,
+    ];
+
+    /// The four parallel variants, in table order.
+    pub const PARALLEL: [Variant; 4] = [
+        Variant::TmkBase,
+        Variant::TmkOpt,
+        Variant::TmkAdaptive,
+        Variant::Chaos,
+    ];
+
+    pub fn system_kind(self) -> SystemKind {
+        match self {
+            Variant::Seq => SystemKind::Sequential,
+            Variant::TmkBase => SystemKind::TmkBase,
+            Variant::TmkOpt => SystemKind::TmkOpt,
+            Variant::TmkAdaptive => SystemKind::TmkAdaptive,
+            Variant::Chaos => SystemKind::Chaos,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        self.system_kind().label()
+    }
+}
+
+/// Agreement contract between a parallel variant and the sequential
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckMode {
+    /// Every variant replays the sequential accumulation order: results
+    /// must be bit-for-bit equal.
+    Bitwise,
+    /// A pipelined reduction reassociates floating-point addition:
+    /// results agree to `|g - w| <= tol + tol·|w|`.
+    Tolerance(f64),
+}
+
+/// One deterministic irregular computation, runnable as all five
+/// variants.
+pub trait Workload {
+    /// Scenario label for reports (e.g. `"moldyn n=512 p4"` or
+    /// `"synth uniform/remap3/p4"`).
+    fn label(&self) -> String;
+
+    /// Run one variant. `seq_time` is the sequential reference time (for
+    /// the speedup column; ignored when `v == Variant::Seq`). Returns the
+    /// table row and the flattened final state for cross-checking.
+    fn run(&self, v: Variant, seq_time: SimTime) -> (RunReport, Vec<f64>);
+
+    /// Agreement contract vs the sequential reference.
+    fn check_mode(&self) -> CheckMode {
+        CheckMode::Tolerance(1e-9)
+    }
+}
+
+/// One completed variant run.
+pub struct VariantRun {
+    pub variant: Variant,
+    pub report: RunReport,
+    pub x: Vec<f64>,
+}
+
+/// All five runs of one workload, cross-checked.
+pub struct WorkloadMatrix {
+    pub label: String,
+    /// Sequential first, then [`Variant::PARALLEL`] in order.
+    pub runs: Vec<VariantRun>,
+}
+
+impl WorkloadMatrix {
+    pub fn get(&self, v: Variant) -> &VariantRun {
+        self.runs
+            .iter()
+            .find(|r| r.variant == v)
+            .expect("variant present")
+    }
+
+    /// Paper-style block for table harnesses.
+    pub fn print(&self) {
+        println!(
+            "\n{}  (seq = {:.1} s)",
+            self.label,
+            self.get(Variant::Seq).report.time.as_secs_f64()
+        );
+        println!("{}", table_header());
+        for r in &self.runs {
+            if r.variant != Variant::Seq {
+                println!("{}", r.report.row());
+            }
+        }
+    }
+}
+
+fn assert_close(label: &str, variant: Variant, got: &[f64], want: &[f64], tol: f64) {
+    assert_eq!(got.len(), want.len(), "{label}/{variant:?}: state length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= tol + tol * w.abs(),
+            "{label}/{variant:?}: element {i} diverged from sequential: {g} vs {w}"
+        );
+    }
+}
+
+/// Run the sequential reference and all four parallel variants of `w`,
+/// enforcing the agreement contract. Panics on any violation — this is
+/// the cross-check every table harness and test goes through.
+pub fn run_matrix(w: &(impl Workload + ?Sized)) -> WorkloadMatrix {
+    let label = w.label();
+    let (seq_report, seq_x) = w.run(Variant::Seq, SimTime::ZERO);
+    let seq_time = seq_report.time;
+    let mut runs = vec![VariantRun {
+        variant: Variant::Seq,
+        report: seq_report,
+        x: seq_x,
+    }];
+    for v in Variant::PARALLEL {
+        let (report, x) = w.run(v, seq_time);
+        match w.check_mode() {
+            CheckMode::Bitwise => {
+                assert_eq!(
+                    x, runs[0].x,
+                    "{label}/{v:?}: must be bitwise identical to sequential"
+                );
+            }
+            CheckMode::Tolerance(tol) => assert_close(&label, v, &x, &runs[0].x, tol),
+        }
+        runs.push(VariantRun {
+            variant: v,
+            report,
+            x,
+        });
+    }
+    // The Tmk trio is bitwise-identical regardless of the seq contract.
+    let matrix = WorkloadMatrix { label, runs };
+    let base = &matrix.get(Variant::TmkBase).x;
+    for v in [Variant::TmkOpt, Variant::TmkAdaptive] {
+        assert_eq!(
+            &matrix.get(v).x,
+            base,
+            "{}/{v:?}: Tmk builds must be bitwise identical",
+            matrix.label
+        );
+    }
+    matrix
+}
+
+fn flatten3(x: &[[f64; 3]]) -> Vec<f64> {
+    x.iter().flatten().copied().collect()
+}
+
+// ---------------------------------------------------------------------------
+// The three classic applications as workloads. Each delegates to the
+// app's public entry points, so the trait harness reproduces the direct
+// calls' message counts exactly.
+
+/// moldyn as a [`Workload`].
+pub struct MoldynWorkload {
+    pub cfg: MoldynConfig,
+    pub world: MoldynWorld,
+}
+
+impl MoldynWorkload {
+    pub fn new(cfg: MoldynConfig) -> Self {
+        let world = moldyn::gen_positions(&cfg);
+        MoldynWorkload { cfg, world }
+    }
+}
+
+impl Workload for MoldynWorkload {
+    fn label(&self) -> String {
+        format!(
+            "moldyn n={} rebuild@{} p{}",
+            self.cfg.n, self.cfg.update_interval, self.cfg.nprocs
+        )
+    }
+
+    fn run(&self, v: Variant, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+        match v {
+            Variant::Seq => {
+                let r = moldyn::run_seq(&self.cfg, &self.world);
+                let x = flatten3(&r.x);
+                (r.report, x)
+            }
+            Variant::TmkBase => {
+                let (r, x) = moldyn::run_tmk(&self.cfg, &self.world, TmkMode::Base, seq_time);
+                (r, flatten3(&x))
+            }
+            Variant::TmkOpt => {
+                let (r, x) = moldyn::run_tmk(&self.cfg, &self.world, TmkMode::Optimized, seq_time);
+                (r, flatten3(&x))
+            }
+            Variant::TmkAdaptive => {
+                let (r, x) = moldyn::run_adaptive(&self.cfg, &self.world, seq_time);
+                (r, flatten3(&x))
+            }
+            Variant::Chaos => {
+                let (r, x) = moldyn::run_chaos(&self.cfg, &self.world, seq_time);
+                (r, flatten3(&x))
+            }
+        }
+    }
+}
+
+/// nbf as a [`Workload`].
+pub struct NbfWorkload {
+    pub cfg: NbfConfig,
+    pub world: NbfWorld,
+}
+
+impl NbfWorkload {
+    pub fn new(cfg: NbfConfig) -> Self {
+        let world = nbf::gen_world(&cfg);
+        NbfWorkload { cfg, world }
+    }
+}
+
+impl Workload for NbfWorkload {
+    fn label(&self) -> String {
+        format!("nbf n={} p{}", self.cfg.n, self.cfg.nprocs)
+    }
+
+    fn run(&self, v: Variant, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+        match v {
+            Variant::Seq => {
+                let r = nbf::run_seq(&self.cfg, &self.world);
+                let x = r.x.clone();
+                (r.report, x)
+            }
+            Variant::TmkBase => nbf::run_tmk(&self.cfg, &self.world, TmkMode::Base, seq_time),
+            Variant::TmkOpt => nbf::run_tmk(&self.cfg, &self.world, TmkMode::Optimized, seq_time),
+            Variant::TmkAdaptive => nbf::run_adaptive(&self.cfg, &self.world, seq_time),
+            Variant::Chaos => nbf::run_chaos(&self.cfg, &self.world, seq_time),
+        }
+    }
+}
+
+/// umesh as a [`Workload`]. Its fixed-order owner-side reduction makes
+/// the contract bitwise against the sequential reference.
+pub struct UmeshWorkload {
+    pub cfg: UmeshConfig,
+    pub mesh: Mesh,
+}
+
+impl UmeshWorkload {
+    pub fn new(cfg: UmeshConfig) -> Self {
+        let mesh = umesh::gen_mesh(&cfg);
+        UmeshWorkload { cfg, mesh }
+    }
+}
+
+impl Workload for UmeshWorkload {
+    fn label(&self) -> String {
+        format!("umesh {}x{} p{}", self.cfg.side, self.cfg.side, self.cfg.nprocs)
+    }
+
+    fn check_mode(&self) -> CheckMode {
+        CheckMode::Bitwise
+    }
+
+    fn run(&self, v: Variant, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+        match v {
+            Variant::Seq => {
+                let r = umesh::run_seq(&self.cfg, &self.mesh);
+                let x = r.x.clone();
+                (r.report, x)
+            }
+            Variant::TmkBase => umesh::run_tmk(&self.cfg, &self.mesh, TmkMode::Base, seq_time),
+            Variant::TmkOpt => umesh::run_tmk(&self.cfg, &self.mesh, TmkMode::Optimized, seq_time),
+            Variant::TmkAdaptive => umesh::run_adaptive(&self.cfg, &self.mesh, seq_time),
+            Variant::Chaos => umesh::run_chaos(&self.cfg, &self.mesh, seq_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_labels_match_system_kinds() {
+        assert_eq!(Variant::Seq.label(), "seq");
+        assert_eq!(Variant::TmkBase.label(), "Tmk base");
+        assert_eq!(Variant::Chaos.label(), "CHAOS");
+        assert_eq!(Variant::ALL.len(), 5);
+        assert_eq!(Variant::PARALLEL.len(), 4);
+        assert!(!Variant::PARALLEL.contains(&Variant::Seq));
+    }
+
+    #[test]
+    fn umesh_matrix_runs_and_cross_checks() {
+        let w = UmeshWorkload::new(UmeshConfig::small());
+        let m = run_matrix(&w);
+        assert_eq!(m.runs.len(), 5);
+        // The runner already asserted bitwise agreement; spot-check the
+        // protocol shape survives the trait indirection.
+        assert!(
+            m.get(Variant::TmkOpt).report.messages < m.get(Variant::TmkBase).report.messages
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Golden message/byte counts of the three classic applications at test
+//! scale, asserted **through the `Workload` trait harness**. The numbers
+//! were captured from the pre-refactor per-app harnesses (PR 2 state);
+//! the trait runner must reproduce them exactly — the refactor moved
+//! report bookkeeping only, never protocol behavior. The simulation is
+//! deterministic, so these are equalities, not tolerances.
+//!
+//! If a *protocol* change legitimately shifts these numbers, update the
+//! table below in the same commit and say why in its message.
+
+use apps::moldyn::MoldynConfig;
+use apps::nbf::NbfConfig;
+use apps::umesh::UmeshConfig;
+use apps::workload::{run_matrix, MoldynWorkload, NbfWorkload, UmeshWorkload, Variant, Workload};
+
+/// `(variant, messages, bytes)` captured from the direct per-app calls
+/// before the `Workload` refactor.
+type Golden = [(Variant, u64, u64); 4];
+
+fn assert_golden(w: &dyn Workload, golden: &Golden) {
+    let m = run_matrix(w);
+    for &(v, messages, bytes) in golden {
+        let r = &m.get(v).report;
+        assert_eq!(
+            (r.messages, r.bytes),
+            (messages, bytes),
+            "{} {:?}: pre-refactor counts not reproduced",
+            m.label,
+            v
+        );
+    }
+}
+
+#[test]
+fn moldyn_small_reproduces_pre_refactor_counts() {
+    assert_golden(
+        &MoldynWorkload::new(MoldynConfig::small()),
+        &[
+            (Variant::TmkBase, 1250, 617_796),
+            (Variant::TmkOpt, 414, 338_596),
+            (Variant::TmkAdaptive, 990, 713_104),
+            (Variant::Chaos, 180, 167_120),
+        ],
+    );
+}
+
+#[test]
+fn nbf_small_reproduces_pre_refactor_counts() {
+    assert_golden(
+        &NbfWorkload::new(NbfConfig::small()),
+        &[
+            (Variant::TmkBase, 624, 326_016),
+            (Variant::TmkOpt, 240, 150_816),
+            (Variant::TmkAdaptive, 576, 394_944),
+            (Variant::Chaos, 96, 129_216),
+        ],
+    );
+}
+
+#[test]
+fn umesh_small_reproduces_pre_refactor_counts() {
+    assert_golden(
+        &UmeshWorkload::new(UmeshConfig::small()),
+        &[
+            (Variant::TmkBase, 218, 101_536),
+            (Variant::TmkOpt, 134, 100_576),
+            (Variant::TmkAdaptive, 218, 126_592),
+            (Variant::Chaos, 78, 11_344),
+        ],
+    );
+}

@@ -49,6 +49,8 @@ fn bench_rsd(c: &mut Criterion) {
     g.bench_function("intersect_strided", |b| {
         b.iter(|| a.intersect(black_box(&b2)))
     });
+    // Before/after the dense-bitmap `finish` (PR 3): 105.8 µs with the
+    // sort-based build → 31.8 µs bitmap (~10.6 → ~3.2 ns/insert).
     g.bench_function("pageset_build_10k", |b| {
         b.iter(|| {
             let mut s = PageSet::with_capacity(10_000);

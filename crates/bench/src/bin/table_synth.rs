@@ -1,0 +1,165 @@
+//! The scenario-matrix harness: every cell of the synthetic grid
+//! (interaction structure × indirection dynamics × nprocs) runs all
+//! five system variants through the generic `Workload` runner, printing
+//! a message/time matrix from the `simnet` counters.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table_synth            # paper scale
+//! cargo run --release -p bench --bin table_synth -- --quick # seconds scale
+//! ```
+//!
+//! The run is also the subsystem's acceptance check. Per scenario:
+//!
+//! * all five variants agree **bitwise** (asserted inside
+//!   `run_matrix` — the fixed-order owner-side reduction contract);
+//! * the adaptive policy never sends more messages than plain Tmk;
+//! * on *static*-indirection scenarios CHAOS beats plain Tmk on both
+//!   messages and time, as the paper predicts (its inspector amortizes
+//!   perfectly when the list never changes).
+//!
+//! In `--quick` mode it additionally re-runs the three classic apps
+//! through the `Workload` trait and asserts the counts equal the direct
+//! per-app calls' — the refactor-safety check that the trait harness
+//! changes nothing.
+
+use apps::moldyn::{self, MoldynConfig, TmkMode};
+use apps::nbf::{self, NbfConfig};
+use apps::umesh::{self, UmeshConfig};
+use apps::workload::{
+    run_matrix, MoldynWorkload, NbfWorkload, UmeshWorkload, Variant, WorkloadMatrix,
+};
+use bench::Scale;
+use synth::{scenario_grid, Dynamics, Scenario};
+
+fn print_matrix_row(m: &WorkloadMatrix) {
+    let cell = |v: Variant| {
+        let r = &m.get(v).report;
+        format!("{:>7} {:>8.1}s", r.messages, r.time.as_secs_f64())
+    };
+    println!(
+        "{:<24} {:>9.1}s | {} | {} | {} | {}",
+        m.label,
+        m.get(Variant::Seq).report.time.as_secs_f64(),
+        cell(Variant::TmkBase),
+        cell(Variant::TmkOpt),
+        cell(Variant::TmkAdaptive),
+        cell(Variant::Chaos),
+    );
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let quick = scale == Scale::Quick;
+    println!("=== table_synth: the synthetic scenario matrix ===");
+    println!("(structure × dynamics × nprocs; five variants per cell; all cells");
+    println!(" cross-checked bitwise; messages and simulated seconds per variant)\n");
+    println!(
+        "{:<24} {:>10} | {:^16} | {:^16} | {:^16} | {:^16}",
+        "scenario", "seq", "Tmk base", "Tmk optimized", "Tmk adaptive", "CHAOS"
+    );
+
+    let grid = scenario_grid(quick);
+    let ncells = grid.len();
+    let mut static_wins = 0usize;
+    for cfg in grid {
+        let is_static = cfg.dynamics == Dynamics::Static;
+        let scenario = Scenario::new(cfg);
+        let m = run_matrix(&scenario); // asserts 5-way bitwise agreement
+        print_matrix_row(&m);
+
+        let base = &m.get(Variant::TmkBase).report;
+        let adaptive = &m.get(Variant::TmkAdaptive).report;
+        let chaos = &m.get(Variant::Chaos).report;
+        assert!(
+            adaptive.messages <= base.messages,
+            "{}: adaptive sent MORE messages than plain Tmk ({} > {})",
+            m.label,
+            adaptive.messages,
+            base.messages
+        );
+        if is_static {
+            assert!(
+                chaos.messages < base.messages && chaos.time < base.time,
+                "{}: CHAOS must win on static indirection (msgs {} vs {}, {:.1}s vs {:.1}s)",
+                m.label,
+                chaos.messages,
+                base.messages,
+                chaos.time.as_secs_f64(),
+                base.time.as_secs_f64()
+            );
+            static_wins += 1;
+        }
+    }
+    println!("\n{ncells}-cell grid: all five variants bitwise-identical per scenario,");
+    println!("adaptive ≤ plain Tmk messages everywhere, CHAOS won all {static_wins} static cells  ✓");
+
+    if quick {
+        classic_apps_through_trait();
+    }
+}
+
+/// The refactor-safety check: each classic app, run through the
+/// `Workload` trait, must reproduce the direct per-app calls' counts
+/// exactly (`run_matrix` checked physics agreement already).
+fn classic_apps_through_trait() {
+    println!("\n--- classic apps through the Workload trait (vs direct calls) ---");
+
+    let cfg = MoldynConfig::small();
+    let w = MoldynWorkload::new(cfg.clone());
+    let m = run_matrix(&w);
+    let seq = moldyn::run_seq(&cfg, &w.world);
+    let direct = [
+        (Variant::TmkBase, moldyn::run_tmk(&cfg, &w.world, TmkMode::Base, seq.report.time).0),
+        (Variant::TmkOpt, moldyn::run_tmk(&cfg, &w.world, TmkMode::Optimized, seq.report.time).0),
+        (Variant::TmkAdaptive, moldyn::run_adaptive(&cfg, &w.world, seq.report.time).0),
+        (Variant::Chaos, moldyn::run_chaos(&cfg, &w.world, seq.report.time).0),
+    ];
+    assert_counts_match(&m, &direct);
+
+    let cfg = NbfConfig::small();
+    let w = NbfWorkload::new(cfg.clone());
+    let m = run_matrix(&w);
+    let seq = nbf::run_seq(&cfg, &w.world);
+    let direct = [
+        (Variant::TmkBase, nbf::run_tmk(&cfg, &w.world, TmkMode::Base, seq.report.time).0),
+        (Variant::TmkOpt, nbf::run_tmk(&cfg, &w.world, TmkMode::Optimized, seq.report.time).0),
+        (Variant::TmkAdaptive, nbf::run_adaptive(&cfg, &w.world, seq.report.time).0),
+        (Variant::Chaos, nbf::run_chaos(&cfg, &w.world, seq.report.time).0),
+    ];
+    assert_counts_match(&m, &direct);
+
+    let cfg = UmeshConfig::small();
+    let w = UmeshWorkload::new(cfg.clone());
+    let m = run_matrix(&w);
+    let seq = umesh::run_seq(&cfg, &w.mesh);
+    let direct = [
+        (Variant::TmkBase, umesh::run_tmk(&cfg, &w.mesh, TmkMode::Base, seq.report.time).0),
+        (Variant::TmkOpt, umesh::run_tmk(&cfg, &w.mesh, TmkMode::Optimized, seq.report.time).0),
+        (Variant::TmkAdaptive, umesh::run_adaptive(&cfg, &w.mesh, seq.report.time).0),
+        (Variant::Chaos, umesh::run_chaos(&cfg, &w.mesh, seq.report.time).0),
+    ];
+    assert_counts_match(&m, &direct);
+
+    println!("moldyn, nbf, umesh: trait-harness counts == direct-call counts  ✓");
+}
+
+fn assert_counts_match(m: &WorkloadMatrix, direct: &[(Variant, apps::RunReport)]) {
+    for (v, d) in direct {
+        let t = &m.get(*v).report;
+        assert_eq!(
+            (t.messages, t.bytes),
+            (d.messages, d.bytes),
+            "{} {:?}: trait harness diverged from direct call",
+            m.label,
+            v
+        );
+    }
+    println!(
+        "{:<24} base {:>6} msgs | opt {:>6} | adaptive {:>6} | CHAOS {:>6}   (= direct)",
+        m.label,
+        m.get(Variant::TmkBase).report.messages,
+        m.get(Variant::TmkOpt).report.messages,
+        m.get(Variant::TmkAdaptive).report.messages,
+        m.get(Variant::Chaos).report.messages,
+    );
+}

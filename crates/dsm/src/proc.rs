@@ -346,30 +346,65 @@ impl<'c> TmkProc<'c> {
             records: Vec<Record>,
             master: bool,
         }
+        // 1a: per invalid page, the highest pending seq per source.
         let mut needs: Vec<Need> = Vec::new();
+        let mut uptos: Vec<Vec<u32>> = Vec::new(); // parallel to `needs`
         for &page in pages {
             let f = &mut self.inner.frames[page as usize];
             if f.state != PageState::Invalid {
                 continue;
             }
-            // Highest pending seq per source, above what is applied.
             let mut upto: Vec<u32> = vec![0; self.nprocs];
             for (q, seq) in f.pending.drain(..) {
                 if seq > f.applied[q] && seq > upto[q] {
                     upto[q] = seq;
                 }
             }
-            let mut records = Vec::new();
-            let mut master = false;
-            for (q, &u) in upto.iter().enumerate() {
-                if u == 0 {
-                    continue;
-                }
-                debug_assert_ne!(q, self.me, "own writes are always applied");
-                let c = self.cl.store().collect(q, page, f.applied[q], u);
-                records.extend(c.records);
-                master |= c.needs_master;
+            needs.push(Need {
+                page,
+                records: Vec::new(),
+                master: false,
+            });
+            uptos.push(upto);
+        }
+        // 1b: one store-lock round per serving processor resolves every
+        // pending record of every page in the fetch (collect_batch),
+        // instead of one lock round per (page, processor) pair.
+        // `q` is a ProcId addressing the store and the per-need upto
+        // columns, not a plain index walk.
+        #[allow(clippy::needless_range_loop)]
+        for q in 0..self.nprocs {
+            let reqs: Vec<(usize, (u32, u32, u32))> = needs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| uptos[i][q] > 0)
+                .map(|(i, n)| {
+                    (
+                        i,
+                        (
+                            n.page,
+                            self.inner.frames[n.page as usize].applied[q],
+                            uptos[i][q],
+                        ),
+                    )
+                })
+                .collect();
+            if reqs.is_empty() {
+                continue;
             }
+            debug_assert_ne!(q, self.me, "own writes are always applied");
+            let batch: Vec<(u32, u32, u32)> = reqs.iter().map(|&(_, r)| r).collect();
+            let collected = self.cl.store().collect_batch(q, &batch);
+            for ((i, _), c) in reqs.into_iter().zip(collected) {
+                needs[i].records.extend(c.records);
+                needs[i].master |= c.needs_master;
+            }
+        }
+        // 1c: master-copy resolution (rare GC path) + pruning, per page.
+        for (n, upto) in needs.iter_mut().zip(&uptos) {
+            let page = n.page;
+            let mut records = std::mem::take(&mut n.records);
+            let mut master = n.master;
             if master {
                 // Some needed records were folded into the master page.
                 // The master snapshot replaces the WHOLE page as of the
@@ -414,11 +449,8 @@ impl<'c> TmkProc<'c> {
                 }
             }
             records.sort_by_key(|r| r.key());
-            needs.push(Need {
-                page,
-                records,
-                master,
-            });
+            n.records = records;
+            n.master = master;
         }
         if needs.is_empty() {
             return;

@@ -95,9 +95,7 @@ impl DiffStore {
         });
     }
 
-    /// Records of `proc` for `page` with `after < seq <= upto`.
-    pub(crate) fn collect(&self, proc: ProcId, page: u32, after: u32, upto: u32) -> Collected {
-        let map = self.per_proc[proc].read();
+    fn collect_locked(map: &HashMap<u32, PageLog>, page: u32, after: u32, upto: u32) -> Collected {
         match map.get(&page) {
             None => Collected {
                 records: Vec::new(),
@@ -118,6 +116,22 @@ impl DiffStore {
                 }
             }
         }
+    }
+
+    /// Records of `proc` for `page` with `after < seq <= upto`.
+    pub(crate) fn collect(&self, proc: ProcId, page: u32, after: u32, upto: u32) -> Collected {
+        Self::collect_locked(&self.per_proc[proc].read(), page, after, upto)
+    }
+
+    /// Batched [`DiffStore::collect`]: resolve every pending
+    /// `(page, after, upto)` request against `proc`'s log under a
+    /// *single* lock acquisition — one page-fetch round used to take one
+    /// lock round per record.
+    pub(crate) fn collect_batch(&self, proc: ProcId, reqs: &[(u32, u32, u32)]) -> Vec<Collected> {
+        let map = self.per_proc[proc].read();
+        reqs.iter()
+            .map(|&(page, after, upto)| Self::collect_locked(&map, page, after, upto))
+            .collect()
     }
 
     /// The master copy of `page` (zeros if never folded) and the fold
@@ -215,6 +229,28 @@ mod tests {
         let c = s.collect(0, 7, 1, 2);
         assert_eq!(c.records.len(), 1);
         assert_eq!(c.records[0].seq, 2);
+    }
+
+    #[test]
+    fn collect_batch_matches_per_record_collects() {
+        let s = DiffStore::new(2, 64);
+        s.publish(0, 7, 1, vec![1, 0].into(), diff_payload(64, 0, 1));
+        s.publish(0, 7, 2, vec![2, 0].into(), diff_payload(64, 8, 2));
+        s.publish(0, 9, 1, vec![1, 0].into(), diff_payload(64, 16, 3));
+        let reqs = [(7u32, 0u32, 2u32), (9, 0, 1), (11, 0, 3), (9, 1, 1)];
+        let batch = s.collect_batch(0, &reqs);
+        assert_eq!(batch.len(), reqs.len());
+        for (&(page, after, upto), b) in reqs.iter().zip(&batch) {
+            let single = s.collect(0, page, after, upto);
+            assert_eq!(b.needs_master, single.needs_master, "page {page}");
+            assert_eq!(b.records.len(), single.records.len(), "page {page}");
+            for (x, y) in b.records.iter().zip(&single.records) {
+                assert_eq!((x.proc, x.seq), (y.proc, y.seq));
+            }
+        }
+        // The missing-log case still reports needs_master inside a batch.
+        assert!(batch[2].needs_master);
+        assert!(batch[2].records.is_empty());
     }
 
     #[test]

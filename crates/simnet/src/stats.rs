@@ -276,6 +276,9 @@ pub struct NetReport {
     pub messages: u64,
     pub bytes: u64,
     pub per_kind: Vec<(MsgKind, u64, u64)>,
+    /// Scenario label of the cluster the snapshot came from (set via
+    /// `Net::set_label` by scenario-matrix harnesses), `None` elsewhere.
+    pub label: Option<String>,
 }
 
 impl NetReport {
@@ -288,6 +291,7 @@ impl NetReport {
                 .map(|&k| (k, stats.messages_of(k), stats.bytes_of(k)))
                 .filter(|&(_, m, b)| m > 0 || b > 0)
                 .collect(),
+            label: None,
         }
     }
 
@@ -327,6 +331,7 @@ impl NetReport {
             messages: self.messages - earlier.messages,
             bytes: self.bytes - earlier.bytes,
             per_kind,
+            label: self.label.clone(),
         }
     }
 }

@@ -1,0 +1,210 @@
+//! Indirection-array dynamics: *when and how* the interaction list
+//! changes over the run. This axis is what separates the paper's three
+//! kernels (nbf: static; moldyn: periodic wholesale rebuild) and what
+//! the adaptive engine's need-gap predictor feeds on — including the
+//! multi-periodic interleavings no fixed app exercises.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::structure::Structure;
+
+/// How the indirection array evolves across iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dynamics {
+    /// The list never changes (nbf's regime: inspector amortizes
+    /// perfectly, CHAOS should win).
+    Static,
+    /// The whole list is regenerated every `period` iterations
+    /// (moldyn's regime, parameterized).
+    PeriodicRemap { period: usize },
+    /// Incremental drift: every iteration, `per_mille`/1000 of the raw
+    /// candidate pairs are rewritten — the list is never stable, but
+    /// most of it survives each step.
+    Drift { per_mille: u32 },
+    /// Two halves of the list remapping on different periods — the
+    /// multi-periodic need-gap pattern from the ROADMAP's untested
+    /// adaptive directions (e.g. period 3 interleaved with period 5).
+    MultiPeriodic { p1: usize, p2: usize },
+}
+
+impl Dynamics {
+    /// Short tag for scenario labels.
+    pub fn tag(&self) -> String {
+        match self {
+            Dynamics::Static => "static".into(),
+            Dynamics::PeriodicRemap { period } => format!("remap{period}"),
+            Dynamics::Drift { per_mille } => format!("drift{per_mille}"),
+            Dynamics::MultiPeriodic { p1, p2 } => format!("multi{p1}x{p2}"),
+        }
+    }
+
+    /// A value that changes exactly when the effective list changes.
+    /// Iterations are 0-based; iteration 0 always has version
+    /// `self.version(0)` built untimed during initialization.
+    pub fn version(&self, iter: usize) -> u64 {
+        match *self {
+            Dynamics::Static => 0,
+            Dynamics::PeriodicRemap { period } => (iter / period) as u64,
+            Dynamics::Drift { .. } => iter as u64,
+            Dynamics::MultiPeriodic { p1, p2 } => (((iter / p1) as u64) << 32) | (iter / p2) as u64,
+        }
+    }
+
+    /// Does the list change at (the start of) `iter`, relative to
+    /// `iter - 1`? Iteration 0 is the untimed initial build.
+    pub fn remaps_at(&self, iter: usize) -> bool {
+        iter > 0 && self.version(iter) != self.version(iter - 1)
+    }
+}
+
+/// SplitMix-style mixer for deriving per-version generator seeds.
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The raw candidate list in force at `iter` (before [`normalize`]):
+/// a pure function of `(structure, dynamics, n, refs, seed, iter)`, so
+/// every variant sees the identical structure with no shared state.
+///
+/// [`normalize`]: crate::structure::normalize
+pub fn raw_for_iter(
+    structure: &Structure,
+    dynamics: &Dynamics,
+    n: usize,
+    refs: usize,
+    seed: u64,
+    iter: usize,
+) -> Vec<(u32, u32)> {
+    match *dynamics {
+        Dynamics::Static => structure.gen_raw(n, refs, seed),
+        Dynamics::PeriodicRemap { period } => {
+            structure.gen_raw(n, refs, mix(seed, (iter / period) as u64))
+        }
+        Dynamics::Drift { per_mille } => {
+            let mut raw = structure.gen_raw(n, refs, seed);
+            for round in 1..=iter {
+                drift_round(structure, &mut raw, n, seed, round, per_mille);
+            }
+            raw
+        }
+        Dynamics::MultiPeriodic { p1, p2 } => {
+            let half = refs / 2;
+            let mut raw =
+                structure.gen_raw(n, half, mix(seed ^ 0x5150, (iter / p1) as u64));
+            raw.extend(structure.gen_raw(
+                n,
+                refs - half,
+                mix(seed ^ 0xA0A0, (iter / p2) as u64),
+            ));
+            raw
+        }
+    }
+}
+
+/// One drift round applied in place: rewrite `per_mille`/1000 of the
+/// raw candidates, deterministically in `(seed, round)`. Exposed so
+/// `gen_world` can evolve a drift list incrementally — round `r` builds
+/// on round `r-1` — instead of replaying every round from scratch per
+/// iteration (which made setup quadratic in iteration count).
+pub fn drift_round(
+    structure: &Structure,
+    raw: &mut [(u32, u32)],
+    n: usize,
+    seed: u64,
+    round: usize,
+    per_mille: u32,
+) {
+    let refs = raw.len();
+    let k = (refs * per_mille as usize / 1000).max(1);
+    let mut rng = StdRng::seed_from_u64(mix(seed, round as u64));
+    for _ in 0..k {
+        let at = rng.gen_range(0..refs);
+        raw[at] = structure.gen_pair(n, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::normalize;
+
+    const S: Structure = Structure::Uniform;
+
+    #[test]
+    fn version_schedules() {
+        let d = Dynamics::PeriodicRemap { period: 3 };
+        let versions: Vec<u64> = (0..10).map(|i| d.version(i)).collect();
+        assert_eq!(versions, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        assert!(!d.remaps_at(0));
+        assert!(d.remaps_at(3) && d.remaps_at(6) && d.remaps_at(9));
+        assert!(!d.remaps_at(4));
+
+        assert_eq!(Dynamics::Static.version(99), 0);
+        assert!(Dynamics::Drift { per_mille: 10 }.remaps_at(1));
+    }
+
+    #[test]
+    fn multi_periodic_changes_on_either_period() {
+        let d = Dynamics::MultiPeriodic { p1: 3, p2: 5 };
+        let remaps: Vec<usize> = (1..16).filter(|&i| d.remaps_at(i)).collect();
+        assert_eq!(remaps, vec![3, 5, 6, 9, 10, 12, 15]);
+    }
+
+    #[test]
+    fn static_list_is_constant_and_remap_changes_it() {
+        let a = raw_for_iter(&S, &Dynamics::Static, 256, 512, 1, 0);
+        let b = raw_for_iter(&S, &Dynamics::Static, 256, 512, 1, 7);
+        assert_eq!(a, b);
+        let d = Dynamics::PeriodicRemap { period: 2 };
+        let v0 = raw_for_iter(&S, &d, 256, 512, 1, 1);
+        let v1 = raw_for_iter(&S, &d, 256, 512, 1, 2);
+        assert_ne!(v0, v1);
+        assert_eq!(v1, raw_for_iter(&S, &d, 256, 512, 1, 3));
+    }
+
+    #[test]
+    fn drift_changes_little_per_iteration() {
+        let d = Dynamics::Drift { per_mille: 20 };
+        let a = raw_for_iter(&S, &d, 256, 1000, 1, 4);
+        let b = raw_for_iter(&S, &d, 256, 1000, 1, 5);
+        let changed = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(changed > 0, "drift must change something");
+        assert!(changed <= 20, "drift changed {changed} > 2% of refs");
+        // Cumulative application is deterministic.
+        assert_eq!(b, raw_for_iter(&S, &d, 256, 1000, 1, 5));
+    }
+
+    #[test]
+    fn multi_periodic_halves_move_independently() {
+        let d = Dynamics::MultiPeriodic { p1: 3, p2: 5 };
+        let half = 500;
+        // Iter 3: p1 half remapped, p2 half unchanged (vs iter 2).
+        let a = raw_for_iter(&S, &d, 256, 1000, 1, 2);
+        let b = raw_for_iter(&S, &d, 256, 1000, 1, 3);
+        assert_ne!(a[..half], b[..half]);
+        assert_eq!(a[half..], b[half..]);
+        // Iter 5: p2 half remapped, p1 half unchanged (vs iter 4).
+        let c = raw_for_iter(&S, &d, 256, 1000, 1, 4);
+        let e = raw_for_iter(&S, &d, 256, 1000, 1, 5);
+        assert_eq!(c[..half], e[..half]);
+        assert_ne!(c[half..], e[half..]);
+    }
+
+    #[test]
+    fn normalized_lists_nonempty_for_all_dynamics() {
+        for d in [
+            Dynamics::Static,
+            Dynamics::PeriodicRemap { period: 3 },
+            Dynamics::Drift { per_mille: 10 },
+            Dynamics::MultiPeriodic { p1: 3, p2: 5 },
+        ] {
+            for it in 0..8 {
+                assert!(!normalize(&raw_for_iter(&S, &d, 128, 400, 9, it)).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The generic gather–compute–scatter reduction kernel, in all five
+//! system variants.
+//!
+//! Each iteration walks the effective interaction list: a *flux* is
+//! computed from the two endpoint values and accumulated into both
+//! (`+` into the higher endpoint, `-` into the lower, like umesh's edge
+//! relaxation), then every element absorbs its accumulator. The flux
+//! weight `kappa` is sized from the hottest element's degree so the
+//! relaxation is a contraction for every generated structure.
+//!
+//! All parallel builds use the fixed-order **owner-side** reduction
+//! (the owner of element `i` recomputes each of `i`'s incident fluxes
+//! from the coherent start-of-iteration values, in global list order),
+//! so seq, Tmk base, Tmk optimized, Tmk adaptive, and CHAOS agree
+//! **bitwise** on every scenario — the contract `table_synth` asserts
+//! across the whole grid.
+
+use parking_lot::Mutex;
+use rsd::{Dim, Rsd};
+use sdsm_core::{validate, AccessType, Cluster, Desc, DsmConfig, RegionRef, Validator};
+use simnet::SimTime;
+
+use apps::harness::Capture;
+use apps::report::{RunReport, SystemKind};
+use apps::work;
+use chaos::{
+    block_partition, gather, inspector, ChaosWorld, Ghosted, Partition, TTable, TTableCache,
+    TTableKind,
+};
+
+use crate::{SynthConfig, SynthWorld, TmkMode};
+
+/// Modeled cost of one incident-flux evaluation (per visit; cross-block
+/// pairs are evaluated by both endpoint owners, as in umesh).
+pub const REF_US: f64 = 20.0;
+
+/// Modeled cost of scanning one raw candidate during a list rebuild
+/// (divided evenly across processors in the parallel builds).
+pub const REMAP_US: f64 = 2.0;
+
+/// One element's contribution from one incident pair, exactly as the
+/// sequential sweep applies it.
+#[inline]
+fn accumulate(acc: &mut f64, node: u32, a: u32, flux: f64) {
+    if node == a {
+        *acc -= flux;
+    } else {
+        *acc += flux;
+    }
+}
+
+/// The sequential reference: real arithmetic, modeled time. In-loop
+/// list rebuilds are timed (like moldyn's); the initial build is
+/// initialization.
+pub fn run_seq(cfg: &SynthConfig, world: &SynthWorld) -> (RunReport, Vec<f64>) {
+    let n = cfg.n;
+    let mut x = world.x0.clone();
+    let mut acc = vec![0.0f64; n];
+    let mut time = SimTime::ZERO;
+    let mut cur_ver = world.version_of_iter[0];
+    for it in 0..cfg.iters {
+        let ver = world.version_of_iter[it];
+        if ver != cur_ver {
+            time += work::t(REMAP_US, cfg.refs);
+            cur_ver = ver;
+        }
+        let list = &world.lists[ver];
+        acc.iter_mut().for_each(|a| *a = 0.0);
+        for &(a, b) in list {
+            let flux = (x[a as usize] - x[b as usize]) * world.kappa;
+            acc[a as usize] -= flux;
+            acc[b as usize] += flux;
+        }
+        for (xi, a) in x.iter_mut().zip(&acc) {
+            *xi += a;
+        }
+        time += work::t(REF_US, list.len()) + work::t(work::ZERO_US, 2 * n);
+    }
+    let checksum = x.iter().map(|v| v.abs()).sum();
+    (
+        RunReport {
+            system: SystemKind::Sequential,
+            time,
+            seq_time: time,
+            messages: 0,
+            bytes: 0,
+            inspector_s: 0.0,
+            untimed_inspector_s: 0.0,
+            validate_scan_s: 0.0,
+            checksum,
+            policy: None,
+        },
+        x,
+    )
+}
+
+/// Per-version, per-processor owner-side work plan, precomputed once
+/// (untimed setup) and shared by the Tmk and CHAOS builds.
+pub(crate) struct Plan {
+    pub part: Partition,
+    /// `flat[v][q]`: proc `q`'s owned incident pairs under version `v`,
+    /// concatenated in global list order.
+    pub flat: Vec<Vec<Vec<(u32, u32)>>>,
+    /// `deg[v][q][li]`: incident count of `q`'s `li`-th owned element.
+    pub deg: Vec<Vec<Vec<usize>>>,
+    /// Capacity of one processor's shared-list section, in pairs.
+    pub cap_pp: usize,
+}
+
+pub(crate) fn plan(cfg: &SynthConfig, world: &SynthWorld) -> Plan {
+    let n = cfg.n;
+    let nprocs = cfg.nprocs;
+    let part = block_partition(n, nprocs);
+    let mut flat = Vec::with_capacity(world.lists.len());
+    let mut deg = Vec::with_capacity(world.lists.len());
+    for list in &world.lists {
+        let mut incident: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for &(a, b) in list {
+            incident[a as usize].push((a, b));
+            incident[b as usize].push((a, b));
+        }
+        let mut vflat = Vec::with_capacity(nprocs);
+        let mut vdeg = Vec::with_capacity(nprocs);
+        for q in 0..nprocs {
+            let r = part.range_of(q);
+            let mut f = Vec::new();
+            let mut d = Vec::with_capacity(r.len());
+            for i in r {
+                d.push(incident[i].len());
+                f.extend_from_slice(&incident[i]);
+            }
+            vflat.push(f);
+            vdeg.push(d);
+        }
+        flat.push(vflat);
+        deg.push(vdeg);
+    }
+    let cap_pp = flat
+        .iter()
+        .flat_map(|v| v.iter().map(Vec::len))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    Plan {
+        part,
+        flat,
+        deg,
+        cap_pp,
+    }
+}
+
+/// The kernel on the DSM: base / optimized / adaptive, selected by
+/// `mode` exactly as in the three classic apps.
+pub fn run_tmk(
+    cfg: &SynthConfig,
+    world: &SynthWorld,
+    mode: TmkMode,
+    seq_time: SimTime,
+) -> (RunReport, Vec<f64>) {
+    let n = cfg.n;
+    let nprocs = cfg.nprocs;
+    let pl = plan(cfg, world);
+    let cap_pp = pl.cap_pp;
+
+    let cl = Cluster::new(DsmConfig {
+        nprocs,
+        page_size: cfg.page_size,
+        cost: cfg.cost.clone(),
+    });
+    cl.net().set_label(&cfg.label());
+    let x = cl.alloc::<f64>(n);
+    let ilist = cl.alloc::<i32>(2 * cap_pp * nprocs);
+
+    let cap = Capture::new(nprocs);
+
+    cl.run(|p| {
+        if mode == TmkMode::Adaptive {
+            p.set_policy(Box::new(adapt::AdaptivePolicy::new(cfg.adapt.clone())));
+        }
+        let me = p.rank();
+        let my = pl.part.range_of(me);
+        let my_start = me * cap_pp;
+        let mut v = if mode == TmkMode::Optimized {
+            Validator::incremental()
+        } else {
+            Validator::new()
+        };
+        let mut acc = vec![0.0f64; my.len()];
+
+        // Writes this processor's current incident section into the
+        // shared list (1-based entries, Fortran-style like the apps).
+        let write_section = |p: &mut sdsm_core::TmkProc, sec: &[(u32, u32)]| {
+            for (k, &(a, b)) in sec.iter().enumerate() {
+                let flat = 2 * (my_start + k);
+                p.write(&ilist, flat, a as i32 + 1);
+                p.write(&ilist, flat + 1, b as i32 + 1);
+            }
+        };
+
+        // --- untimed init: own x block + version-0 incident section ---
+        for i in my.clone() {
+            p.write(&x, i, world.x0[i]);
+        }
+        let mut cur_ver = world.version_of_iter[0];
+        write_section(p, &pl.flat[cur_ver][me]);
+        p.barrier();
+        p.start_timed_region();
+        p.reset_counters();
+
+        for it in 0..cfg.iters {
+            let ver = world.version_of_iter[it];
+            if ver != cur_ver {
+                // Rebuild: regenerate (balanced candidate scan) and
+                // rewrite this processor's section of the shared list.
+                write_section(p, &pl.flat[ver][me]);
+                p.compute(work::t(REMAP_US, cfg.refs / nprocs));
+                p.barrier();
+                cur_ver = ver;
+            }
+            let my_flat = pl.flat[ver][me].len();
+            if mode == TmkMode::Optimized && my_flat > 0 {
+                validate(
+                    p,
+                    &mut v,
+                    &[
+                        // Endpoint reads through the current list section.
+                        Desc::Indirect {
+                            data: RegionRef::of(&x),
+                            ind: ilist,
+                            ind_dims: vec![2, cap_pp * nprocs],
+                            section: Rsd::new(vec![
+                                Dim::dense(1, 2),
+                                Dim::dense(my_start as i64 + 1, (my_start + my_flat) as i64),
+                            ]),
+                            access: AccessType::Read,
+                            sched: 1,
+                        },
+                        // The owner-side x update over my block.
+                        Desc::Direct {
+                            data: RegionRef::of(&x),
+                            section: Rsd::dense1(my.start as i64 + 1, my.end as i64),
+                            access: AccessType::ReadWriteAll,
+                            sched: 2,
+                        },
+                    ],
+                );
+            }
+            // Fixed-order owner-side accumulation.
+            acc.iter_mut().for_each(|a| *a = 0.0);
+            let mut k = my_start;
+            for (li, i) in my.clone().enumerate() {
+                for _ in 0..pl.deg[ver][me][li] {
+                    let a = p.read(&ilist, 2 * k) as u32 - 1;
+                    let b = p.read(&ilist, 2 * k + 1) as u32 - 1;
+                    let flux = (p.read(&x, a as usize) - p.read(&x, b as usize)) * world.kappa;
+                    accumulate(&mut acc[li], i as u32, a, flux);
+                    k += 1;
+                }
+            }
+            p.compute(work::t(REF_US, my_flat) + work::t(work::ZERO_US, 2 * my.len()));
+
+            // Owner-only update from coherent start-of-iteration values.
+            for (li, i) in my.clone().enumerate() {
+                let cur = p.read(&x, i);
+                p.write(&x, i, cur + acc[li]);
+            }
+            p.barrier();
+        }
+
+        cap.freeze_tmk(me, &cl);
+        cap.set_scan(me, v.scan_seconds());
+        p.barrier();
+    });
+
+    let policy = (mode == TmkMode::Adaptive).then(|| cl.net().policy_report());
+
+    let final_x: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);
+    cl.run(|p| {
+        if p.rank() == 0 {
+            let mut out = final_x.lock();
+            for i in 0..n {
+                out[i] = p.read(&x, i);
+            }
+        }
+    });
+    let final_x = final_x.into_inner();
+    let checksum = final_x.iter().map(|v| v.abs()).sum();
+    (
+        cap.report(mode.system_kind(), seq_time, checksum, policy),
+        final_x,
+    )
+}
+
+/// The kernel under CHAOS: inspector at start (untimed) and again after
+/// every list change (timed, like moldyn's rebuilds); gather endpoint
+/// values per iteration; owner-side accumulation needs no scatter.
+pub fn run_chaos(
+    cfg: &SynthConfig,
+    world: &SynthWorld,
+    seq_time: SimTime,
+) -> (RunReport, Vec<f64>) {
+    let n = cfg.n;
+    let nprocs = cfg.nprocs;
+    let pl = plan(cfg, world);
+    let tt = TTable::new(TTableKind::Replicated, &pl.part);
+
+    let w = ChaosWorld::new(nprocs, cfg.cost.clone());
+    w.net().set_label(&cfg.label());
+    let cap = Capture::new(nprocs);
+    let finals: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
+
+    w.run(|cp| {
+        let me = cp.rank();
+        let my = pl.part.range_of(me);
+        let mut cache = TTableCache::new();
+        let mut x_own: Vec<f64> = world.x0[my.clone()].to_vec();
+
+        let resolve = |sec: &[(u32, u32)], sched: &chaos::CommSchedule| {
+            sec.iter()
+                .map(|&(a, b)| {
+                    let (oa, fa) = tt.translate_free(a);
+                    let (ob, fb) = tt.translate_free(b);
+                    (sched.locate(me, oa, fa), sched.locate(me, ob, fb))
+                })
+                .collect::<Vec<_>>()
+        };
+
+        // --- untimed: the inspector for the initial list ---
+        let mut cur_ver = world.version_of_iter[0];
+        let t0 = cp.now();
+        let mut sched = inspector(
+            cp,
+            &tt,
+            &mut cache,
+            pl.flat[cur_ver][me].iter().flat_map(|&(a, b)| [a, b]),
+        );
+        cap.set_untimed_inspector(me, (cp.now() - t0).as_secs_f64());
+        let mut locs = resolve(&pl.flat[cur_ver][me], &sched);
+
+        cp.start_timed_region();
+        let mut insp_in_region = 0.0f64;
+
+        for it in 0..cfg.iters {
+            let ver = world.version_of_iter[it];
+            if ver != cur_ver {
+                // The list changed: regenerate (balanced candidate scan)
+                // and re-run the inspector — CHAOS pays this inside the
+                // timed region on every dynamic scenario.
+                cp.compute(work::t(REMAP_US, cfg.refs / nprocs));
+                let t0 = cp.now();
+                sched = inspector(
+                    cp,
+                    &tt,
+                    &mut cache,
+                    pl.flat[ver][me].iter().flat_map(|&(a, b)| [a, b]),
+                );
+                insp_in_region += (cp.now() - t0).as_secs_f64();
+                locs = resolve(&pl.flat[ver][me], &sched);
+                cur_ver = ver;
+            }
+            let my_flat = pl.flat[ver][me].len();
+
+            let mut xg = Ghosted::new(x_own.clone(), &sched);
+            gather(cp, &sched, &mut xg);
+
+            let mut acc = vec![0.0f64; my.len()];
+            let mut k = 0usize;
+            for (li, i) in my.clone().enumerate() {
+                for _ in 0..pl.deg[ver][me][li] {
+                    let (la, lb) = locs[k];
+                    let (a, _) = pl.flat[ver][me][k];
+                    let flux = (xg.get(la) - xg.get(lb)) * world.kappa;
+                    accumulate(&mut acc[li], i as u32, a, flux);
+                    k += 1;
+                }
+            }
+            cp.compute(work::t(REF_US, my_flat) + work::t(work::ZERO_US, 2 * my.len()));
+            for (xi, a) in x_own.iter_mut().zip(&acc) {
+                *xi += a;
+            }
+            cp.sync();
+        }
+
+        cap.freeze_chaos(cp);
+        cap.set_inspector(me, insp_in_region);
+        finals.lock().push((me, x_own));
+    });
+
+    let mut final_x = vec![0.0f64; n];
+    for (me, block) in finals.into_inner() {
+        final_x[pl.part.range_of(me)].copy_from_slice(&block);
+    }
+    let checksum = final_x.iter().map(|v| v.abs()).sum();
+    (
+        cap.report(SystemKind::Chaos, seq_time, checksum, None),
+        final_x,
+    )
+}

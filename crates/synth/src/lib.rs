@@ -1,0 +1,377 @@
+//! # synth — the synthetic irregular-workload engine
+//!
+//! The paper evaluates its protocol claims on exactly three fixed
+//! kernels (moldyn, nbf, and this repo's umesh). This crate turns that
+//! three-point comparison into a **scenario matrix**: a parameterized
+//! generator of irregular workloads along two orthogonal axes —
+//!
+//! * [`Structure`] — the shape of the interaction pattern: uniform
+//!   random, power-law/skewed degree (hub elements), or banded/
+//!   grid-local;
+//! * [`Dynamics`] — how the indirection array evolves: static (nbf's
+//!   regime), wholesale periodic remap every `k` iterations (moldyn's,
+//!   parameterized), incremental drift, or *multi-periodic* interleaved
+//!   remaps (the ROADMAP's untested adaptive direction).
+//!
+//! Every `(structure, dynamics, nprocs)` cell drives the same generic
+//! gather–compute–scatter reduction kernel ([`kernel`]) with
+//! deterministic seeded output, implements the `apps::Workload` trait,
+//! and therefore runs as all **five** system variants — sequential,
+//! Tmk base, Tmk optimized (`Validate`), Tmk adaptive, and CHAOS — with
+//! **bitwise**-identical results (fixed-order owner-side reduction).
+//! The `table_synth` harness in `bench` sweeps [`scenario_grid`] and
+//! asserts the protocol claims cell by cell: the adaptive policy never
+//! sends more messages than plain Tmk on *any* scenario, and CHAOS wins
+//! on static-indirection scenarios, as the paper predicts.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use apps::workload::run_matrix;
+//! use synth::{Dynamics, Scenario, Structure, SynthConfig};
+//!
+//! let mut cfg = SynthConfig::quick(Structure::Uniform, Dynamics::PeriodicRemap { period: 3 });
+//! cfg.n = 256;       // keep the doctest fast
+//! cfg.refs = 512;
+//! cfg.iters = 6;
+//! let matrix = run_matrix(&Scenario::new(cfg)); // runs + cross-checks all five variants
+//! assert_eq!(matrix.runs.len(), 5);
+//! ```
+
+pub mod dynamics;
+pub mod kernel;
+pub mod structure;
+
+pub use dynamics::{drift_round, raw_for_iter, Dynamics};
+pub use kernel::{run_chaos, run_seq, run_tmk, REF_US, REMAP_US};
+pub use structure::{degrees, normalize, Structure};
+
+use std::collections::HashMap;
+
+use apps::report::RunReport;
+use apps::workload::{CheckMode, Variant, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{CostModel, SimTime};
+
+pub use apps::moldyn::TmkMode;
+
+/// Configuration of one synthetic scenario.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of shared elements.
+    pub n: usize,
+    /// Raw candidate pairs per list version (the effective list is the
+    /// normalized — deduplicated — form, slightly shorter).
+    pub refs: usize,
+    pub structure: Structure,
+    pub dynamics: Dynamics,
+    /// Timed iterations.
+    pub iters: usize,
+    pub nprocs: usize,
+    pub seed: u64,
+    pub page_size: usize,
+    pub cost: CostModel,
+    /// Knobs for the adaptive variant (default: `AdaptConfig::default()`).
+    pub adapt: adapt::AdaptConfig,
+}
+
+impl SynthConfig {
+    /// Seconds-scale cell for tests and `table_synth --quick`. The page
+    /// size keeps the paper's pages-per-array regime (the shared value
+    /// array spans ~16 pages, several per processor) — the regime both
+    /// aggregation paths feed on; with one page per peer, aggregation
+    /// cannot beat demand paging by construction.
+    pub fn quick(structure: Structure, dynamics: Dynamics) -> Self {
+        SynthConfig {
+            n: 1024,
+            refs: 3072,
+            structure,
+            dynamics,
+            iters: 10,
+            nprocs: 4,
+            seed: 2024,
+            page_size: 512,
+            cost: CostModel::default(),
+            adapt: adapt::AdaptConfig::default(),
+        }
+    }
+
+    /// Paper-scale cell for the full `table_synth` grid (the value
+    /// array spans 64 pages, 8 per processor at 8 processors).
+    pub fn full(structure: Structure, dynamics: Dynamics) -> Self {
+        SynthConfig {
+            n: 8192,
+            refs: 32768,
+            structure,
+            dynamics,
+            iters: 20,
+            nprocs: 8,
+            seed: 2024,
+            page_size: 1024,
+            cost: CostModel::default(),
+            adapt: adapt::AdaptConfig::default(),
+        }
+    }
+
+    /// Scenario label: `structure/dynamics/pN`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/p{}",
+            self.structure.tag(),
+            self.dynamics.tag(),
+            self.nprocs
+        )
+    }
+}
+
+/// The generated workload: initial values plus every distinct effective
+/// list the run will use — a pure function of the config, so all five
+/// variants see identical structure with no shared mutable state.
+#[derive(Debug, Clone)]
+pub struct SynthWorld {
+    pub x0: Vec<f64>,
+    /// Per iteration, an index into [`SynthWorld::lists`].
+    pub version_of_iter: Vec<usize>,
+    /// Distinct effective (normalized) lists, in first-use order.
+    pub lists: Vec<Vec<(u32, u32)>>,
+    /// Flux weight, sized from the hottest element so the relaxation is
+    /// a contraction for every structure: `0.25 / max_degree`.
+    pub kappa: f64,
+}
+
+pub fn gen_world(cfg: &SynthConfig) -> SynthWorld {
+    assert!(cfg.iters >= 1, "need at least one iteration");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x005E_ED0F_1A17);
+    let x0: Vec<f64> = (0..cfg.n).map(|_| rng.gen_range(0.0..100.0)).collect();
+
+    let mut by_version: HashMap<u64, usize> = HashMap::new();
+    let mut version_of_iter = Vec::with_capacity(cfg.iters);
+    let mut lists: Vec<Vec<(u32, u32)>> = Vec::new();
+    // Drift evolves one raw list round by round; carrying it forward
+    // keeps setup linear in iterations (raw_for_iter would replay all
+    // earlier rounds per call). Identical output: iterations are
+    // visited in order, and each round is a pure function of
+    // (seed, round) applied to the previous raw list.
+    let mut drift_raw: Option<Vec<(u32, u32)>> = None;
+    for it in 0..cfg.iters {
+        let v = cfg.dynamics.version(it);
+        let idx = *by_version.entry(v).or_insert_with(|| {
+            let list = if let Dynamics::Drift { per_mille } = cfg.dynamics {
+                let mut raw = drift_raw
+                    .take()
+                    .unwrap_or_else(|| cfg.structure.gen_raw(cfg.n, cfg.refs, cfg.seed));
+                if it > 0 {
+                    dynamics::drift_round(&cfg.structure, &mut raw, cfg.n, cfg.seed, it, per_mille);
+                }
+                let list = normalize(&raw);
+                drift_raw = Some(raw);
+                list
+            } else {
+                normalize(&raw_for_iter(
+                    &cfg.structure,
+                    &cfg.dynamics,
+                    cfg.n,
+                    cfg.refs,
+                    cfg.seed,
+                    it,
+                ))
+            };
+            lists.push(list);
+            lists.len() - 1
+        });
+        version_of_iter.push(idx);
+    }
+    let max_deg = lists
+        .iter()
+        .flat_map(|l| degrees(cfg.n, l))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    SynthWorld {
+        x0,
+        version_of_iter,
+        lists,
+        kappa: 0.25 / max_deg as f64,
+    }
+}
+
+/// One runnable scenario: a config plus its generated world. Implements
+/// [`Workload`], so `apps::workload::run_matrix` runs and cross-checks
+/// all five variants.
+pub struct Scenario {
+    pub cfg: SynthConfig,
+    pub world: SynthWorld,
+}
+
+impl Scenario {
+    pub fn new(cfg: SynthConfig) -> Self {
+        let world = gen_world(&cfg);
+        Scenario { cfg, world }
+    }
+}
+
+impl Workload for Scenario {
+    fn label(&self) -> String {
+        format!("synth {}", self.cfg.label())
+    }
+
+    fn check_mode(&self) -> CheckMode {
+        CheckMode::Bitwise
+    }
+
+    fn run(&self, v: Variant, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+        match v {
+            Variant::Seq => run_seq(&self.cfg, &self.world),
+            Variant::TmkBase => run_tmk(&self.cfg, &self.world, TmkMode::Base, seq_time),
+            Variant::TmkOpt => run_tmk(&self.cfg, &self.world, TmkMode::Optimized, seq_time),
+            Variant::TmkAdaptive => run_tmk(&self.cfg, &self.world, TmkMode::Adaptive, seq_time),
+            Variant::Chaos => run_chaos(&self.cfg, &self.world, seq_time),
+        }
+    }
+}
+
+/// The scenario grid `table_synth` sweeps: structure × dynamics ×
+/// nprocs. The quick grid is 18 cells (3 structures × 5 dynamics at 4
+/// processors, plus the 3 static cells again at 8 processors); the full
+/// grid is the same shape at paper scale.
+pub fn scenario_grid(quick: bool) -> Vec<SynthConfig> {
+    // Banded width = two pages' worth of elements, so each neighbor
+    // exchange spans ≥ 2 pages and aggregation has something to merge
+    // (with exactly one boundary page per peer, one exchange per peer
+    // is already what demand paging does — and the adaptive policy's
+    // one wasted final-barrier prefetch round would tip it past base).
+    let page_elems = if quick {
+        SynthConfig::quick(Structure::Uniform, Dynamics::Static).page_size / 8
+    } else {
+        SynthConfig::full(Structure::Uniform, Dynamics::Static).page_size / 8
+    };
+    let structures = [
+        Structure::Uniform,
+        Structure::PowerLaw { alpha: 2.0 },
+        Structure::Banded {
+            width: 2 * page_elems,
+        },
+    ];
+    let dynamics = [
+        Dynamics::Static,
+        Dynamics::PeriodicRemap { period: 3 },
+        Dynamics::PeriodicRemap { period: 5 },
+        Dynamics::Drift { per_mille: 25 },
+        Dynamics::MultiPeriodic { p1: 3, p2: 5 },
+    ];
+    let make = |s: &Structure, d: &Dynamics| {
+        if quick {
+            SynthConfig::quick(s.clone(), d.clone())
+        } else {
+            SynthConfig::full(s.clone(), d.clone())
+        }
+    };
+    let mut grid = Vec::new();
+    for s in &structures {
+        for d in &dynamics {
+            grid.push(make(s, d));
+        }
+    }
+    // The nprocs axis: static cells again at the other cluster size.
+    for s in &structures {
+        let mut cfg = make(s, &Dynamics::Static);
+        cfg.nprocs = if quick { 8 } else { 4 };
+        grid.push(cfg);
+    }
+    // Distinct seeds per cell so no two scenarios share geometry.
+    for (k, cfg) in grid.iter_mut().enumerate() {
+        cfg.seed = cfg.seed.wrapping_add(1000 * k as u64);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_generation_is_deterministic_and_versioned() {
+        let cfg = SynthConfig::quick(Structure::Uniform, Dynamics::PeriodicRemap { period: 3 });
+        let a = gen_world(&cfg);
+        let b = gen_world(&cfg);
+        assert_eq!(a.x0, b.x0);
+        assert_eq!(a.lists, b.lists);
+        assert_eq!(a.version_of_iter, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+        assert_eq!(a.lists.len(), 4);
+        assert!(a.kappa > 0.0 && a.kappa <= 0.25);
+    }
+
+    #[test]
+    fn static_world_has_one_list() {
+        let cfg = SynthConfig::quick(Structure::Banded { width: 32 }, Dynamics::Static);
+        let w = gen_world(&cfg);
+        assert_eq!(w.lists.len(), 1);
+        assert!(w.version_of_iter.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn multi_periodic_world_shares_repeated_versions() {
+        let mut cfg =
+            SynthConfig::quick(Structure::Uniform, Dynamics::MultiPeriodic { p1: 2, p2: 3 });
+        cfg.iters = 12;
+        let w = gen_world(&cfg);
+        // Versions change at every multiple of 2 or 3: 0,0,1,2,3,3,4,...
+        assert!(w.lists.len() >= 6);
+        assert_eq!(w.version_of_iter[0], w.version_of_iter[1]);
+        assert_ne!(w.version_of_iter[1], w.version_of_iter[2]);
+    }
+
+    #[test]
+    fn incremental_drift_matches_the_pure_spec() {
+        // gen_world carries the drift list forward round by round; the
+        // result must equal the pure per-iteration replay.
+        let mut cfg = SynthConfig::quick(Structure::Uniform, Dynamics::Drift { per_mille: 25 });
+        cfg.n = 256;
+        cfg.refs = 800;
+        cfg.iters = 7;
+        let w = gen_world(&cfg);
+        for it in 0..cfg.iters {
+            let pure = normalize(&raw_for_iter(
+                &cfg.structure,
+                &cfg.dynamics,
+                cfg.n,
+                cfg.refs,
+                cfg.seed,
+                it,
+            ));
+            assert_eq!(w.lists[w.version_of_iter[it]], pure, "iteration {it}");
+        }
+    }
+
+    #[test]
+    fn grid_has_at_least_twelve_distinct_cells() {
+        for quick in [true, false] {
+            let grid = scenario_grid(quick);
+            assert!(grid.len() >= 12, "grid too small: {}", grid.len());
+            let mut labels: Vec<String> = grid.iter().map(|c| c.label()).collect();
+            labels.sort();
+            labels.dedup();
+            assert_eq!(labels.len(), grid.len(), "duplicate scenario labels");
+            let mut seeds: Vec<u64> = grid.iter().map(|c| c.seed).collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), grid.len(), "duplicate seeds");
+        }
+    }
+
+    #[test]
+    fn kappa_keeps_relaxation_bounded() {
+        // The hottest structure (power-law hubs) must still contract.
+        let mut cfg = SynthConfig::quick(Structure::PowerLaw { alpha: 2.0 }, Dynamics::Static);
+        cfg.iters = 30;
+        let world = gen_world(&cfg);
+        let (_, x) = run_seq(&cfg, &world);
+        let bound = 100.0 * 1.5;
+        assert!(
+            x.iter().all(|v| v.abs() < bound),
+            "relaxation diverged: max {}",
+            x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Scenario-level integration tests: the five-variant bitwise contract
+//! and the protocol-shape claims, on representative grid cells (the
+//! full grid sweep lives in `bench`'s `table_synth`).
+
+use apps::workload::{run_matrix, Variant};
+use synth::{Dynamics, Scenario, Structure, SynthConfig};
+
+/// Shrink a quick cell further so each test stays fast in debug builds.
+/// The smaller page size preserves the pages-per-processor regime (16
+/// value pages, 4 per processor) — see `SynthConfig::quick`.
+fn tiny(structure: Structure, dynamics: Dynamics) -> SynthConfig {
+    let mut cfg = SynthConfig::quick(structure, dynamics);
+    cfg.n = 512;
+    cfg.refs = 1536;
+    cfg.iters = 8;
+    cfg.page_size = 256;
+    cfg
+}
+
+#[test]
+fn five_variants_agree_bitwise_on_static_uniform() {
+    // run_matrix asserts bitwise agreement internally (CheckMode::Bitwise).
+    let m = run_matrix(&Scenario::new(tiny(Structure::Uniform, Dynamics::Static)));
+    let base = &m.get(Variant::TmkBase).report;
+    let opt = &m.get(Variant::TmkOpt).report;
+    let chaos = &m.get(Variant::Chaos).report;
+    assert!(base.messages > 0, "demand paging must communicate");
+    // Paper shape: aggregation beats demand paging; CHAOS wins on a
+    // static list (inspector amortized, schedule-driven transfers).
+    assert!(opt.messages < base.messages);
+    assert!(chaos.messages < base.messages);
+    assert!(chaos.time < base.time);
+}
+
+#[test]
+fn five_variants_agree_bitwise_on_remapped_powerlaw() {
+    let m = run_matrix(&Scenario::new(tiny(
+        Structure::PowerLaw { alpha: 2.0 },
+        Dynamics::PeriodicRemap { period: 3 },
+    )));
+    // On a remap-heavy scenario CHAOS pays the inspector inside the
+    // timed region.
+    let chaos = &m.get(Variant::Chaos).report;
+    assert!(chaos.inspector_s > 0.0, "in-region inspector re-runs");
+}
+
+#[test]
+fn five_variants_agree_bitwise_on_drifting_banded() {
+    let m = run_matrix(&Scenario::new(tiny(
+        Structure::Banded { width: 32 },
+        Dynamics::Drift { per_mille: 25 },
+    )));
+    let chaos = &m.get(Variant::Chaos).report;
+    // Drift changes the list every iteration: the inspector re-runs
+    // every timed iteration.
+    assert!(chaos.inspector_s > 0.0);
+}
+
+#[test]
+fn adaptive_never_exceeds_base_across_dynamics() {
+    for dynamics in [
+        Dynamics::Static,
+        Dynamics::PeriodicRemap { period: 3 },
+        Dynamics::Drift { per_mille: 25 },
+        Dynamics::MultiPeriodic { p1: 3, p2: 5 },
+    ] {
+        let m = run_matrix(&Scenario::new(tiny(Structure::Uniform, dynamics.clone())));
+        let base = m.get(Variant::TmkBase).report.messages;
+        let ad = m.get(Variant::TmkAdaptive).report.messages;
+        assert!(
+            ad <= base,
+            "{:?}: adaptive sent {} > base {}",
+            dynamics,
+            ad,
+            base
+        );
+    }
+}
+
+#[test]
+fn multi_periodic_scenario_exercises_the_predictor() {
+    // The ROADMAP's untested direction: remap period 3 interleaved with
+    // period 5. The adaptive engine must stay within base's message
+    // count while actually making decisions (promotions happen, and the
+    // interleaved remaps force demotions/relearning).
+    let mut cfg = tiny(Structure::Uniform, Dynamics::MultiPeriodic { p1: 3, p2: 5 });
+    cfg.iters = 15; // a full p1×p2 cycle
+    let m = run_matrix(&Scenario::new(cfg));
+    let base = &m.get(Variant::TmkBase).report;
+    let ad = &m.get(Variant::TmkAdaptive).report;
+    assert!(ad.messages <= base.messages);
+    let pol = ad.policy.as_ref().expect("adaptive policy report");
+    assert!(pol.epochs > 0);
+    assert!(
+        pol.promotions > 0,
+        "stable stretches between remaps must be learned"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let cfg = tiny(Structure::Uniform, Dynamics::PeriodicRemap { period: 3 });
+    let m1 = run_matrix(&Scenario::new(cfg.clone()));
+    let m2 = run_matrix(&Scenario::new(cfg));
+    for v in Variant::ALL {
+        let (a, b) = (m1.get(v), m2.get(v));
+        assert_eq!(a.x, b.x, "{v:?} state");
+        assert_eq!(a.report.messages, b.report.messages, "{v:?} messages");
+        assert_eq!(a.report.bytes, b.report.bytes, "{v:?} bytes");
+        assert_eq!(a.report.time, b.report.time, "{v:?} time");
+    }
+}
+
+#[test]
+fn static_scenarios_reward_chaos_across_structures() {
+    // The paper's prediction, generalized beyond nbf: on any static
+    // indirection structure, CHAOS's amortized inspector + schedule-
+    // driven transfers beat demand paging.
+    for structure in [
+        Structure::Uniform,
+        Structure::PowerLaw { alpha: 2.0 },
+        Structure::Banded { width: 32 },
+    ] {
+        let m = run_matrix(&Scenario::new(tiny(structure.clone(), Dynamics::Static)));
+        let base = &m.get(Variant::TmkBase).report;
+        let chaos = &m.get(Variant::Chaos).report;
+        assert!(
+            chaos.messages < base.messages && chaos.time < base.time,
+            "{:?}: CHAOS must win on static indirection (msgs {} vs {}, t {:?} vs {:?})",
+            structure,
+            chaos.messages,
+            base.messages,
+            chaos.time,
+            base.time
+        );
+    }
+}

@@ -33,3 +33,5 @@ pub use rsd;
 pub use sdsm_core as core_rt;
 /// The simulated cluster substrate (clocks, messages, cost model).
 pub use simnet;
+/// The synthetic irregular-workload engine (scenario matrix).
+pub use synth;

@@ -132,6 +132,27 @@ fn adaptive_example_path() {
     assert!(rep.messages_per_kind(sdsm_repro::simnet::MsgKind::AdaptRequest) > 0);
 }
 
+/// `examples/synth.rs` at reduced scale: one synthetic scenario through
+/// the generic `Workload` runner — five variants, bitwise agreement
+/// asserted inside `run_matrix`, adaptive within base's message count.
+#[test]
+fn synth_example_path() {
+    use sdsm_repro::apps::workload::{run_matrix, Variant};
+    use sdsm_repro::synth::{Dynamics, Scenario, Structure, SynthConfig};
+    let mut cfg = SynthConfig::quick(
+        Structure::PowerLaw { alpha: 2.0 },
+        Dynamics::PeriodicRemap { period: 3 },
+    );
+    cfg.n = 512;
+    cfg.refs = 1536;
+    cfg.iters = 6;
+    cfg.page_size = 256;
+    let matrix = run_matrix(&Scenario::new(cfg));
+    let base = &matrix.get(Variant::TmkBase).report;
+    assert!(matrix.get(Variant::TmkAdaptive).report.messages <= base.messages);
+    assert!(matrix.get(Variant::Chaos).report.inspector_s > 0.0);
+}
+
 /// `examples/compiler_pipeline.rs`: Figure 1 compiles and the Validate
 /// call of Figure 2 is regenerated.
 #[test]
