@@ -38,6 +38,7 @@ impl PageHistory {
 /// One aggregate row of the per-epoch decision log.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EpochRow {
+    /// Barrier sequence number of this epoch boundary.
     pub epoch: u64,
     /// Pages invalidated at this barrier.
     pub invalidated: u32,
@@ -63,6 +64,7 @@ pub struct EpochLog {
 }
 
 impl EpochLog {
+    /// A log retaining the most recent `cap` rows (`cap >= 1`).
     pub fn new(cap: usize) -> Self {
         assert!(cap >= 1);
         EpochLog {
@@ -72,6 +74,7 @@ impl EpochLog {
         }
     }
 
+    /// Append a row, evicting the oldest once at capacity.
     pub fn push(&mut self, row: EpochRow) {
         if self.rows.len() == self.cap {
             self.rows.remove(0);

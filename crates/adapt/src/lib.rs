@@ -18,23 +18,34 @@
 //!    [epoch-history table](history::PageHistory), keyed by
 //!    invalidation events so periodic patterns (a page touched every
 //!    `nprocs + 1` barriers) are seen as stable.
-//! 2. **Decide** — a page whose last [`AdaptConfig::promote_after`]
-//!    windows each went "invalidated, then missed" is promoted: at the
-//!    barrier that invalidates it, it is fetched immediately, batched
-//!    with every other promoted page into **one aggregated exchange per
-//!    peer** (`AdaptRequest`/`AdaptReply`) — the same wire pattern
-//!    `Validate` produces from compiler hints.
+//! 2. **Decide** — each page's recent need *gaps* feed a bounded
+//!    **gap-history predictor** that locks onto the smallest repeating
+//!    gap cycle: a constant gap (nbf partner pages), a pipelined period
+//!    (moldyn force chunks), or a *union of periods* whose gap sequence
+//!    is itself a longer cycle (the `MultiPeriodic` synth regime).
+//!    Promoted pages are fetched at exactly the predicted barrier,
+//!    batched with every other prediction into **one aggregated
+//!    exchange per peer** (`AdaptRequest`/`AdaptReply`) — the same wire
+//!    pattern `Validate` produces from compiler hints. In
+//!    [update-push mode](AdaptConfig::push) the writers push instead
+//!    (one one-way `AdaptPush` message per peer — the request leg
+//!    disappears). In pull mode, after
+//!    [`AdaptConfig::quiesce_after`] identical epochs the exchange is
+//!    deferred to the epoch's first fault, so the run's final barrier
+//!    costs nothing (the *quiesce* heuristic); push mode stays eager —
+//!    a fault-triggered plan would be consumer-initiated, i.e. a pull.
 //! 3. **Retreat** — periodic probes ([`AdaptConfig::probe_every`])
 //!    withhold the prefetch at exactly base-TreadMarks cost; a clean
 //!    probe demotes the page, so a dissolved pattern cannot keep
 //!    wasting traffic.
 //!
-//! The engine only moves fetches earlier; it never changes which
-//! records a fetch applies, so results are **bitwise identical** to
-//! base TreadMarks, while the message count drops toward the
-//! compiler-optimized build's. Decision counters are published through
-//! [`simnet::PolicyStats`] and each engine keeps a per-epoch
-//! [decision log](history::EpochLog) for diagnostics.
+//! The engine only moves fetches earlier (or flips who initiates the
+//! wire exchange); it never changes which records a fetch applies, so
+//! results are **bitwise identical** to base TreadMarks, while the
+//! message count drops toward the compiler-optimized build's. Decision
+//! counters are published through [`simnet::PolicyStats`] and each
+//! engine keeps a per-epoch [decision log](history::EpochLog) for
+//! diagnostics.
 //!
 //! ## Quickstart
 //!
@@ -61,11 +72,13 @@
 //! assert!(cl.net().policy_report().epochs > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod history;
 mod policy;
 
 pub use history::{EpochLog, EpochRow, PageHistory};
 pub use policy::{AdaptConfig, AdaptivePolicy, PageMode};
 
-pub use dsm::{ProtocolPolicy, StaticPolicy};
+pub use dsm::{EpochDecision, ProtocolPolicy, StaticPolicy};
 pub use simnet::{PolicyReport, PolicyStats};

@@ -1,38 +1,64 @@
 //! The adaptive policy: learn, per page, *when* demand misses follow
 //! invalidations, and batch the fetches it can predict.
 //!
-//! ## The need-gap predictor
+//! ## The gap-history predictor
 //!
 //! Every page's life is measured on its **invalidation axis**: event
 //! `t` is the page's `t`-th invalidation, and window `W_t` is the epoch
 //! span from event `t` to event `t+1`. A *need* is a window that
 //! contained a demand miss (or was covered by one of our prefetches).
-//! The predictor tracks the **gap** between consecutive needs in
-//! invalidation events:
+//! The predictor keeps a bounded ring of the **gaps** between
+//! consecutive needs, in invalidation events:
 //!
 //! * a page read every time it is invalidated (nbf's partner pages,
-//!   umesh ghost pages, moldyn's coordinate array) has gap 1;
+//!   umesh ghost pages, moldyn's coordinate array) has gap history
+//!   `1, 1, 1, …`;
 //! * a page touched once per period of a pipelined reduction (moldyn's
-//!   force chunks: invalidated at every round barrier, used in one
-//!   round per step) has a stable gap of ~`nprocs`.
+//!   force chunks) has gap history `p, p, p, …` for a stable `p`;
+//! * a page needed on a **union of periods** — the `MultiPeriodic`
+//!   synth regime, e.g. every multiple of 3 *or* 5 — has a gap history
+//!   that is itself periodic with a longer cycle
+//!   (`2, 1, 3, 1, 2, 3, 3` repeating for the 3∪5 union).
 //!
-//! Once [`AdaptConfig::promote_after`] consecutive gaps agree, the page
-//! is promoted and prefetched **only at the predicted event** — all
-//! predictions that fire at one barrier share a single aggregated
-//! exchange per peer. A page prefetched at every invalidation but used
-//! once per period would cost more than demand paging; the phase-aware
-//! predictor is what lets the engine capture pipelined patterns that
-//! blind per-invalidation prefetch cannot.
+//! The predictor promotes a page when its gap history locks onto the
+//! **smallest period `L`** whose last full cycle is verified: the
+//! trailing `max(L, promote_after)` gaps each match the gap `L`
+//! positions earlier. `L = 1` reproduces PR 2's one-gap predictor
+//! exactly; larger `L` captures unions of periods the one-gap predictor
+//! provably degraded on (`crates/adapt/tests/multi_periodic.rs`). The
+//! predicted next gap is the one `L` positions back, so prefetches fire
+//! **only at the predicted event** — all predictions that fire at one
+//! barrier share a single aggregated exchange per peer.
 //!
 //! A mispredicted phase self-corrects: the true miss lands in a later
-//! window, the observed gap changes, stability is lost, and the page
-//! falls back to demand paging until the gap re-stabilizes. Pages that
-//! stop being used entirely are caught by probes
-//! ([`AdaptConfig::probe_every`]): every n-th prediction is withheld at
-//! exactly base-TreadMarks cost, and a clean probe resets the
-//! predictor.
+//! window, the observed gap breaks the cycle match, the lock is lost,
+//! and the page falls back to demand paging until the history
+//! re-stabilizes. Pages that stop being used entirely are caught by
+//! probes ([`AdaptConfig::probe_every`]): every n-th prediction is
+//! withheld at exactly base-TreadMarks cost, and a clean probe resets
+//! the predictor.
+//!
+//! ## Quiesce and update-push
+//!
+//! Two protocol refinements ride on the same decision stream:
+//!
+//! * **Quiesce** ([`AdaptConfig::quiesce_after`]): after that many
+//!   consecutive epochs with *identical* picks, the batched fetch is
+//!   deferred to the epoch's first demand fault instead of issued
+//!   eagerly inside the barrier. Steady-state epochs still pay exactly
+//!   one exchange per peer (the first touch triggers it, and the
+//!   touching page rides along); an epoch that never touches the
+//!   predicted pages — above all the run's **final barrier** — pays
+//!   nothing at all.
+//! * **Update-push** ([`AdaptConfig::push`]): the predicted exchange is
+//!   accounted as writer-initiated — one one-way `AdaptPush` data
+//!   message per writer/consumer pair instead of a request/reply pair,
+//!   halving the remaining predicted messages. The consumer-side
+//!   predictor still decides *what* moves; the subscription that
+//!   teaches writers the consumer's schedule is modeled as riding the
+//!   barrier's existing notice traffic (see `dsm::FetchClass::Push`).
 
-use dsm::ProtocolPolicy;
+use dsm::{EpochDecision, ProtocolPolicy};
 use simnet::{PolicyStats, ProcId};
 
 use crate::history::{EpochLog, EpochRow, PageHistory};
@@ -40,10 +66,11 @@ use crate::history::{EpochLog, EpochRow, PageHistory};
 /// Tuning knobs of the adaptive engine.
 #[derive(Debug, Clone)]
 pub struct AdaptConfig {
-    /// Consecutive *stable* need-gaps required before a page is
-    /// promoted (1 = promote once two consecutive gaps agree, i.e.
-    /// after the third confirmed need; higher values demand a longer
-    /// stable run). Range 1–8.
+    /// Consecutive verified gap repeats required before a page is
+    /// promoted (the verified span is `max(L, promote_after)` for a
+    /// cycle of length `L`; with `L = 1` this is PR 2's knob exactly:
+    /// 1 = promote once two consecutive gaps agree, i.e. after the
+    /// third confirmed need). Range 1–8.
     pub promote_after: u32,
     /// Every `probe_every`-th prediction of a promoted page is a
     /// *probe*: the prefetch is withheld, and if no demand miss follows
@@ -55,6 +82,33 @@ pub struct AdaptConfig {
     pub probe_every: u64,
     /// Retained rows of the per-epoch decision log (diagnostics only).
     pub log_window: usize,
+    /// Per-page gap-history depth. The longest recognizable need-period
+    /// cycle is half this (a cycle must be seen twice to be verified).
+    /// Range 4–64.
+    pub history_window: usize,
+    /// Consecutive identical-pick epochs before the batched fetch is
+    /// deferred to the epoch's first demand fault (the final-barrier
+    /// quiesce heuristic). 0 disables deferral entirely (PR 2's eager
+    /// behavior). A quiesced (discarded) plan doubles as a **free
+    /// probe**: the protocol layer reports it back and the engine
+    /// clears the affected pages' covered-need marks, so a dissolved
+    /// pattern stops being predicted immediately instead of being
+    /// masked until the probe cadence catches it. Ignored in push mode
+    /// — see [`AdaptConfig::push`].
+    pub quiesce_after: u32,
+    /// Account predicted exchanges as writer-initiated update-push
+    /// (one one-way data message per peer) instead of request/reply
+    /// pulls. Results are bitwise identical either way.
+    ///
+    /// Push mode never defers: a plan triggered by the consumer's own
+    /// fault would be consumer-initiated — a pull — so deferral can
+    /// only cost push mode its one-way billing. The writers therefore
+    /// push eagerly at every predicted barrier, including the run's
+    /// last (the final-barrier waste is inherent to writer-initiated
+    /// protocols: the writer cannot know no iteration follows), and
+    /// still come out strictly ahead of pull-mode prefetch whenever
+    /// more than a couple of epochs run.
+    pub push: bool,
 }
 
 impl Default for AdaptConfig {
@@ -63,6 +117,19 @@ impl Default for AdaptConfig {
             promote_after: 1,
             probe_every: 8,
             log_window: 64,
+            history_window: 16,
+            quiesce_after: 2,
+            push: false,
+        }
+    }
+}
+
+impl AdaptConfig {
+    /// The default knobs with update-push mode on.
+    pub fn pushing() -> Self {
+        AdaptConfig {
+            push: true,
+            ..Default::default()
         }
     }
 }
@@ -77,7 +144,28 @@ pub enum PageMode {
     Prefetch,
 }
 
-#[derive(Debug, Clone, Copy)]
+/// The smallest verified need-period cycle in `gaps`, if any.
+///
+/// A period `L` is verified when the trailing `max(L, promote_after)`
+/// gaps each equal the gap `L` positions earlier — i.e. the last full
+/// cycle repeats the one before it. Smallest `L` wins: the most
+/// parsimonious explanation of the history is the one predicted from,
+/// and `L = 1` (a constant gap) reproduces the PR 2 one-gap predictor.
+fn locked_period(gaps: &[u32], promote_after: u32) -> Option<usize> {
+    let n = gaps.len();
+    for l in 1..=n / 2 {
+        let span = l.max(promote_after as usize);
+        if span > n - l {
+            continue;
+        }
+        if (0..span).all(|i| gaps[n - 1 - i] == gaps[n - 1 - i - l]) {
+            return Some(l);
+        }
+    }
+    None
+}
+
+#[derive(Debug, Clone)]
 struct PageEntry {
     hist: PageHistory,
     /// Demand miss since the page's last invalidation.
@@ -92,10 +180,8 @@ struct PageEntry {
     invs: u64,
     /// Event at which the last need was recorded (0 = none).
     last_need: u64,
-    /// Most recent need gap in invalidation events (0 = unknown).
-    gap: u32,
-    /// Consecutive needs whose gap matched the previous one.
-    stable_needs: u32,
+    /// Bounded ring of recent need gaps, oldest first.
+    gaps: Vec<u32>,
     /// Predictions issued (drives the probe cadence).
     predictions: u64,
     /// Currently promoted? (tracked to count mode flips)
@@ -112,8 +198,7 @@ impl PageEntry {
             probing: false,
             invs: 0,
             last_need: 0,
-            gap: 0,
-            stable_needs: 0,
+            gaps: Vec::new(),
             predictions: 0,
             promoted: false,
         }
@@ -125,7 +210,7 @@ impl PageEntry {
 /// See the [module docs](self) for the prediction model. The engine
 /// never changes what data a page holds — only when it is fetched — so
 /// program results are bitwise identical to base TreadMarks under any
-/// knob setting.
+/// knob setting, including update-push mode.
 #[derive(Debug)]
 pub struct AdaptivePolicy {
     cfg: AdaptConfig,
@@ -133,20 +218,42 @@ pub struct AdaptivePolicy {
     log: EpochLog,
     /// Demand misses since the last epoch boundary (for the log).
     epoch_misses: u32,
+    /// Picks of the previous epoch (the quiesce-identity check).
+    last_picks: Vec<u32>,
+    /// Consecutive epochs whose picks matched the previous epoch's.
+    identical_epochs: u32,
 }
 
 impl AdaptivePolicy {
+    /// Build an engine with the given knobs (panics on out-of-range or
+    /// mutually unsatisfiable knob values — see each [`AdaptConfig`]
+    /// field's range).
     pub fn new(cfg: AdaptConfig) -> Self {
         assert!((1..=8).contains(&cfg.promote_after), "promote_after: 1–8");
         assert!(cfg.probe_every >= 2, "probe_every: at least 2");
+        assert!(
+            (4..=64).contains(&cfg.history_window),
+            "history_window: 4–64"
+        );
+        // locked_period needs span = max(L, promote_after) ≤ n − L with
+        // n ≤ history_window; for even the shortest cycle (L = 1) that
+        // requires history_window > promote_after — otherwise no page
+        // could ever be promoted and the engine would be silently inert.
+        assert!(
+            cfg.history_window > cfg.promote_after as usize,
+            "history_window must exceed promote_after or nothing can promote"
+        );
         AdaptivePolicy {
             log: EpochLog::new(cfg.log_window),
             cfg,
             table: Vec::new(),
             epoch_misses: 0,
+            last_picks: Vec::new(),
+            identical_epochs: 0,
         }
     }
 
+    /// The knobs this engine runs with.
     pub fn config(&self) -> &AdaptConfig {
         &self.cfg
     }
@@ -164,12 +271,23 @@ impl AdaptivePolicy {
         }
     }
 
-    /// The page's current stable need gap, if promoted.
+    /// The page's predicted next need gap, if promoted.
     pub fn page_gap(&self, page: u32) -> Option<u32> {
         self.table
             .get(page as usize)
             .filter(|e| e.promoted)
-            .map(|e| e.gap)
+            .and_then(|e| {
+                locked_period(&e.gaps, self.cfg.promote_after).map(|l| e.gaps[e.gaps.len() - l])
+            })
+    }
+
+    /// The page's locked need-period cycle length, if promoted: 1 for a
+    /// constant gap, longer for a union of periods.
+    pub fn page_period(&self, page: u32) -> Option<u32> {
+        self.table
+            .get(page as usize)
+            .filter(|e| e.promoted)
+            .and_then(|e| locked_period(&e.gaps, self.cfg.promote_after).map(|l| l as u32))
     }
 
     /// Completed-window history of `page`, if any events were recorded.
@@ -198,13 +316,25 @@ impl ProtocolPolicy for AdaptivePolicy {
         }
     }
 
+    fn note_quiesced(&mut self, pages: &[u32]) {
+        // The deferred plan was discarded untriggered: the epoch
+        // provably did not need these pages. Clearing the covered-need
+        // mark turns the quiesced epoch into a free probe — the window
+        // closes as a non-need, predictions stop, and a dissolved
+        // pattern dies at zero wire cost instead of being masked until
+        // the probe cadence catches it.
+        for &page in pages {
+            self.entry_mut(page).prefetched = false;
+        }
+    }
+
     fn epoch_end(
         &mut self,
         epoch: u64,
         invalidated: &[u32],
         stats: &PolicyStats,
         me: ProcId,
-    ) -> Vec<u32> {
+    ) -> EpochDecision {
         stats.record_epoch(me);
         let mut row = EpochRow {
             epoch,
@@ -216,6 +346,7 @@ impl ProtocolPolicy for AdaptivePolicy {
 
         let promote_after = self.cfg.promote_after;
         let probe_every = self.cfg.probe_every;
+        let history_window = self.cfg.history_window;
         let mut picks = Vec::new();
         for &page in invalidated {
             let e = self.entry_mut(page);
@@ -229,19 +360,16 @@ impl ProtocolPolicy for AdaptivePolicy {
             if need {
                 if e.last_need > 0 {
                     let g = (t - e.last_need).min(u32::MAX as u64) as u32;
-                    if g == e.gap {
-                        e.stable_needs = e.stable_needs.saturating_add(1);
-                    } else {
-                        e.stable_needs = 0;
-                        e.gap = g;
+                    if e.gaps.len() == history_window {
+                        e.gaps.remove(0);
                     }
+                    e.gaps.push(g);
                 }
                 e.last_need = t;
             } else if was_probe {
                 // Clean probe: the pattern dissolved. Full reset — the
                 // page must re-earn promotion from live misses.
-                e.gap = 0;
-                e.stable_needs = 0;
+                e.gaps.clear();
                 e.last_need = 0;
                 e.predictions = 0;
             }
@@ -250,8 +378,9 @@ impl ProtocolPolicy for AdaptivePolicy {
             e.dirtied = false;
             e.prefetched = false;
 
-            // Promotion state (flip counting only).
-            let now_promoted = e.gap > 0 && e.stable_needs >= promote_after;
+            // Promotion state: does the gap history lock onto a cycle?
+            let locked = locked_period(&e.gaps, promote_after);
+            let now_promoted = locked.is_some();
             if now_promoted != e.promoted {
                 e.promoted = now_promoted;
                 if now_promoted {
@@ -261,18 +390,21 @@ impl ProtocolPolicy for AdaptivePolicy {
                 }
             }
 
-            // Predict: the next need is at event `last_need + gap`;
-            // window W_t is the one that need falls in iff
-            // last_need + gap == t + 1. Only then is prefetching now
-            // cheaper than demand-faulting later.
-            if e.promoted && e.last_need + e.gap as u64 == t + 1 {
-                e.predictions += 1;
-                if e.predictions % probe_every == 0 {
-                    e.probing = true;
-                    row.probes += 1;
-                } else {
-                    e.prefetched = true;
-                    picks.push(page);
+            // Predict: the cycle says the next need gap is the one L
+            // positions back; window W_t is the one that need falls in
+            // iff last_need + gap == t + 1. Only then is prefetching
+            // now cheaper than demand-faulting later.
+            if let Some(l) = locked {
+                let gap = e.gaps[e.gaps.len() - l] as u64;
+                if e.last_need + gap == t + 1 {
+                    e.predictions += 1;
+                    if e.predictions % probe_every == 0 {
+                        e.probing = true;
+                        row.probes += 1;
+                    } else {
+                        e.prefetched = true;
+                        picks.push(page);
+                    }
                 }
             }
         }
@@ -288,7 +420,33 @@ impl ProtocolPolicy for AdaptivePolicy {
             stats.record_probes(me, row.probes as u64);
         }
         self.log.push(row);
-        picks
+
+        // Quiesce heuristic: after `quiesce_after` consecutive epochs
+        // with identical picks, steady state is assumed and the batch
+        // is deferred to the epoch's first fault — so the run's final
+        // barrier (whose epoch never faults) costs nothing. Epochs
+        // that pick nothing (the write-side barrier of a two-barrier
+        // step, idle phases) neither confirm nor break the streak: the
+        // steadiness signal is "the same plan keeps being issued", not
+        // "every single barrier issues it". Push mode never defers (a
+        // fault-triggered plan is a pull — see `AdaptConfig::push`).
+        let defer = if !self.cfg.push && self.cfg.quiesce_after > 0 && !picks.is_empty() {
+            if picks == self.last_picks {
+                self.identical_epochs = self.identical_epochs.saturating_add(1);
+            } else {
+                self.identical_epochs = 0;
+                self.last_picks = picks.clone();
+            }
+            self.identical_epochs >= self.cfg.quiesce_after
+        } else {
+            false
+        };
+
+        EpochDecision {
+            picks,
+            defer,
+            push: self.cfg.push,
+        }
     }
 }
 
@@ -298,7 +456,7 @@ mod tests {
 
     fn drive(p: &mut AdaptivePolicy, stats: &PolicyStats, inv: &[u32]) -> Vec<u32> {
         let epoch = p.log().total_epochs() + 1;
-        p.epoch_end(epoch, inv, stats, 0)
+        p.epoch_end(epoch, inv, stats, 0).picks
     }
 
     #[test]
@@ -315,6 +473,7 @@ mod tests {
         let picks = drive(&mut p, &stats, &[7]); // gap=1 again → stable → predict
         assert_eq!(p.page_mode(7), PageMode::Prefetch);
         assert_eq!(p.page_gap(7), Some(1));
+        assert_eq!(p.page_period(7), Some(1));
         assert_eq!(picks, vec![7], "promoted and prefetched for the next window");
 
         // Steady state: keeps prefetching with no further misses (the
@@ -353,6 +512,7 @@ mod tests {
         assert_eq!(prefetches, vec![13, 17, 21, 25, 29, 33, 37]);
         assert!(misses <= 3, "only the learning needs demand-fault");
         assert_eq!(p.page_gap(5), Some(4));
+        assert_eq!(p.page_period(5), Some(1), "a constant gap is a 1-cycle");
     }
 
     #[test]
@@ -372,9 +532,9 @@ mod tests {
         // A periodic page whose phase slips by one event (moldyn's
         // rebuild barriers do exactly this): the mispredicted prefetch
         // registers a virtual need at the wrong event, the real miss
-        // lands one event later, the observed gap changes, stability
-        // breaks, and the predictor re-learns the shifted phase — all
-        // without waiting for a probe.
+        // lands one event later, the observed gap breaks the cycle
+        // match, the lock is lost, and the predictor re-learns the
+        // shifted phase — all without waiting for a probe.
         let stats = PolicyStats::new(1);
         let mut p = AdaptivePolicy::new(AdaptConfig::default());
         let mut wasted = 0;
@@ -409,6 +569,7 @@ mod tests {
             promote_after: 1,
             probe_every: 4,
             log_window: 16,
+            ..Default::default()
         });
         // Gap-1 pattern, promoted at event 3 (prediction #1).
         for _ in 0..3 {
@@ -439,6 +600,7 @@ mod tests {
             promote_after: 1,
             probe_every: 2,
             log_window: 16,
+            ..Default::default()
         });
         for _ in 0..3 {
             p.note_miss(5);
@@ -481,5 +643,129 @@ mod tests {
         let h = p.page_history(4).unwrap();
         assert_eq!(h.dirty_bits & 1, 1);
         assert_eq!(h.miss_bits & 1, 0);
+    }
+
+    #[test]
+    fn locked_period_prefers_the_smallest_cycle() {
+        // A constant tail is a 1-cycle even when longer cycles also fit.
+        assert_eq!(locked_period(&[4, 4, 4, 4], 1), Some(1));
+        // One deviation breaks every cycle the window can verify.
+        assert_eq!(locked_period(&[4, 4, 4, 5], 1), None);
+        // The 3∪5 union's gap cycle locks at length 7 once seen twice
+        // (at a tail position where no shorter cycle fits).
+        let cycle = [2u32, 1, 3, 1, 2, 3, 3];
+        let mut twice: Vec<u32> = cycle.iter().chain(cycle.iter()).copied().collect();
+        twice.push(2); // one step into the third cycle: tail ...3,3,2
+        assert_eq!(locked_period(&twice, 1), Some(7));
+        // One repetition is not verification (tail chosen so the
+        // harmless "3,3" 1-cycle doesn't fire either).
+        assert_eq!(locked_period(&[2, 1, 3, 1, 2], 1), None);
+        // The trailing "3,3" run *does* lock a 1-cycle — the spurious
+        // lock the union stream tolerates because the period-5 need
+        // breaks it one event before its prediction would fire.
+        assert_eq!(locked_period(&cycle, 1), Some(1));
+        // promote_after lengthens the verified span for short cycles.
+        assert_eq!(locked_period(&[1, 1], 2), None);
+        assert_eq!(locked_period(&[1, 1, 1], 2), Some(1));
+    }
+
+    #[test]
+    fn quiesce_defers_after_identical_epochs() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig {
+            quiesce_after: 2,
+            ..Default::default()
+        });
+        // Promote page 7 (gap 1): three confirmed needs.
+        for _ in 0..3 {
+            p.note_miss(7);
+            let epoch = p.log().total_epochs() + 1;
+            p.epoch_end(epoch, &[7], &stats, 0);
+        }
+        // Identical picks [7] accumulate; the third identical epoch
+        // tips the decision to deferred.
+        let mut defers = Vec::new();
+        for _ in 0..4 {
+            let epoch = p.log().total_epochs() + 1;
+            let dec = p.epoch_end(epoch, &[7], &stats, 0);
+            assert_eq!(dec.picks, vec![7]);
+            defers.push(dec.defer);
+        }
+        assert_eq!(defers, vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn quiesced_plan_acts_as_a_free_probe() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+        // Promote page 7 (gap 1), then run a steady predicted stretch.
+        for _ in 0..3 {
+            p.note_miss(7);
+            drive(&mut p, &stats, &[7]);
+        }
+        for _ in 0..3 {
+            assert_eq!(drive(&mut p, &stats, &[7]), vec![7]);
+        }
+        // The protocol layer discarded the deferred plan untriggered
+        // and reports it: the covered-need mark is cleared, the next
+        // window closes as a non-need, and predictions stop instantly
+        // — without this hook the never-performed prefetch would mask
+        // the dead pattern until the probe cadence caught it.
+        p.note_quiesced(&[7]);
+        for _ in 0..6 {
+            assert!(drive(&mut p, &stats, &[7]).is_empty());
+        }
+    }
+
+    #[test]
+    fn push_mode_never_defers() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::pushing());
+        for _ in 0..3 {
+            p.note_miss(4);
+            let epoch = p.log().total_epochs() + 1;
+            p.epoch_end(epoch, &[4], &stats, 0);
+        }
+        // Long identical streak — pull mode would defer from the third
+        // identical epoch; push mode must stay eager (a fault-triggered
+        // plan would be a pull and forfeit the one-way billing).
+        for _ in 0..6 {
+            let epoch = p.log().total_epochs() + 1;
+            let dec = p.epoch_end(epoch, &[4], &stats, 0);
+            assert_eq!(dec.picks, vec![4]);
+            assert!(dec.push);
+            assert!(!dec.defer, "push plans are always eager");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "history_window must exceed promote_after")]
+    fn unsatisfiable_knobs_are_rejected() {
+        let _ = AdaptivePolicy::new(AdaptConfig {
+            promote_after: 6,
+            history_window: 4,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn quiesce_zero_never_defers_and_push_flag_propagates() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig {
+            quiesce_after: 0,
+            push: true,
+            ..Default::default()
+        });
+        for _ in 0..3 {
+            p.note_miss(2);
+            let epoch = p.log().total_epochs() + 1;
+            p.epoch_end(epoch, &[2], &stats, 0);
+        }
+        for _ in 0..6 {
+            let epoch = p.log().total_epochs() + 1;
+            let dec = p.epoch_end(epoch, &[2], &stats, 0);
+            assert!(!dec.defer, "quiesce_after: 0 disables deferral");
+            assert!(dec.push, "push mode rides every decision");
+        }
     }
 }

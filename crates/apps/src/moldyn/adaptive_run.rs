@@ -26,9 +26,12 @@ pub fn knobs() -> adapt::AdaptConfig {
 }
 
 /// The policy instance each processor installs (called from the shared
-/// SPMD body in `tmk.rs` when the mode is [`TmkMode::Adaptive`]).
-pub(super) fn policy() -> Box<dyn adapt::ProtocolPolicy> {
-    Box::new(adapt::AdaptivePolicy::new(knobs()))
+/// SPMD body in `tmk.rs` when the mode is [`TmkMode::Adaptive`] or
+/// [`TmkMode::Push`] — the latter flips the engine to update-push).
+pub(super) fn policy(mode: TmkMode) -> Box<dyn adapt::ProtocolPolicy> {
+    let mut k = knobs();
+    k.push = mode == TmkMode::Push;
+    Box::new(adapt::AdaptivePolicy::new(k))
 }
 
 /// Run moldyn under the adaptive engine. Returns the table row (with
@@ -40,6 +43,17 @@ pub fn run_adaptive(
     seq_time: SimTime,
 ) -> (RunReport, Vec<[f64; 3]>) {
     run_tmk(cfg, world, TmkMode::Adaptive, seq_time)
+}
+
+/// Run moldyn with the adaptive engine in update-push mode: the same
+/// predictor, with each predicted exchange a single writer push per
+/// peer instead of a request/reply pair.
+pub fn run_push(
+    cfg: &MoldynConfig,
+    world: &MoldynWorld,
+    seq_time: SimTime,
+) -> (RunReport, Vec<[f64; 3]>) {
+    run_tmk(cfg, world, TmkMode::Push, seq_time)
 }
 
 #[cfg(test)]

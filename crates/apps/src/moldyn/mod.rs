@@ -7,7 +7,7 @@ mod geometry;
 mod seq;
 mod tmk;
 
-pub use adaptive_run::{knobs as adaptive_knobs, run_adaptive};
+pub use adaptive_run::{knobs as adaptive_knobs, run_adaptive, run_push};
 pub use chaos_run::run_chaos;
 pub use geometry::{build_interaction_list, gen_positions, pair_force, MoldynWorld};
 pub use seq::run_seq;

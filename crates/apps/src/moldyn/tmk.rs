@@ -45,6 +45,10 @@ pub enum TmkMode {
     /// `Base`, but each processor carries an [`adapt::AdaptivePolicy`]
     /// that learns the access pattern and batches predictable fetches.
     Adaptive,
+    /// The adaptive engine in **update-push** mode: same predictor as
+    /// `Adaptive`, but each predicted exchange is a single one-way
+    /// writer push per peer instead of a request/reply pair.
+    Push,
 }
 
 impl TmkMode {
@@ -53,7 +57,13 @@ impl TmkMode {
             TmkMode::Base => SystemKind::TmkBase,
             TmkMode::Optimized => SystemKind::TmkOpt,
             TmkMode::Adaptive => SystemKind::TmkAdaptive,
+            TmkMode::Push => SystemKind::TmkPush,
         }
+    }
+
+    /// Does this mode install the runtime-adaptive engine?
+    pub fn is_adaptive(self) -> bool {
+        matches!(self, TmkMode::Adaptive | TmkMode::Push)
     }
 }
 
@@ -107,8 +117,8 @@ pub fn run_tmk(
     let cap = crate::harness::Capture::new(nprocs);
 
     cl.run(|p| {
-        if mode == TmkMode::Adaptive {
-            p.set_policy(super::adaptive_run::policy());
+        if mode.is_adaptive() {
+            p.set_policy(super::adaptive_run::policy(mode));
         }
         let me = p.rank();
         let my_mols = part.range_of(me);
@@ -253,7 +263,7 @@ pub fn run_tmk(
 
     // Policy decisions of the timed region (extraction reads below do
     // not touch these counters).
-    let policy = (mode == TmkMode::Adaptive).then(|| cl.net().policy_report());
+    let policy = mode.is_adaptive().then(|| cl.net().policy_report());
 
     // --- untimed result extraction ---
     let final_x: Mutex<Vec<[f64; 3]>> = Mutex::new(vec![[0.0; 3]; n]);

@@ -21,8 +21,10 @@ pub fn knobs() -> adapt::AdaptConfig {
     adapt::AdaptConfig::default()
 }
 
-pub(super) fn policy() -> Box<dyn adapt::ProtocolPolicy> {
-    Box::new(adapt::AdaptivePolicy::new(knobs()))
+pub(super) fn policy(mode: TmkMode) -> Box<dyn adapt::ProtocolPolicy> {
+    let mut k = knobs();
+    k.push = mode == TmkMode::Push;
+    Box::new(adapt::AdaptivePolicy::new(k))
 }
 
 /// Run nbf under the adaptive engine. Returns the table row (with
@@ -33,6 +35,11 @@ pub fn run_adaptive(
     seq_time: SimTime,
 ) -> (RunReport, Vec<f64>) {
     run_tmk(cfg, world, TmkMode::Adaptive, seq_time)
+}
+
+/// Run nbf with the adaptive engine in update-push mode.
+pub fn run_push(cfg: &NbfConfig, world: &NbfWorld, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+    run_tmk(cfg, world, TmkMode::Push, seq_time)
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ mod chaos_run;
 mod seq;
 mod tmk;
 
-pub use adaptive_run::{knobs as adaptive_knobs, run_adaptive};
+pub use adaptive_run::{knobs as adaptive_knobs, run_adaptive, run_push};
 pub use chaos_run::run_chaos;
 pub use seq::run_seq;
 pub use tmk::run_tmk;

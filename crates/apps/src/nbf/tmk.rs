@@ -62,8 +62,8 @@ pub fn run_tmk(
     let cap = crate::harness::Capture::new(nprocs);
 
     cl.run(|p| {
-        if mode == TmkMode::Adaptive {
-            p.set_policy(super::adaptive_run::policy());
+        if mode.is_adaptive() {
+            p.set_policy(super::adaptive_run::policy(mode));
         }
         let me = p.rank();
         let my = part.range_of(me);
@@ -215,7 +215,7 @@ pub fn run_tmk(
         p.barrier();
     });
 
-    let policy = (mode == TmkMode::Adaptive).then(|| cl.net().policy_report());
+    let policy = mode.is_adaptive().then(|| cl.net().policy_report());
 
     // Untimed extraction.
     let final_x: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);

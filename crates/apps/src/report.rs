@@ -11,6 +11,10 @@ pub enum SystemKind {
     TmkOpt,
     /// The fourth variant: runtime-adaptive aggregation, no compiler.
     TmkAdaptive,
+    /// The fifth variant: the adaptive engine in update-push mode —
+    /// writers push predicted diffs at the barrier, eliminating the
+    /// request half of each predicted exchange.
+    TmkPush,
 }
 
 impl SystemKind {
@@ -21,6 +25,7 @@ impl SystemKind {
             SystemKind::TmkBase => "Tmk base",
             SystemKind::TmkOpt => "Tmk optimized",
             SystemKind::TmkAdaptive => "Tmk adaptive",
+            SystemKind::TmkPush => "Tmk push",
         }
     }
 }

@@ -18,14 +18,21 @@ pub fn knobs() -> adapt::AdaptConfig {
     adapt::AdaptConfig::default()
 }
 
-pub(super) fn policy() -> Box<dyn adapt::ProtocolPolicy> {
-    Box::new(adapt::AdaptivePolicy::new(knobs()))
+pub(super) fn policy(mode: TmkMode) -> Box<dyn adapt::ProtocolPolicy> {
+    let mut k = knobs();
+    k.push = mode == TmkMode::Push;
+    Box::new(adapt::AdaptivePolicy::new(k))
 }
 
 /// Run umesh under the adaptive engine. Returns the table row (with
 /// [`RunReport::policy`] filled) and the final node values.
 pub fn run_adaptive(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunReport, Vec<f64>) {
     run_tmk(cfg, mesh, TmkMode::Adaptive, seq_time)
+}
+
+/// Run umesh with the adaptive engine in update-push mode.
+pub fn run_push(cfg: &UmeshConfig, mesh: &Mesh, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+    run_tmk(cfg, mesh, TmkMode::Push, seq_time)
 }
 
 #[cfg(test)]

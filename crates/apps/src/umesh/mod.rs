@@ -27,7 +27,7 @@
 
 mod adaptive_run;
 
-pub use adaptive_run::{knobs as adaptive_knobs, run_adaptive};
+pub use adaptive_run::{knobs as adaptive_knobs, run_adaptive, run_push};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -235,8 +235,8 @@ pub fn run_tmk(
     let cap = crate::harness::Capture::new(nprocs);
 
     cl.run(|p| {
-        if mode == TmkMode::Adaptive {
-            p.set_policy(adaptive_run::policy());
+        if mode.is_adaptive() {
+            p.set_policy(adaptive_run::policy(mode));
         }
         let me = p.rank();
         let my = part.range_of(me);
@@ -324,7 +324,7 @@ pub fn run_tmk(
         p.barrier();
     });
 
-    let policy = (mode == TmkMode::Adaptive).then(|| cl.net().policy_report());
+    let policy = mode.is_adaptive().then(|| cl.net().policy_report());
 
     let final_x: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);
     cl.run(|p| {

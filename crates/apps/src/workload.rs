@@ -4,14 +4,15 @@
 //! per-app copy-pasted table harnesses.
 //!
 //! A workload is "a deterministic irregular computation that can run as
-//! any of the five system variants and hand back a flattened final
+//! any of the six system variants and hand back a flattened final
 //! state for cross-checking". The runner ([`run_matrix`]) runs the
-//! sequential reference first, feeds its simulated time to the four
+//! sequential reference first, feeds its simulated time to the five
 //! parallel variants, and enforces the repo's agreement contract:
 //!
-//! * the three Tmk builds (base / optimized / adaptive) are **always**
-//!   bitwise identical — the protocol layers only move fetches earlier
-//!   or later, never change data;
+//! * the four Tmk builds (base / optimized / adaptive / update-push)
+//!   are **always** bitwise identical — the protocol layers only move
+//!   fetches earlier or later (or flip who initiates the exchange),
+//!   never change data;
 //! * against the sequential reference, each workload declares its
 //!   [`CheckMode`]: `Bitwise` where the parallel reduction replays the
 //!   sequential accumulation order (umesh, all synth scenarios),
@@ -25,31 +26,45 @@ use crate::nbf::{self, NbfConfig, NbfWorld};
 use crate::report::{table_header, RunReport, SystemKind};
 use crate::umesh::{self, Mesh, UmeshConfig};
 
-/// The five system variants of the comparison.
+/// The six system variants of the comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
     Seq,
     TmkBase,
     TmkOpt,
     TmkAdaptive,
+    /// The adaptive engine in update-push mode: same predictor as
+    /// `TmkAdaptive`, one one-way writer push per predicted exchange.
+    TmkPush,
     Chaos,
 }
 
 impl Variant {
-    pub const ALL: [Variant; 5] = [
+    pub const ALL: [Variant; 6] = [
         Variant::Seq,
         Variant::TmkBase,
         Variant::TmkOpt,
         Variant::TmkAdaptive,
+        Variant::TmkPush,
         Variant::Chaos,
     ];
 
-    /// The four parallel variants, in table order.
-    pub const PARALLEL: [Variant; 4] = [
+    /// The five parallel variants, in table order.
+    pub const PARALLEL: [Variant; 5] = [
         Variant::TmkBase,
         Variant::TmkOpt,
         Variant::TmkAdaptive,
+        Variant::TmkPush,
         Variant::Chaos,
+    ];
+
+    /// The Tmk protocol family — always bitwise-identical to each
+    /// other, whatever the workload's contract vs sequential.
+    pub const TMK: [Variant; 4] = [
+        Variant::TmkBase,
+        Variant::TmkOpt,
+        Variant::TmkAdaptive,
+        Variant::TmkPush,
     ];
 
     pub fn system_kind(self) -> SystemKind {
@@ -58,6 +73,7 @@ impl Variant {
             Variant::TmkBase => SystemKind::TmkBase,
             Variant::TmkOpt => SystemKind::TmkOpt,
             Variant::TmkAdaptive => SystemKind::TmkAdaptive,
+            Variant::TmkPush => SystemKind::TmkPush,
             Variant::Chaos => SystemKind::Chaos,
         }
     }
@@ -174,10 +190,12 @@ pub fn run_matrix(w: &(impl Workload + ?Sized)) -> WorkloadMatrix {
             x,
         });
     }
-    // The Tmk trio is bitwise-identical regardless of the seq contract.
+    // The Tmk family is bitwise-identical regardless of the seq
+    // contract: the protocol layers (compiler aggregation, adaptive
+    // prefetch, update-push) only move fetches, never change data.
     let matrix = WorkloadMatrix { label, runs };
     let base = &matrix.get(Variant::TmkBase).x;
-    for v in [Variant::TmkOpt, Variant::TmkAdaptive] {
+    for v in Variant::TMK.into_iter().filter(|&v| v != Variant::TmkBase) {
         assert_eq!(
             &matrix.get(v).x,
             base,
@@ -237,6 +255,10 @@ impl Workload for MoldynWorkload {
                 let (r, x) = moldyn::run_adaptive(&self.cfg, &self.world, seq_time);
                 (r, flatten3(&x))
             }
+            Variant::TmkPush => {
+                let (r, x) = moldyn::run_push(&self.cfg, &self.world, seq_time);
+                (r, flatten3(&x))
+            }
             Variant::Chaos => {
                 let (r, x) = moldyn::run_chaos(&self.cfg, &self.world, seq_time);
                 (r, flatten3(&x))
@@ -273,6 +295,7 @@ impl Workload for NbfWorkload {
             Variant::TmkBase => nbf::run_tmk(&self.cfg, &self.world, TmkMode::Base, seq_time),
             Variant::TmkOpt => nbf::run_tmk(&self.cfg, &self.world, TmkMode::Optimized, seq_time),
             Variant::TmkAdaptive => nbf::run_adaptive(&self.cfg, &self.world, seq_time),
+            Variant::TmkPush => nbf::run_push(&self.cfg, &self.world, seq_time),
             Variant::Chaos => nbf::run_chaos(&self.cfg, &self.world, seq_time),
         }
     }
@@ -311,6 +334,7 @@ impl Workload for UmeshWorkload {
             Variant::TmkBase => umesh::run_tmk(&self.cfg, &self.mesh, TmkMode::Base, seq_time),
             Variant::TmkOpt => umesh::run_tmk(&self.cfg, &self.mesh, TmkMode::Optimized, seq_time),
             Variant::TmkAdaptive => umesh::run_adaptive(&self.cfg, &self.mesh, seq_time),
+            Variant::TmkPush => umesh::run_push(&self.cfg, &self.mesh, seq_time),
             Variant::Chaos => umesh::run_chaos(&self.cfg, &self.mesh, seq_time),
         }
     }
@@ -324,17 +348,19 @@ mod tests {
     fn variant_labels_match_system_kinds() {
         assert_eq!(Variant::Seq.label(), "seq");
         assert_eq!(Variant::TmkBase.label(), "Tmk base");
+        assert_eq!(Variant::TmkPush.label(), "Tmk push");
         assert_eq!(Variant::Chaos.label(), "CHAOS");
-        assert_eq!(Variant::ALL.len(), 5);
-        assert_eq!(Variant::PARALLEL.len(), 4);
+        assert_eq!(Variant::ALL.len(), 6);
+        assert_eq!(Variant::PARALLEL.len(), 5);
         assert!(!Variant::PARALLEL.contains(&Variant::Seq));
+        assert!(Variant::TMK.iter().all(|v| Variant::PARALLEL.contains(v)));
     }
 
     #[test]
     fn umesh_matrix_runs_and_cross_checks() {
         let w = UmeshWorkload::new(UmeshConfig::small());
         let m = run_matrix(&w);
-        assert_eq!(m.runs.len(), 5);
+        assert_eq!(m.runs.len(), 6);
         // The runner already asserted bitwise agreement; spot-check the
         // protocol shape survives the trait indirection.
         assert!(

@@ -11,8 +11,9 @@
 //!
 //! The run doubles as the acceptance check for the adaptive engine: it
 //! verifies (per the `simnet` counters) that on moldyn and nbf the
-//! adaptive build sends ≥ 25% fewer messages than plain Tmk, and that
-//! it never sends more messages than plain Tmk on any application.
+//! adaptive build sends ≥ 25% fewer messages than plain Tmk and the
+//! update-push build sends strictly fewer than the pull-mode adaptive
+//! build, and that push ≤ prefetch ≤ base holds on every application.
 
 use apps::moldyn::{self, MoldynConfig, TmkMode};
 use apps::nbf::{self, NbfConfig};
@@ -26,6 +27,7 @@ struct Group {
     base: RunReport,
     opt: RunReport,
     adaptive: RunReport,
+    push: RunReport,
 }
 
 impl Group {
@@ -38,7 +40,7 @@ impl Group {
         print_group(
             self.app,
             self.seq_secs,
-            &[&self.base, &self.opt, &self.adaptive],
+            &[&self.base, &self.opt, &self.adaptive, &self.push],
         );
         let pol = self.adaptive.policy.clone().expect("adaptive policy report");
         println!(
@@ -56,6 +58,16 @@ impl Group {
             pol.probes,
             pol.prefetch_rounds,
             pol.prefetch_pages
+        );
+        let pp = self.push.policy.clone().expect("push policy report");
+        println!(
+            "  update-push: {:.1}% fewer messages than pull-mode adaptive \
+             ({} push rounds covering {} pages, {} plans quiesced)",
+            100.0 * (self.adaptive.messages.saturating_sub(self.push.messages)) as f64
+                / self.adaptive.messages.max(1) as f64,
+            pp.push_rounds,
+            pp.push_pages,
+            pp.quiesced_plans,
         );
     }
 }
@@ -75,13 +87,16 @@ fn moldyn_group(scale: Scale) -> Group {
     let (base, xb) = moldyn::run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
     let (opt, _) = moldyn::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
     let (adaptive, xa) = moldyn::run_adaptive(&cfg, &world, seq.report.time);
+    let (push, xp) = moldyn::run_push(&cfg, &world, seq.report.time);
     assert_eq!(xa, xb, "moldyn: adaptive must be bitwise identical to base");
+    assert_eq!(xp, xb, "moldyn: push must be bitwise identical to base");
     Group {
         app: "moldyn (rebuild every 15 steps)",
         seq_secs: seq.report.time.as_secs_f64(),
         base,
         opt,
         adaptive,
+        push,
     }
 }
 
@@ -97,13 +112,16 @@ fn nbf_group(scale: Scale) -> Group {
     let (base, xb) = nbf::run_tmk(&cfg, &world, TmkMode::Base, seq.report.time);
     let (opt, _) = nbf::run_tmk(&cfg, &world, TmkMode::Optimized, seq.report.time);
     let (adaptive, xa) = nbf::run_adaptive(&cfg, &world, seq.report.time);
+    let (push, xp) = nbf::run_push(&cfg, &world, seq.report.time);
     assert_eq!(xa, xb, "nbf: adaptive must be bitwise identical to base");
+    assert_eq!(xp, xb, "nbf: push must be bitwise identical to base");
     Group {
         app: "nbf (static partner list)",
         seq_secs: seq.report.time.as_secs_f64(),
         base,
         opt,
         adaptive,
+        push,
     }
 }
 
@@ -121,21 +139,25 @@ fn umesh_group(scale: Scale) -> Group {
     let (base, xb) = umesh::run_tmk(&cfg, &mesh, TmkMode::Base, seq.report.time);
     let (opt, _) = umesh::run_tmk(&cfg, &mesh, TmkMode::Optimized, seq.report.time);
     let (adaptive, xa) = umesh::run_adaptive(&cfg, &mesh, seq.report.time);
+    let (push, xp) = umesh::run_push(&cfg, &mesh, seq.report.time);
     assert_eq!(xa, xb, "umesh: adaptive must be bitwise identical to base");
+    assert_eq!(xp, xb, "umesh: push must be bitwise identical to base");
     Group {
         app: "umesh (static mesh)",
         seq_secs: seq.report.time.as_secs_f64(),
         base,
         opt,
         adaptive,
+        push,
     }
 }
 
 fn main() {
     let scale = Scale::from_args();
-    println!("=== table_adapt: the runtime-adaptive fourth system ===");
-    println!("(seq / Tmk base / Tmk+compiler / Tmk adaptive; times simulated;");
-    println!(" the adaptive build uses NO compiler hints and NO inspector)");
+    println!("=== table_adapt: the runtime-adaptive fourth and fifth systems ===");
+    println!("(seq / Tmk base / Tmk+compiler / Tmk adaptive / Tmk push; times simulated;");
+    println!(" the adaptive builds use NO compiler hints and NO inspector;");
+    println!(" push = same predictor, writer-initiated one-way diffs)");
 
     let groups = [moldyn_group(scale), nbf_group(scale), umesh_group(scale)];
     for g in &groups {
@@ -151,6 +173,13 @@ fn main() {
             g.adaptive.messages,
             g.base.messages
         );
+        assert!(
+            g.push.messages <= g.adaptive.messages,
+            "{}: push sent MORE messages than pull-mode adaptive ({} > {})",
+            g.app,
+            g.push.messages,
+            g.adaptive.messages
+        );
     }
     for g in &groups[..2] {
         assert!(
@@ -159,7 +188,15 @@ fn main() {
             g.app,
             g.reduction_vs_base()
         );
+        assert!(
+            g.push.messages < g.adaptive.messages,
+            "{}: update-push must be strictly cheaper than prefetch ({} !< {})",
+            g.app,
+            g.push.messages,
+            g.adaptive.messages
+        );
     }
     println!("\nacceptance: adaptive ≥25% fewer messages on moldyn and nbf,");
-    println!("            and never more than plain Tmk on any app  ✓");
+    println!("            push ≤ prefetch ≤ base everywhere, and push strictly");
+    println!("            beats prefetch on moldyn and nbf  ✓");
 }

@@ -1,6 +1,6 @@
 //! The scenario-matrix harness: every cell of the synthetic grid
 //! (interaction structure × indirection dynamics × nprocs) runs all
-//! five system variants through the generic `Workload` runner, printing
+//! six system variants through the generic `Workload` runner, printing
 //! a message/time matrix from the `simnet` counters.
 //!
 //! ```text
@@ -10,9 +10,11 @@
 //!
 //! The run is also the subsystem's acceptance check. Per scenario:
 //!
-//! * all five variants agree **bitwise** (asserted inside
+//! * all six variants agree **bitwise** (asserted inside
 //!   `run_matrix` — the fixed-order owner-side reduction contract);
-//! * the adaptive policy never sends more messages than plain Tmk;
+//! * the adaptive policy never sends more messages than plain Tmk, and
+//!   update-push never sends more than pull-mode adaptive
+//!   (push ≤ prefetch ≤ base per cell);
 //! * on *static*-indirection scenarios CHAOS beats plain Tmk on both
 //!   messages and time, as the paper predicts (its inspector amortizes
 //!   perfectly when the list never changes).
@@ -37,12 +39,13 @@ fn print_matrix_row(m: &WorkloadMatrix) {
         format!("{:>7} {:>8.1}s", r.messages, r.time.as_secs_f64())
     };
     println!(
-        "{:<24} {:>9.1}s | {} | {} | {} | {}",
+        "{:<24} {:>9.1}s | {} | {} | {} | {} | {}",
         m.label,
         m.get(Variant::Seq).report.time.as_secs_f64(),
         cell(Variant::TmkBase),
         cell(Variant::TmkOpt),
         cell(Variant::TmkAdaptive),
+        cell(Variant::TmkPush),
         cell(Variant::Chaos),
     );
 }
@@ -51,11 +54,11 @@ fn main() {
     let scale = Scale::from_args();
     let quick = scale == Scale::Quick;
     println!("=== table_synth: the synthetic scenario matrix ===");
-    println!("(structure × dynamics × nprocs; five variants per cell; all cells");
+    println!("(structure × dynamics × nprocs; six variants per cell; all cells");
     println!(" cross-checked bitwise; messages and simulated seconds per variant)\n");
     println!(
-        "{:<24} {:>10} | {:^16} | {:^16} | {:^16} | {:^16}",
-        "scenario", "seq", "Tmk base", "Tmk optimized", "Tmk adaptive", "CHAOS"
+        "{:<24} {:>10} | {:^16} | {:^16} | {:^16} | {:^16} | {:^16}",
+        "scenario", "seq", "Tmk base", "Tmk optimized", "Tmk adaptive", "Tmk push", "CHAOS"
     );
 
     let grid = scenario_grid(quick);
@@ -69,6 +72,7 @@ fn main() {
 
         let base = &m.get(Variant::TmkBase).report;
         let adaptive = &m.get(Variant::TmkAdaptive).report;
+        let push = &m.get(Variant::TmkPush).report;
         let chaos = &m.get(Variant::Chaos).report;
         assert!(
             adaptive.messages <= base.messages,
@@ -76,6 +80,13 @@ fn main() {
             m.label,
             adaptive.messages,
             base.messages
+        );
+        assert!(
+            push.messages <= adaptive.messages,
+            "{}: push sent MORE messages than pull-mode adaptive ({} > {})",
+            m.label,
+            push.messages,
+            adaptive.messages
         );
         if is_static {
             assert!(
@@ -90,8 +101,8 @@ fn main() {
             static_wins += 1;
         }
     }
-    println!("\n{ncells}-cell grid: all five variants bitwise-identical per scenario,");
-    println!("adaptive ≤ plain Tmk messages everywhere, CHAOS won all {static_wins} static cells  ✓");
+    println!("\n{ncells}-cell grid: all six variants bitwise-identical per scenario,");
+    println!("push ≤ adaptive ≤ plain Tmk messages everywhere, CHAOS won all {static_wins} static cells  ✓");
 
     if quick {
         classic_apps_through_trait();
@@ -112,6 +123,7 @@ fn classic_apps_through_trait() {
         (Variant::TmkBase, moldyn::run_tmk(&cfg, &w.world, TmkMode::Base, seq.report.time).0),
         (Variant::TmkOpt, moldyn::run_tmk(&cfg, &w.world, TmkMode::Optimized, seq.report.time).0),
         (Variant::TmkAdaptive, moldyn::run_adaptive(&cfg, &w.world, seq.report.time).0),
+        (Variant::TmkPush, moldyn::run_push(&cfg, &w.world, seq.report.time).0),
         (Variant::Chaos, moldyn::run_chaos(&cfg, &w.world, seq.report.time).0),
     ];
     assert_counts_match(&m, &direct);
@@ -124,6 +136,7 @@ fn classic_apps_through_trait() {
         (Variant::TmkBase, nbf::run_tmk(&cfg, &w.world, TmkMode::Base, seq.report.time).0),
         (Variant::TmkOpt, nbf::run_tmk(&cfg, &w.world, TmkMode::Optimized, seq.report.time).0),
         (Variant::TmkAdaptive, nbf::run_adaptive(&cfg, &w.world, seq.report.time).0),
+        (Variant::TmkPush, nbf::run_push(&cfg, &w.world, seq.report.time).0),
         (Variant::Chaos, nbf::run_chaos(&cfg, &w.world, seq.report.time).0),
     ];
     assert_counts_match(&m, &direct);
@@ -136,6 +149,7 @@ fn classic_apps_through_trait() {
         (Variant::TmkBase, umesh::run_tmk(&cfg, &w.mesh, TmkMode::Base, seq.report.time).0),
         (Variant::TmkOpt, umesh::run_tmk(&cfg, &w.mesh, TmkMode::Optimized, seq.report.time).0),
         (Variant::TmkAdaptive, umesh::run_adaptive(&cfg, &w.mesh, seq.report.time).0),
+        (Variant::TmkPush, umesh::run_push(&cfg, &w.mesh, seq.report.time).0),
         (Variant::Chaos, umesh::run_chaos(&cfg, &w.mesh, seq.report.time).0),
     ];
     assert_counts_match(&m, &direct);
@@ -155,11 +169,12 @@ fn assert_counts_match(m: &WorkloadMatrix, direct: &[(Variant, apps::RunReport)]
         );
     }
     println!(
-        "{:<24} base {:>6} msgs | opt {:>6} | adaptive {:>6} | CHAOS {:>6}   (= direct)",
+        "{:<24} base {:>6} msgs | opt {:>6} | adaptive {:>6} | push {:>6} | CHAOS {:>6}   (= direct)",
         m.label,
         m.get(Variant::TmkBase).report.messages,
         m.get(Variant::TmkOpt).report.messages,
         m.get(Variant::TmkAdaptive).report.messages,
+        m.get(Variant::TmkPush).report.messages,
         m.get(Variant::Chaos).report.messages,
     );
 }

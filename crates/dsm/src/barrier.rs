@@ -116,19 +116,51 @@ impl TmkProc<'_> {
         self.inner.counters.barriers += 1;
         self.inner.last_barrier_seen.copy_from_slice(&target);
 
+        // A plan deferred at the previous barrier that no fault ever
+        // triggered is dead: the epoch never touched the predicted
+        // pages. Discarding it is the quiesce win — one whole exchange
+        // per peer saved, most importantly at the run's final barrier
+        // (whose "next iteration" never executes at all). The policy is
+        // told first, so the epoch reads as a free probe rather than a
+        // covered need.
+        if let Some((plan, _)) = self.inner.deferred.take() {
+            cl.net().policy().record_quiesced(self.me, plan.len());
+            self.inner.policy.note_quiesced(&plan);
+        }
+
         // Epoch boundary for the protocol policy: it may answer the
         // just-applied invalidations with a batched prefetch — one
         // aggregated exchange per peer instead of a demand fault per
-        // page. The records it needs were published before Phase A, so
-        // fetching inside the B→C window reads a stable store.
-        let picks =
-            self.inner
-                .policy
-                .epoch_end(epoch, &invalidated, cl.net().policy(), self.me);
-        let todo: Vec<u32> = picks.into_iter().filter(|&pg| self.page_invalid(pg)).collect();
+        // page — eager, deferred to the epoch's first fault, or as
+        // writer-initiated update-push. The records it needs were
+        // published before Phase A, so fetching inside the B→C window
+        // reads a stable store.
+        let dec = self
+            .inner
+            .policy
+            .epoch_end(epoch, &invalidated, cl.net().policy(), self.me);
+        let todo: Vec<u32> = dec
+            .picks
+            .into_iter()
+            .filter(|&pg| self.page_invalid(pg))
+            .collect();
         if !todo.is_empty() {
-            cl.net().policy().record_prefetch(self.me, todo.len());
-            self.fetch_pages(&todo, crate::proc::FetchClass::Prefetch);
+            let class = if dec.push {
+                crate::proc::FetchClass::Push
+            } else {
+                crate::proc::FetchClass::Prefetch
+            };
+            if dec.defer {
+                cl.net().policy().record_deferred(self.me);
+                self.inner.deferred = Some((todo, class));
+            } else {
+                if dec.push {
+                    cl.net().policy().record_push(self.me, todo.len());
+                } else {
+                    cl.net().policy().record_prefetch(self.me, todo.len());
+                }
+                self.fetch_pages(&todo, class);
+            }
         }
 
         // Phase C: nobody publishes new intervals until all have merged.

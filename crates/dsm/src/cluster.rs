@@ -14,9 +14,11 @@ use crate::store::DiffStore;
 /// Cluster configuration.
 #[derive(Debug, Clone)]
 pub struct DsmConfig {
+    /// Number of simulated processors.
     pub nprocs: usize,
     /// Consistency unit. The SP2 of the paper used 4 KB pages.
     pub page_size: usize,
+    /// Communication cost model for the simulated interconnect.
     pub cost: CostModel,
 }
 
@@ -31,6 +33,7 @@ impl Default for DsmConfig {
 }
 
 impl DsmConfig {
+    /// The default configuration at a given cluster size.
     pub fn with_nprocs(nprocs: usize) -> Self {
         DsmConfig {
             nprocs,
@@ -74,6 +77,8 @@ pub struct Cluster {
 }
 
 impl Cluster {
+    /// Build a cluster (heap empty, all clocks zero). Panics if the
+    /// page size is not a power of two of at least 64 bytes.
     pub fn new(cfg: DsmConfig) -> Self {
         assert!(cfg.page_size.is_power_of_two(), "page size: power of two");
         assert!(cfg.page_size >= 64, "page size too small");
@@ -93,14 +98,17 @@ impl Cluster {
         }
     }
 
+    /// The configuration this cluster was built with.
     pub fn config(&self) -> &DsmConfig {
         &self.cfg
     }
 
+    /// Number of simulated processors.
     pub fn nprocs(&self) -> usize {
         self.cfg.nprocs
     }
 
+    /// The consistency unit in bytes.
     pub fn page_size(&self) -> usize {
         self.cfg.page_size
     }
@@ -148,6 +156,16 @@ impl Cluster {
                         inner,
                     };
                     f(&mut p);
+                    // A batched fetch deferred at the body's final
+                    // barrier that nothing triggered is the quiesce win:
+                    // the exchange the eager policy would have wasted on
+                    // an iteration that never executes. Record and drop
+                    // it so the report sees it and a later run() starts
+                    // clean.
+                    if let Some((plan, _)) = p.inner.deferred.take() {
+                        self.net.policy().record_quiesced(rank, plan.len());
+                        p.inner.policy.note_quiesced(&plan);
+                    }
                     *self.slots[rank].lock() = Some(p.inner);
                 });
             }
@@ -164,6 +182,7 @@ impl Cluster {
         self.net.report()
     }
 
+    /// The simulated interconnect (clocks, counters, cost model).
     pub fn net(&self) -> &Net {
         &self.net
     }

@@ -65,10 +65,12 @@ impl Diff {
         }
     }
 
+    /// No word differed between page and twin.
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
     }
 
+    /// Number of coalesced modified runs.
     pub fn run_count(&self) -> usize {
         self.runs.len()
     }
@@ -103,6 +105,7 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// Bytes this payload occupies on the wire (header included).
     pub fn wire_bytes(&self) -> usize {
         PAYLOAD_HEADER
             + match self {
@@ -111,6 +114,7 @@ impl Payload {
             }
     }
 
+    /// Apply the modification to `dst` (a page-sized buffer).
     pub fn apply(&self, dst: &mut [u8]) {
         match self {
             Payload::Diff(d) => d.apply(dst),

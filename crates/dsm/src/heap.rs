@@ -17,8 +17,11 @@ use std::marker::PhantomData;
 /// byte arrays and diffs are representation-level — the same property the
 /// real system gets from raw memory.
 pub trait Pod: Copy + Send + Sync + 'static {
+    /// Encoded size in bytes.
     const SIZE: usize;
+    /// Encode `self` little-endian into the first `SIZE` bytes of `dst`.
     fn store(self, dst: &mut [u8]);
+    /// Decode a value from the first `SIZE` bytes of `src`.
     fn load(src: &[u8]) -> Self;
 }
 
@@ -65,11 +68,13 @@ impl<T: Pod> SharedSlice<T> {
         }
     }
 
+    /// Number of elements in the region.
     #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Does the region hold zero elements?
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -82,6 +87,7 @@ impl<T: Pod> SharedSlice<T> {
         self.base + i * T::SIZE
     }
 
+    /// Global byte offset where the region starts (page-aligned).
     #[inline]
     pub fn base_byte(&self) -> usize {
         self.base

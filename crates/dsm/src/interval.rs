@@ -65,6 +65,7 @@ pub struct NoticeBoard {
 }
 
 impl NoticeBoard {
+    /// An empty board for `nprocs` processors.
     pub fn new(nprocs: usize) -> Self {
         NoticeBoard {
             boards: (0..nprocs).map(|_| RwLock::new(Vec::new())).collect(),
@@ -85,6 +86,7 @@ impl NoticeBoard {
         self.boards[q].read().len() as u32
     }
 
+    /// Has `q` closed no intervals yet?
     pub fn is_empty(&self, q: ProcId) -> bool {
         self.len(q) == 0
     }

@@ -48,6 +48,8 @@
 //! batched prefetch — same aggregation machinery, no compiler. The
 //! default [`StaticPolicy`] keeps the exact base-TreadMarks behavior.
 
+#![warn(missing_docs)]
+
 mod barrier;
 mod cluster;
 mod diff;
@@ -62,7 +64,7 @@ pub use cluster::{Cluster, DsmConfig};
 pub use diff::{Diff, Payload, DIFF_WORD};
 pub use heap::{Pod, SharedSlice};
 pub use interval::{covers, vc_key, IntervalRec, NoticeBoard, Vc};
-pub use policy::{ProtocolPolicy, StaticPolicy};
+pub use policy::{EpochDecision, ProtocolPolicy, StaticPolicy};
 pub use proc::{FetchClass, PageState, ProcCounters, TmkProc};
 pub use store::{DiffStore, Record};
 

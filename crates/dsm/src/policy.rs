@@ -23,6 +23,51 @@
 
 use simnet::{PolicyStats, ProcId};
 
+/// What a [`ProtocolPolicy`] decided at one barrier epoch boundary.
+///
+/// The default ([`EpochDecision::none`]) is plain demand paging: no
+/// pages picked, nothing deferred, pull semantics.
+#[derive(Debug, Clone, Default)]
+pub struct EpochDecision {
+    /// Pages to bring up to date this epoch instead of leaving them to
+    /// demand-fault one at a time. Pages that are not actually invalid
+    /// are skipped by the protocol layer.
+    pub picks: Vec<u32>,
+    /// Defer the batched fetch to the epoch's *first demand fault*
+    /// instead of issuing it eagerly inside the barrier. In steady
+    /// state the exchange still happens once per epoch (triggered by
+    /// the first touch, which also rides along); in an epoch that never
+    /// faults — above all the run's final barrier, whose "next
+    /// iteration" never executes — the whole exchange is saved
+    /// (*quiesced*). The cost of deferring is one page-fault service
+    /// time on the triggering access.
+    pub defer: bool,
+    /// Account the predicted exchange as **update-push**: the writers
+    /// push their diffs in one one-way data message per writer/consumer
+    /// pair ([`FetchClass::Push`] → `AdaptPush`), eliminating the
+    /// request half of the wire pattern. Data content and application
+    /// order are identical to the pull path.
+    ///
+    /// [`FetchClass::Push`]: crate::FetchClass::Push
+    pub push: bool,
+}
+
+impl EpochDecision {
+    /// The demand-paging decision: nothing picked.
+    pub fn none() -> Self {
+        EpochDecision::default()
+    }
+
+    /// An eager pull-mode prefetch of `picks` (PR 2's behavior).
+    pub fn prefetch(picks: Vec<u32>) -> Self {
+        EpochDecision {
+            picks,
+            defer: false,
+            push: false,
+        }
+    }
+}
+
 /// Per-processor protocol decision hooks.
 ///
 /// One boxed policy lives inside each processor's persistent protocol
@@ -41,20 +86,31 @@ pub trait ProtocolPolicy: Send + std::fmt::Debug {
     /// them since the previous release).
     fn note_interval_close(&mut self, _pages: &[u32]) {}
 
+    /// A deferred plan covering `pages` was discarded untriggered: the
+    /// epoch ended (or the run did) without anything touching the
+    /// predicted pages. The protocol layer calls this *before* the
+    /// epoch's `epoch_end`, so a policy can treat the quiesced epoch as
+    /// a free probe — the prediction was provably not needed, at zero
+    /// wire cost — instead of letting its own (never-performed)
+    /// prefetch mask the absence of a miss.
+    fn note_quiesced(&mut self, _pages: &[u32]) {}
+
     /// A barrier epoch boundary. `epoch` is the barrier sequence number,
     /// `invalidated` the pages write notices just invalidated for this
-    /// processor (sorted, deduplicated). Returns the pages to bring up to
-    /// date *now*, in one aggregated exchange per peer, instead of
-    /// leaving them to demand-fault one at a time. Decision counters go
-    /// to `stats` (per-processor slot `me`).
+    /// processor (sorted, deduplicated). Returns an [`EpochDecision`]:
+    /// which pages to bring up to date in one aggregated exchange per
+    /// peer instead of leaving them to demand-fault one at a time,
+    /// whether to defer that exchange to the epoch's first fault, and
+    /// whether to account it as writer-initiated update-push. Decision
+    /// counters go to `stats` (per-processor slot `me`).
     fn epoch_end(
         &mut self,
         _epoch: u64,
         _invalidated: &[u32],
         _stats: &PolicyStats,
         _me: ProcId,
-    ) -> Vec<u32> {
-        Vec::new()
+    ) -> EpochDecision {
+        EpochDecision::none()
     }
 }
 
@@ -76,7 +132,8 @@ mod tests {
         let mut p = StaticPolicy;
         p.note_miss(3);
         p.note_interval_close(&[1, 2]);
-        assert!(p.epoch_end(1, &[1, 2, 3], &stats, 0).is_empty());
+        let dec = p.epoch_end(1, &[1, 2, 3], &stats, 0);
+        assert!(dec.picks.is_empty() && !dec.defer && !dec.push);
         assert_eq!(simnet::PolicyReport::capture(&stats), Default::default());
     }
 }

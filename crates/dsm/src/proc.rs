@@ -68,16 +68,27 @@ impl Frame {
 /// Event counters a processor accumulates; surfaced in reports and tests.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProcCounters {
+    /// Read faults taken on invalid pages.
     pub read_faults: u64,
+    /// Write faults (protection or invalid-page).
     pub write_faults: u64,
+    /// Twins created at first write of an interval.
     pub twins_made: u64,
+    /// Non-empty diffs published at interval close.
     pub diffs_created: u64,
+    /// Full pages published (`WRITE_ALL` paths).
     pub fulls_published: u64,
+    /// Pages brought up to date by fetches of any class.
     pub pages_fetched: u64,
+    /// Diff/full records applied to local frames.
     pub records_applied: u64,
+    /// Whole-page master-copy fetches (post-GC path).
     pub master_fetches: u64,
+    /// Intervals closed with at least one published payload.
     pub intervals_closed: u64,
+    /// Barriers crossed.
     pub barriers: u64,
+    /// Lock acquisitions.
     pub lock_acquires: u64,
 }
 
@@ -92,6 +103,12 @@ pub enum FetchClass {
     /// Aggregated prefetch decided by a runtime [`ProtocolPolicy`]
     /// (no compiler hints): accounted as `AdaptRequest`/`AdaptReply`.
     Prefetch,
+    /// Writer-initiated update push decided by a runtime
+    /// [`ProtocolPolicy`] in push mode: the writers push their diffs in
+    /// one one-way `AdaptPush` message per writer/consumer pair — the
+    /// request half of the exchange does not exist on the wire. Data
+    /// and application order are identical to [`FetchClass::Prefetch`].
+    Push,
 }
 
 /// Persistent per-processor state (survives across [`Cluster::run`] calls).
@@ -109,6 +126,10 @@ pub(crate) struct ProcInner {
     pub(crate) last_barrier_seen: Vc,
     /// The protocol decision layer (default: plain demand paging).
     pub(crate) policy: Box<dyn ProtocolPolicy>,
+    /// A policy-deferred batched fetch, armed at the last barrier and
+    /// triggered by the epoch's first demand fault (the quiesce
+    /// heuristic). Discarded untriggered at the next epoch boundary.
+    pub(crate) deferred: Option<(Vec<u32>, FetchClass)>,
 }
 
 impl ProcInner {
@@ -123,6 +144,7 @@ impl ProcInner {
             counters: ProcCounters::default(),
             last_barrier_seen: vec![0; nprocs],
             policy: Box::new(StaticPolicy),
+            deferred: None,
         }
     }
 
@@ -145,21 +167,25 @@ pub struct TmkProc<'c> {
 }
 
 impl<'c> TmkProc<'c> {
+    /// This processor's rank, `0..nprocs`.
     #[inline]
     pub fn rank(&self) -> ProcId {
         self.me
     }
 
+    /// Number of processors in the cluster.
     #[inline]
     pub fn nprocs(&self) -> usize {
         self.nprocs
     }
 
+    /// The consistency unit in bytes.
     #[inline]
     pub fn page_size(&self) -> usize {
         self.page_size
     }
 
+    /// This processor's accumulated protocol event counters.
     pub fn counters(&self) -> &ProcCounters {
         &self.inner.counters
     }
@@ -239,7 +265,33 @@ impl<'c> TmkProc<'c> {
         self.inner.counters.read_faults += 1;
         self.inner.policy.note_miss(page);
         self.compute(self.cl.net().cost().page_fault());
-        self.fetch_pages(&[page], FetchClass::Demand);
+        self.demand_fetch(page);
+    }
+
+    /// Demand-service a fault on `page`. If a policy-deferred batch is
+    /// armed, the fault triggers it: the whole predicted plan (plus the
+    /// faulting page, which rides along free of its own demand pair) is
+    /// fetched in one aggregated exchange. Otherwise plain TreadMarks:
+    /// one request/reply pair for this page alone.
+    ///
+    /// A triggered plan is **consumer-initiated by definition** — the
+    /// transfer happens at a moment only the faulting processor knows —
+    /// so even a plan armed in push mode degrades to a pull exchange
+    /// here; one-way `AdaptPush` billing is reserved for eager
+    /// barrier-time pushes, the only shape the writer-subscription
+    /// model can honestly claim.
+    fn demand_fetch(&mut self, page: u32) {
+        match self.inner.deferred.take() {
+            Some((mut plan, _)) => {
+                plan.retain(|&pg| self.page_invalid(pg));
+                if !plan.contains(&page) {
+                    plan.push(page);
+                }
+                self.cl.net().policy().record_prefetch(self.me, plan.len());
+                self.fetch_pages(&plan, FetchClass::Prefetch);
+            }
+            None => self.fetch_pages(&[page], FetchClass::Demand),
+        }
     }
 
     #[cold]
@@ -255,7 +307,7 @@ impl<'c> TmkProc<'c> {
         }
         if self.inner.frames[page as usize].state == PageState::Invalid {
             self.inner.policy.note_miss(page);
-            self.fetch_pages(&[page], FetchClass::Demand);
+            self.demand_fetch(page);
         }
         let page_size = self.page_size;
         let f = &mut self.inner.frames[page as usize];
@@ -457,11 +509,6 @@ impl<'c> TmkProc<'c> {
         }
 
         // Phase 2: message accounting — group by serving processor.
-        let (kreq, kresp) = match class {
-            FetchClass::Demand => (MsgKind::DiffRequest, MsgKind::DiffReply),
-            FetchClass::Aggregated => (MsgKind::AggRequest, MsgKind::AggReply),
-            FetchClass::Prefetch => (MsgKind::AdaptRequest, MsgKind::AdaptReply),
-        };
         const REQ_FIXED: usize = 16; // header + vc digest
         const REQ_PER_PAGE: usize = 8; // page id + applied seq
         let mut req_pages: Vec<usize> = vec![0; self.nprocs];
@@ -477,21 +524,38 @@ impl<'c> TmkProc<'c> {
                 resp_bytes[mgr] += self.page_size + 8 + 4 * self.nprocs;
             }
         }
-        let legs: Vec<(ProcId, MsgKind, usize, MsgKind, usize)> = (0..self.nprocs)
-            .filter(|&q| q != self.me && req_pages[q] > 0)
-            .map(|q| {
-                (
-                    q,
-                    kreq,
-                    REQ_FIXED + REQ_PER_PAGE * req_pages[q],
-                    kresp,
-                    resp_bytes[q],
-                )
-            })
-            .collect();
-        // One parallel exchange round: a demand fault covers one page; the
-        // aggregated classes cover a whole schedule's worth per peer.
-        self.cl.net().parallel_round(self.me, &legs);
+        if class == FetchClass::Push {
+            // Update-push: the writers initiate — one one-way data
+            // message per serving peer, no request leg on the wire.
+            let legs: Vec<(ProcId, MsgKind, usize)> = (0..self.nprocs)
+                .filter(|&q| q != self.me && req_pages[q] > 0)
+                .map(|q| (q, MsgKind::AdaptPush, resp_bytes[q]))
+                .collect();
+            self.cl.net().push_round(self.me, &legs);
+        } else {
+            let (kreq, kresp) = match class {
+                FetchClass::Demand => (MsgKind::DiffRequest, MsgKind::DiffReply),
+                FetchClass::Aggregated => (MsgKind::AggRequest, MsgKind::AggReply),
+                FetchClass::Prefetch => (MsgKind::AdaptRequest, MsgKind::AdaptReply),
+                FetchClass::Push => unreachable!("handled by the push_round branch above"),
+            };
+            let legs: Vec<(ProcId, MsgKind, usize, MsgKind, usize)> = (0..self.nprocs)
+                .filter(|&q| q != self.me && req_pages[q] > 0)
+                .map(|q| {
+                    (
+                        q,
+                        kreq,
+                        REQ_FIXED + REQ_PER_PAGE * req_pages[q],
+                        kresp,
+                        resp_bytes[q],
+                    )
+                })
+                .collect();
+            // One parallel exchange round: a demand fault covers one page;
+            // the aggregated classes cover a whole schedule's worth per
+            // peer.
+            self.cl.net().parallel_round(self.me, &legs);
+        }
 
         // Phase 3: apply, master copies first, then records causally.
         let cost = self.cl.net().cost();

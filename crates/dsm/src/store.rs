@@ -22,13 +22,18 @@ use crate::interval::{vc_key, Vc};
 /// One published modification of one page by one interval.
 #[derive(Debug, Clone)]
 pub struct Record {
+    /// The processor whose interval published this record.
     pub proc: ProcId,
+    /// That processor's interval sequence number (1-based).
     pub seq: u32,
+    /// The publishing interval's vector clock.
     pub vc: Arc<[u32]>,
+    /// The page modification itself (diff or full page).
     pub payload: Arc<Payload>,
 }
 
 impl Record {
+    /// Deterministic causal sort key — see [`vc_key`].
     pub fn key(&self) -> (u64, usize, u32) {
         vc_key(&self.vc, self.proc, self.seq)
     }
@@ -67,6 +72,7 @@ pub(crate) struct Collected {
 }
 
 impl DiffStore {
+    /// An empty store for `nprocs` processors of `page_size`-byte pages.
     pub fn new(nprocs: usize, page_size: usize) -> Self {
         DiffStore {
             page_size,

@@ -3,16 +3,36 @@
 //! to aggregated exchanges without changing results, and the static
 //! policy is invisible.
 
-use dsm::{Cluster, DsmConfig, MsgKind, PolicyStats, ProcId, ProtocolPolicy};
+use dsm::{Cluster, DsmConfig, EpochDecision, MsgKind, PolicyStats, ProcId, ProtocolPolicy};
 
 /// Prefetch every page the barrier just invalidated — the maximally
 /// eager policy. Useful for plumbing tests: after the barrier, no
-/// demand fault can occur on a notice-invalidated page.
+/// demand fault can occur on a notice-invalidated page. The `push` and
+/// `defer` flags are forwarded verbatim so the same policy exercises
+/// all four protocol shapes.
 #[derive(Debug, Default)]
 struct PrefetchAll {
     misses: Vec<u32>,
     closes: Vec<Vec<u32>>,
     epochs: Vec<u64>,
+    push: bool,
+    defer: bool,
+}
+
+impl PrefetchAll {
+    fn pushing() -> Self {
+        PrefetchAll {
+            push: true,
+            ..Default::default()
+        }
+    }
+
+    fn deferring() -> Self {
+        PrefetchAll {
+            defer: true,
+            ..Default::default()
+        }
+    }
 }
 
 impl ProtocolPolicy for PrefetchAll {
@@ -28,10 +48,14 @@ impl ProtocolPolicy for PrefetchAll {
         invalidated: &[u32],
         stats: &PolicyStats,
         me: ProcId,
-    ) -> Vec<u32> {
+    ) -> EpochDecision {
         stats.record_epoch(me);
         self.epochs.push(epoch);
-        invalidated.to_vec()
+        EpochDecision {
+            picks: invalidated.to_vec(),
+            defer: self.defer,
+            push: self.push,
+        }
     }
 }
 
@@ -129,9 +153,9 @@ fn policy_hooks_observe_misses_closes_and_epochs() {
             _invalidated: &[u32],
             _stats: &PolicyStats,
             _me: ProcId,
-        ) -> Vec<u32> {
+        ) -> EpochDecision {
             self.epochs += 1;
-            Vec::new()
+            EpochDecision::none()
         }
     }
 
@@ -159,6 +183,112 @@ fn policy_hooks_observe_misses_closes_and_epochs() {
     assert_eq!(misses, 1, "one demand miss on the shared page");
     assert_eq!(closes, 0, "proc 1 never wrote");
     assert_eq!(epochs, 2, "two barriers crossed");
+}
+
+#[test]
+fn push_mode_halves_predicted_exchange_messages() {
+    let elems = 4 * 512;
+    let epochs = 4;
+
+    let pull = Cluster::new(DsmConfig::with_nprocs(3));
+    pull.run(|p| p.set_policy(Box::new(PrefetchAll::default())));
+    let pull_sum = producer_consumer(&pull, epochs, elems);
+    let pull_rep = pull.report();
+
+    let push = Cluster::new(DsmConfig::with_nprocs(3));
+    push.run(|p| p.set_policy(Box::new(PrefetchAll::pushing())));
+    let push_sum = producer_consumer(&push, epochs, elems);
+    let push_rep = push.report();
+
+    assert_eq!(push_sum, pull_sum, "push mode must not change results");
+    // The request leg disappears: AdaptPush data messages replace the
+    // AdaptRequest/AdaptReply pairs one-for-... half.
+    assert_eq!(push_rep.messages_per_kind(MsgKind::AdaptRequest), 0);
+    assert_eq!(push_rep.messages_per_kind(MsgKind::AdaptReply), 0);
+    let pushes = push_rep.messages_per_kind(MsgKind::AdaptPush);
+    let pairs = pull_rep.messages_per_kind(MsgKind::AdaptRequest);
+    assert!(pushes > 0);
+    assert_eq!(
+        pushes, pairs,
+        "one push per former request/reply pair ({pushes} vs {pairs} pairs)"
+    );
+    assert!(
+        push_rep.messages < pull_rep.messages,
+        "push {} !< pull {}",
+        push_rep.messages,
+        pull_rep.messages
+    );
+    // Identical payload data rides the remaining leg.
+    assert_eq!(
+        push_rep.bytes_per_kind(MsgKind::AdaptPush),
+        pull_rep.bytes_per_kind(MsgKind::AdaptReply)
+    );
+    let pol = push.net().policy_report();
+    assert!(pol.push_rounds > 0);
+    assert_eq!(pol.prefetch_rounds, 0, "push mode never pulls");
+}
+
+/// [`producer_consumer`] plus one last writer epoch whose barrier is the
+/// run's final barrier — the harness shape the ROADMAP flagged: an
+/// eager policy prefetches there for a "next iteration" that never
+/// executes.
+fn producer_consumer_ending_on_write(cl: &Cluster, epochs: usize, elems: usize) -> f64 {
+    let sum = producer_consumer(cl, epochs, elems);
+    let s = cl.alloc::<f64>(elems);
+    cl.run(|p| {
+        if p.rank() == 0 {
+            for i in 0..elems {
+                p.write(&s, i, i as f64);
+            }
+        }
+        p.barrier(); // final barrier: consumers' plans are never touched
+    });
+    sum
+}
+
+#[test]
+fn deferred_plan_fires_on_first_fault_and_quiesces_at_the_final_barrier() {
+    let elems = 4 * 512;
+    let epochs = 4;
+
+    let eager = Cluster::new(DsmConfig::with_nprocs(3));
+    eager.run(|p| p.set_policy(Box::new(PrefetchAll::default())));
+    let eager_sum = producer_consumer_ending_on_write(&eager, epochs, elems);
+    let eager_rep = eager.report();
+
+    let deferred = Cluster::new(DsmConfig::with_nprocs(3));
+    deferred.run(|p| p.set_policy(Box::new(PrefetchAll::deferring())));
+    let deferred_sum = producer_consumer_ending_on_write(&deferred, epochs, elems);
+    let deferred_rep = deferred.report();
+
+    assert_eq!(deferred_sum, eager_sum, "deferral must not change results");
+    // Still zero per-page demand traffic: the first fault triggers the
+    // whole batch, and the triggering page rides along.
+    assert_eq!(deferred_rep.messages_per_kind(MsgKind::DiffRequest), 0);
+    // Strictly fewer aggregated exchanges than eager: the final barrier
+    // arms a plan nobody ever touches, and it quiesces instead of going
+    // to the wire. Mid-run epochs are unaffected — their first read
+    // triggers the identical exchange.
+    assert!(
+        deferred_rep.messages_per_kind(MsgKind::AdaptRequest)
+            < eager_rep.messages_per_kind(MsgKind::AdaptRequest),
+        "deferred {} !< eager {}",
+        deferred_rep.messages_per_kind(MsgKind::AdaptRequest),
+        eager_rep.messages_per_kind(MsgKind::AdaptRequest)
+    );
+    let pol = deferred.net().policy_report();
+    assert!(pol.deferred_plans > 0);
+    assert!(
+        pol.quiesced_plans >= 2,
+        "both consumers' final-barrier plans must quiesce untriggered"
+    );
+    assert_eq!(
+        pol.deferred_plans,
+        pol.prefetch_rounds + pol.quiesced_plans,
+        "every deferred plan either fires on a fault or quiesces"
+    );
+    // The eager run *did* waste final-barrier exchanges.
+    assert!(eager.net().policy_report().prefetch_rounds > pol.prefetch_rounds);
 }
 
 #[test]

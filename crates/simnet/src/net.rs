@@ -213,6 +213,36 @@ impl Net {
         );
     }
 
+    /// One *parallel* round of writer-initiated one-way pushes arriving
+    /// at `to` — the update-push half of a predicted exchange. Each
+    /// sending peer pays one interrupt handler (it assembled and
+    /// injected the push); the receiver pays a single one-way latency
+    /// plus handler plus the per-byte cost of everything it absorbs.
+    /// Exactly half the messages of [`Net::parallel_round`]: the request
+    /// leg does not exist.
+    ///
+    /// `legs`: `(sender, kind, bytes)`.
+    pub fn push_round(&self, to: ProcId, legs: &[(ProcId, MsgKind, usize)]) {
+        if legs.is_empty() {
+            return;
+        }
+        let mut bytes = 0usize;
+        for &(from, kind, b) in legs {
+            debug_assert_ne!(from, to, "local data is not a message");
+            self.stats.record(from, kind, b);
+            self.advance(from, self.cost.handler());
+            bytes += b;
+        }
+        self.advance(
+            to,
+            SimTime::from_us(
+                self.cost.msg_latency_us
+                    + self.cost.handler_us
+                    + self.cost.per_byte_us * bytes as f64,
+            ),
+        );
+    }
+
     pub fn report(&self) -> NetReport {
         let mut rep = NetReport::capture(&self.stats);
         rep.label = self.label();
@@ -362,5 +392,36 @@ mod parallel_round_tests {
         n.parallel_round(0, &[]);
         assert_eq!(n.clock_max(), SimTime::ZERO);
         assert_eq!(n.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn push_round_counts_half_the_messages_of_a_parallel_round() {
+        let pull = Net::new(3, CostModel::default());
+        pull.parallel_round(
+            0,
+            &[
+                (1, MsgKind::AdaptRequest, 24, MsgKind::AdaptReply, 4096),
+                (2, MsgKind::AdaptRequest, 24, MsgKind::AdaptReply, 4096),
+            ],
+        );
+        let push = Net::new(3, CostModel::default());
+        push.push_round(
+            0,
+            &[
+                (1, MsgKind::AdaptPush, 4096),
+                (2, MsgKind::AdaptPush, 4096),
+            ],
+        );
+        assert_eq!(pull.stats().total_messages(), 4);
+        assert_eq!(push.stats().total_messages(), 2);
+        // The data leg is identical; only the request bytes disappear.
+        assert_eq!(push.stats().bytes_of(MsgKind::AdaptPush), 2 * 4096);
+        // Messages are attributed to the *writers* (they initiate).
+        assert_eq!(push.stats().messages_of(MsgKind::AdaptPush), 2);
+        // One-way: the receiver's latency is below the pull round trip.
+        assert!(push.clock(0) < pull.clock(0));
+        // Empty rounds stay free.
+        push.push_round(0, &[]);
+        assert_eq!(push.stats().total_messages(), 2);
     }
 }

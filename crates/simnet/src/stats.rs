@@ -25,6 +25,10 @@ pub enum MsgKind {
     AdaptRequest,
     /// DSM: adaptive-prefetch reply.
     AdaptReply,
+    /// DSM: writer-initiated update push (adaptive update-push mode) —
+    /// one one-way data message per writer/consumer pair, no request
+    /// leg at all.
+    AdaptPush,
     /// DSM: barrier arrival/departure traffic (write notices ride along).
     Barrier,
     /// DSM: lock acquire/forward/grant traffic.
@@ -42,7 +46,7 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     pub const ALL: [MsgKind; MsgKind::COUNT] = [
         MsgKind::DiffRequest,
@@ -51,6 +55,7 @@ impl MsgKind {
         MsgKind::AggReply,
         MsgKind::AdaptRequest,
         MsgKind::AdaptReply,
+        MsgKind::AdaptPush,
         MsgKind::Barrier,
         MsgKind::Lock,
         MsgKind::Translate,
@@ -73,6 +78,7 @@ impl MsgKind {
             MsgKind::AggReply => "agg-rep",
             MsgKind::AdaptRequest => "adapt-req",
             MsgKind::AdaptReply => "adapt-rep",
+            MsgKind::AdaptPush => "adapt-push",
             MsgKind::Barrier => "barrier",
             MsgKind::Lock => "lock",
             MsgKind::Translate => "translate",
@@ -168,6 +174,11 @@ pub struct PolicyStats {
     epochs: Vec<AtomicU64>,
     prefetch_rounds: Vec<AtomicU64>,
     prefetch_pages: Vec<AtomicU64>,
+    push_rounds: Vec<AtomicU64>,
+    push_pages: Vec<AtomicU64>,
+    deferred_plans: Vec<AtomicU64>,
+    quiesced_plans: Vec<AtomicU64>,
+    quiesced_pages: Vec<AtomicU64>,
     promotions: Vec<AtomicU64>,
     demotions: Vec<AtomicU64>,
     probes: Vec<AtomicU64>,
@@ -180,6 +191,11 @@ impl PolicyStats {
             epochs: make(),
             prefetch_rounds: make(),
             prefetch_pages: make(),
+            push_rounds: make(),
+            push_pages: make(),
+            deferred_plans: make(),
+            quiesced_plans: make(),
+            quiesced_pages: make(),
             promotions: make(),
             demotions: make(),
             probes: make(),
@@ -197,6 +213,30 @@ impl PolicyStats {
     pub fn record_prefetch(&self, p: ProcId, pages: usize) {
         self.prefetch_rounds[p].fetch_add(1, Ordering::Relaxed);
         self.prefetch_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
+    }
+
+    /// `p` absorbed one round of writer-initiated update pushes covering
+    /// `pages` pages (update-push mode: no request leg on the wire).
+    #[inline]
+    pub fn record_push(&self, p: ProcId, pages: usize) {
+        self.push_rounds[p].fetch_add(1, Ordering::Relaxed);
+        self.push_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
+    }
+
+    /// `p`'s policy deferred its batched fetch to the epoch's first
+    /// demand fault instead of issuing it eagerly at the barrier.
+    #[inline]
+    pub fn record_deferred(&self, p: ProcId) {
+        self.deferred_plans[p].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A deferred plan of `pages` pages at `p` was discarded untriggered
+    /// — the epoch (typically the run's final barrier) never touched the
+    /// predicted pages, so the whole exchange was saved.
+    #[inline]
+    pub fn record_quiesced(&self, p: ProcId, pages: usize) {
+        self.quiesced_plans[p].fetch_add(1, Ordering::Relaxed);
+        self.quiesced_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
     }
 
     /// `n` pages switched from demand paging to batched prefetch at `p`.
@@ -223,6 +263,11 @@ impl PolicyStats {
             &self.epochs,
             &self.prefetch_rounds,
             &self.prefetch_pages,
+            &self.push_rounds,
+            &self.push_pages,
+            &self.deferred_plans,
+            &self.quiesced_plans,
+            &self.quiesced_pages,
             &self.promotions,
             &self.demotions,
             &self.probes,
@@ -243,6 +288,17 @@ pub struct PolicyReport {
     pub prefetch_rounds: u64,
     /// Pages covered by those exchanges.
     pub prefetch_pages: u64,
+    /// Writer-initiated update-push rounds absorbed (no request leg).
+    pub push_rounds: u64,
+    /// Pages covered by those push rounds.
+    pub push_pages: u64,
+    /// Batched fetches deferred to the epoch's first demand fault.
+    pub deferred_plans: u64,
+    /// Deferred plans discarded untriggered (the quiesce win: one whole
+    /// exchange per peer saved, typically at the run's final barrier).
+    pub quiesced_plans: u64,
+    /// Pages covered by those quiesced plans.
+    pub quiesced_pages: u64,
     /// Demand → prefetch mode switches.
     pub promotions: u64,
     /// Prefetch → demand mode switches.
@@ -258,6 +314,11 @@ impl PolicyReport {
             epochs: sum(&stats.epochs),
             prefetch_rounds: sum(&stats.prefetch_rounds),
             prefetch_pages: sum(&stats.prefetch_pages),
+            push_rounds: sum(&stats.push_rounds),
+            push_pages: sum(&stats.push_pages),
+            deferred_plans: sum(&stats.deferred_plans),
+            quiesced_plans: sum(&stats.quiesced_plans),
+            quiesced_pages: sum(&stats.quiesced_pages),
             promotions: sum(&stats.promotions),
             demotions: sum(&stats.demotions),
             probes: sum(&stats.probes),
@@ -266,7 +327,7 @@ impl PolicyReport {
 
     /// Did any adaptive decision actually happen?
     pub fn is_active(&self) -> bool {
-        self.promotions > 0 || self.prefetch_rounds > 0
+        self.promotions > 0 || self.prefetch_rounds > 0 || self.push_rounds > 0
     }
 }
 
@@ -382,6 +443,9 @@ mod tests {
         s.record_epoch(1);
         s.record_prefetch(0, 12);
         s.record_prefetch(1, 3);
+        s.record_push(0, 5);
+        s.record_deferred(1);
+        s.record_quiesced(1, 4);
         s.record_promotions(0, 4);
         s.record_demotions(1, 1);
         s.record_probes(0, 2);
@@ -389,6 +453,11 @@ mod tests {
         assert_eq!(r.epochs, 2);
         assert_eq!(r.prefetch_rounds, 2);
         assert_eq!(r.prefetch_pages, 15);
+        assert_eq!(r.push_rounds, 1);
+        assert_eq!(r.push_pages, 5);
+        assert_eq!(r.deferred_plans, 1);
+        assert_eq!(r.quiesced_plans, 1);
+        assert_eq!(r.quiesced_pages, 4);
         assert_eq!(r.promotions, 4);
         assert_eq!(r.demotions, 1);
         assert_eq!(r.probes, 2);

@@ -174,8 +174,12 @@ pub fn run_tmk(
     let cap = Capture::new(nprocs);
 
     cl.run(|p| {
-        if mode == TmkMode::Adaptive {
-            p.set_policy(Box::new(adapt::AdaptivePolicy::new(cfg.adapt.clone())));
+        if mode.is_adaptive() {
+            let knobs = adapt::AdaptConfig {
+                push: mode == TmkMode::Push,
+                ..cfg.adapt.clone()
+            };
+            p.set_policy(Box::new(adapt::AdaptivePolicy::new(knobs)));
         }
         let me = p.rank();
         let my = pl.part.range_of(me);
@@ -272,7 +276,7 @@ pub fn run_tmk(
         p.barrier();
     });
 
-    let policy = (mode == TmkMode::Adaptive).then(|| cl.net().policy_report());
+    let policy = mode.is_adaptive().then(|| cl.net().policy_report());
 
     let final_x: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);
     cl.run(|p| {

@@ -34,8 +34,8 @@
 //! cfg.n = 256;       // keep the doctest fast
 //! cfg.refs = 512;
 //! cfg.iters = 6;
-//! let matrix = run_matrix(&Scenario::new(cfg)); // runs + cross-checks all five variants
-//! assert_eq!(matrix.runs.len(), 5);
+//! let matrix = run_matrix(&Scenario::new(cfg)); // runs + cross-checks all six variants
+//! assert_eq!(matrix.runs.len(), 6);
 //! ```
 
 pub mod dynamics;
@@ -226,6 +226,7 @@ impl Workload for Scenario {
             Variant::TmkBase => run_tmk(&self.cfg, &self.world, TmkMode::Base, seq_time),
             Variant::TmkOpt => run_tmk(&self.cfg, &self.world, TmkMode::Optimized, seq_time),
             Variant::TmkAdaptive => run_tmk(&self.cfg, &self.world, TmkMode::Adaptive, seq_time),
+            Variant::TmkPush => run_tmk(&self.cfg, &self.world, TmkMode::Push, seq_time),
             Variant::Chaos => run_chaos(&self.cfg, &self.world, seq_time),
         }
     }

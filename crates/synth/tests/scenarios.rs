@@ -1,9 +1,9 @@
-//! Scenario-level integration tests: the five-variant bitwise contract
+//! Scenario-level integration tests: the six-variant bitwise contract
 //! and the protocol-shape claims, on representative grid cells (the
 //! full grid sweep lives in `bench`'s `table_synth`).
 
 use apps::workload::{run_matrix, Variant};
-use synth::{Dynamics, Scenario, Structure, SynthConfig};
+use synth::{Dynamics, Scenario, Structure, SynthConfig, TmkMode};
 
 /// Shrink a quick cell further so each test stays fast in debug builds.
 /// The smaller page size preserves the pages-per-processor regime (16
@@ -95,6 +95,79 @@ fn multi_periodic_scenario_exercises_the_predictor() {
         pol.promotions > 0,
         "stable stretches between remaps must be learned"
     );
+}
+
+#[test]
+fn quiesce_saves_the_final_barrier_prefetch_on_identical_epochs() {
+    // A static cell is the "identical epochs" regime: the same page set
+    // is invalidated and re-read every iteration, so the adaptive picks
+    // are literally the same set each barrier. Probes are pushed out of
+    // range so the pick stream is perfectly identical, isolating the
+    // quiesce heuristic.
+    let mut cfg = tiny(Structure::Uniform, Dynamics::Static);
+    cfg.iters = 12;
+    cfg.adapt.probe_every = 64;
+    let world = synth::gen_world(&cfg);
+    let (seq, _) = synth::run_seq(&cfg, &world);
+
+    let mut eager_cfg = cfg.clone();
+    eager_cfg.adapt.quiesce_after = 0; // PR 2 behavior: always eager
+    let (eager, xe) = synth::run_tmk(&eager_cfg, &world, TmkMode::Adaptive, seq.time);
+    let (quiet, xq) = synth::run_tmk(&cfg, &world, TmkMode::Adaptive, seq.time);
+
+    assert_eq!(xq, xe, "quiesce must not change results");
+    let pe = eager.policy.as_ref().expect("policy report");
+    let pq = quiet.policy.as_ref().expect("policy report");
+    assert_eq!(pe.deferred_plans, 0, "quiesce_after: 0 never defers");
+    assert_eq!(pe.quiesced_plans, 0);
+    assert!(pq.deferred_plans > 0, "identical epochs must defer");
+    assert!(
+        pq.quiesced_plans > 0,
+        "the final-barrier plans must go untriggered"
+    );
+    // Zero final-barrier prefetch messages, in counter form: every
+    // exchange the eager policy issued either still fires (triggered by
+    // the epoch's first touch) or quiesces — and the quiesced ones are
+    // exactly the final-barrier waste, so the totals drop.
+    assert_eq!(
+        pq.prefetch_rounds + pq.quiesced_plans,
+        pe.prefetch_rounds,
+        "deferred rounds must fire or quiesce, never duplicate"
+    );
+    assert!(
+        quiet.messages < eager.messages,
+        "quiesce {} !< eager {}",
+        quiet.messages,
+        eager.messages
+    );
+}
+
+#[test]
+fn push_beats_prefetch_on_every_dynamics() {
+    // Update-push halves each predicted exchange, so wherever the
+    // predictor is active at all, push-mode messages sit strictly below
+    // pull-mode's — and the results stay bitwise identical (checked by
+    // run_matrix across all six variants elsewhere; here we pin the
+    // count ordering per dynamics).
+    for dynamics in [
+        Dynamics::Static,
+        Dynamics::PeriodicRemap { period: 3 },
+        Dynamics::MultiPeriodic { p1: 3, p2: 5 },
+    ] {
+        let m = run_matrix(&Scenario::new(tiny(Structure::Uniform, dynamics.clone())));
+        let ad = &m.get(Variant::TmkAdaptive).report;
+        let push = &m.get(Variant::TmkPush).report;
+        assert!(
+            push.messages < ad.messages,
+            "{:?}: push {} !< adaptive {}",
+            dynamics,
+            push.messages,
+            ad.messages
+        );
+        let pol = push.policy.as_ref().expect("push policy report");
+        assert!(pol.push_rounds > 0);
+        assert_eq!(pol.prefetch_rounds, 0, "push mode never pulls");
+    }
 }
 
 #[test]

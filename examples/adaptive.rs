@@ -1,7 +1,8 @@
-//! Quickstart for the fourth system variant: the runtime-adaptive
-//! aggregation engine. No compiler hints, no inspector — the runtime
-//! watches per-page miss/invalidation history and batches the fetches
-//! it can predict.
+//! Quickstart for the runtime-adaptive variants: the adaptive
+//! aggregation engine and its update-push mode. No compiler hints, no
+//! inspector — the runtime watches per-page miss/invalidation history,
+//! batches the fetches it can predict, and in push mode lets the
+//! writers ship the diffs in a single one-way message per peer.
 //!
 //! ```text
 //! cargo run --release --example adaptive
@@ -14,15 +15,15 @@ use sdsm_repro::dsm::{Cluster, DsmConfig};
 /// its block and then reads a seeded scatter of remote elements — the
 /// access pattern is data-dependent (no compiler could name it), but
 /// stable across epochs, which is exactly what the engine learns.
-fn run(adaptive: bool) -> (u64, u64, sdsm_repro::simnet::PolicyReport) {
+fn run(policy: Option<AdaptConfig>) -> (u64, u64, sdsm_repro::simnet::PolicyReport) {
     let nprocs = 4;
     let epochs = 8;
     let n = 16 * 512; // 16 pages of f64 at 4 KB
     let cl = Cluster::new(DsmConfig::with_nprocs(nprocs));
     let data = cl.alloc::<f64>(n);
 
-    if adaptive {
-        cl.run(|p| p.set_policy(Box::new(AdaptivePolicy::new(AdaptConfig::default()))));
+    if let Some(cfg) = policy {
+        cl.run(|p| p.set_policy(Box::new(AdaptivePolicy::new(cfg.clone()))));
     }
 
     cl.run(|p| {
@@ -56,16 +57,20 @@ fn run(adaptive: bool) -> (u64, u64, sdsm_repro::simnet::PolicyReport) {
 
 fn main() {
     println!("=== adaptive: runtime-learned aggregation, no compiler hints ===\n");
-    let (base_msgs, base_bytes, _) = run(false);
-    let (ad_msgs, ad_bytes, pol) = run(true);
+    let (base_msgs, base_bytes, _) = run(None);
+    let (ad_msgs, ad_bytes, pol) = run(Some(AdaptConfig::default()));
+    let (push_msgs, push_bytes, push_pol) = run(Some(AdaptConfig::pushing()));
 
     println!("{:<18} {:>10} {:>12}", "System", "Messages", "Bytes");
     println!("{:<18} {:>10} {:>12}", "Tmk base", base_msgs, base_bytes);
     println!("{:<18} {:>10} {:>12}", "Tmk adaptive", ad_msgs, ad_bytes);
+    println!("{:<18} {:>10} {:>12}", "Tmk push", push_msgs, push_bytes);
     assert!(ad_msgs < base_msgs, "the learned pattern must cut traffic");
+    assert!(push_msgs < ad_msgs, "update-push must cut the request legs");
     println!(
-        "\nmessage reduction: {:.1}%",
-        100.0 * (base_msgs - ad_msgs) as f64 / base_msgs as f64
+        "\nmessage reduction: adaptive {:.1}%, update-push {:.1}%",
+        100.0 * (base_msgs - ad_msgs) as f64 / base_msgs as f64,
+        100.0 * (base_msgs - push_msgs) as f64 / base_msgs as f64
     );
     println!(
         "policy decisions: {} epochs, {} promotions, {} prefetch rounds \
@@ -76,6 +81,10 @@ fn main() {
         pol.prefetch_pages,
         pol.probes,
         pol.demotions
+    );
+    println!(
+        "push mode: {} one-way push rounds covering {} pages, {} plans quiesced",
+        push_pol.push_rounds, push_pol.push_pages, push_pol.quiesced_plans
     );
     println!("\nSame results, fewer messages — learned at run time.");
 }
