@@ -46,7 +46,7 @@ synth:
 # PROPTEST_SEED for exact replay and a shrunk minimal input) + the
 # adaptive and scenario-matrix acceptance smokes.
 soak:
-	PROPTEST_CASES=512 cargo test -q -p chaos -p dsm
+	PROPTEST_CASES=512 cargo test -q -p chaos -p dsm -p adapt -p synth
 	cargo run --release -p bench --bin table_adapt -- --quick
 	cargo run --release -p bench --bin table_synth -- --quick
 

@@ -40,6 +40,8 @@ impl PageHistory {
 pub struct EpochRow {
     /// Barrier sequence number of this epoch boundary.
     pub epoch: u64,
+    /// Phase identity (barrier-site tag) of this epoch boundary.
+    pub phase: u32,
     /// Pages invalidated at this barrier.
     pub invalidated: u32,
     /// Demand misses observed during the *preceding* epoch.

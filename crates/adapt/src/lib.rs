@@ -17,7 +17,13 @@
 //!    every barrier-time invalidation lands in a per-page
 //!    [epoch-history table](history::PageHistory), keyed by
 //!    invalidation events so periodic patterns (a page touched every
-//!    `nprocs + 1` barriers) are seen as stable.
+//!    `nprocs + 1` barriers) are seen as stable — and keyed by the
+//!    barrier's **phase identity** (`dsm::TmkProc::barrier_tagged`), so
+//!    multi-barrier apps that alternate sites (coordinate pages at one
+//!    barrier, force chunks at the next) keep one clean plan per site
+//!    instead of one aliased global stream. A miss is attributed to the
+//!    phase that most recently invalidated the page — the only phase
+//!    whose prefetch could have covered it.
 //! 2. **Decide** — each page's recent need *gaps* feed a bounded
 //!    **gap-history predictor** that locks onto the smallest repeating
 //!    gap cycle: a constant gap (nbf partner pages), a pipelined period
@@ -29,11 +35,13 @@
 //!    pattern `Validate` produces from compiler hints. In
 //!    [update-push mode](AdaptConfig::push) the writers push instead
 //!    (one one-way `AdaptPush` message per peer — the request leg
-//!    disappears). In pull mode, after
-//!    [`AdaptConfig::quiesce_after`] identical epochs the exchange is
-//!    deferred to the epoch's first fault, so the run's final barrier
-//!    costs nothing (the *quiesce* heuristic); push mode stays eager —
-//!    a fault-triggered plan would be consumer-initiated, i.e. a pull.
+//!    disappears, and a schedule *change* costs one one-way `AdaptSub`
+//!    subscription message per affected peer). In pull mode, after
+//!    [`AdaptConfig::quiesce_after`] identical epochs *of one phase*
+//!    the exchange is deferred to the epoch's first fault, so the run's
+//!    final barrier costs nothing (the *quiesce* heuristic); push mode
+//!    stays eager — a fault-triggered plan would be consumer-initiated,
+//!    i.e. a pull.
 //! 3. **Retreat** — periodic probes ([`AdaptConfig::probe_every`])
 //!    withhold the prefetch at exactly base-TreadMarks cost; a clean
 //!    probe demotes the page, so a dissolved pattern cannot keep

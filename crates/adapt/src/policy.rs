@@ -1,5 +1,6 @@
-//! The adaptive policy: learn, per page, *when* demand misses follow
-//! invalidations, and batch the fetches it can predict.
+//! The adaptive policy: learn, per page **and per barrier phase**,
+//! *when* demand misses follow invalidations, and batch the fetches it
+//! can predict.
 //!
 //! ## The gap-history predictor
 //!
@@ -38,30 +39,60 @@
 //! withheld at exactly base-TreadMarks cost, and a clean probe resets
 //! the predictor.
 //!
+//! ## Phase identity
+//!
+//! Multi-barrier apps alternate barrier *sites*: moldyn invalidates its
+//! coordinate pages at the position-update barrier and its force chunks
+//! at each pipelined-reduction barrier. Keying everything on the raw
+//! barrier stream aliases those plans — consecutive barriers pick
+//! different page sets, so a "consecutive identical picks" quiesce
+//! streak never builds, and a single global history interleaves
+//! unrelated event axes. The engine therefore keys **all** learned
+//! state by the phase tag the barrier carries
+//! ([`dsm::TmkProc::barrier_tagged`]; plain `barrier()` is phase 0):
+//!
+//! * each `(page, phase)` pair has its own invalidation-event axis,
+//!   gap ring, and promotion state — the axis counts only the phase's
+//!   own invalidations of the page;
+//! * a demand miss is attributed to the phase that **most recently
+//!   invalidated** the faulted page — the only phase whose prefetch
+//!   could have covered it (an earlier phase's prefetch would have been
+//!   destroyed by that later invalidation);
+//! * the quiesce streak is per phase, so moldyn's x-pages plan at the
+//!   update barrier and each pipeline round's chunk plan build streaks
+//!   independently and all quiesce at the run's end.
+//!
+//! Untagged programs put every barrier in phase 0 and get exactly the
+//! PR 4 behavior.
+//!
 //! ## Quiesce and update-push
 //!
 //! Two protocol refinements ride on the same decision stream:
 //!
 //! * **Quiesce** ([`AdaptConfig::quiesce_after`]): after that many
-//!   consecutive epochs with *identical* picks, the batched fetch is
-//!   deferred to the epoch's first demand fault instead of issued
-//!   eagerly inside the barrier. Steady-state epochs still pay exactly
-//!   one exchange per peer (the first touch triggers it, and the
-//!   touching page rides along); an epoch that never touches the
-//!   predicted pages — above all the run's **final barrier** — pays
-//!   nothing at all.
+//!   consecutive epochs of one phase with *identical* picks, the
+//!   batched fetch is deferred to the epoch's first demand fault
+//!   instead of issued eagerly inside the barrier. Steady-state epochs
+//!   still pay exactly one exchange per peer (the first touch triggers
+//!   it, and the touching page rides along); a plan whose pages are
+//!   re-invalidated untouched — above all one armed at the run's
+//!   **final barrier** — pays nothing at all.
 //! * **Update-push** ([`AdaptConfig::push`]): the predicted exchange is
 //!   accounted as writer-initiated — one one-way `AdaptPush` data
 //!   message per writer/consumer pair instead of a request/reply pair,
 //!   halving the remaining predicted messages. The consumer-side
 //!   predictor still decides *what* moves; the subscription that
-//!   teaches writers the consumer's schedule is modeled as riding the
-//!   barrier's existing notice traffic (see `dsm::FetchClass::Push`).
+//!   teaches writers the consumer's schedule is billed explicitly by
+//!   the protocol layer as one one-way `AdaptSub` message per peer per
+//!   *changed* per-phase schedule (see `dsm::FetchClass::Push`).
 
 use dsm::{EpochDecision, ProtocolPolicy};
 use simnet::{PolicyStats, ProcId};
 
 use crate::history::{EpochLog, EpochRow, PageHistory};
+
+/// "No phase has invalidated this page yet."
+const NO_PHASE: u32 = u32::MAX;
 
 /// Tuning knobs of the adaptive engine.
 #[derive(Debug, Clone)]
@@ -82,19 +113,19 @@ pub struct AdaptConfig {
     pub probe_every: u64,
     /// Retained rows of the per-epoch decision log (diagnostics only).
     pub log_window: usize,
-    /// Per-page gap-history depth. The longest recognizable need-period
-    /// cycle is half this (a cycle must be seen twice to be verified).
-    /// Range 4–64.
+    /// Per-(page, phase) gap-history depth. The longest recognizable
+    /// need-period cycle is half this (a cycle must be seen twice to be
+    /// verified). Range 4–64.
     pub history_window: usize,
-    /// Consecutive identical-pick epochs before the batched fetch is
-    /// deferred to the epoch's first demand fault (the final-barrier
-    /// quiesce heuristic). 0 disables deferral entirely (PR 2's eager
-    /// behavior). A quiesced (discarded) plan doubles as a **free
-    /// probe**: the protocol layer reports it back and the engine
-    /// clears the affected pages' covered-need marks, so a dissolved
-    /// pattern stops being predicted immediately instead of being
-    /// masked until the probe cadence catches it. Ignored in push mode
-    /// — see [`AdaptConfig::push`].
+    /// Consecutive identical-pick epochs *of one phase* before the
+    /// batched fetch is deferred to the epoch's first demand fault (the
+    /// final-barrier quiesce heuristic). 0 disables deferral entirely
+    /// (PR 2's eager behavior). A quiesced (discarded) plan doubles as
+    /// a **free probe**: the protocol layer reports it back and the
+    /// engine clears the affected pages' covered-need marks in the
+    /// owning phase, so a dissolved pattern stops being predicted
+    /// immediately instead of being masked until the probe cadence
+    /// catches it. Ignored in push mode — see [`AdaptConfig::push`].
     pub quiesce_after: u32,
     /// Account predicted exchanges as writer-initiated update-push
     /// (one one-way data message per peer) instead of request/reply
@@ -139,8 +170,9 @@ impl AdaptConfig {
 pub enum PageMode {
     /// Invalidate on notice, fetch on fault (base TreadMarks).
     Demand,
-    /// Promoted: fetched at the predicted barrier, batched with every
-    /// other prediction into one exchange per peer.
+    /// Promoted in at least one phase: fetched at the predicted
+    /// barrier, batched with every other prediction into one exchange
+    /// per peer.
     Prefetch,
 }
 
@@ -168,15 +200,17 @@ fn locked_period(gaps: &[u32], promote_after: u32) -> Option<usize> {
 #[derive(Debug, Clone)]
 struct PageEntry {
     hist: PageHistory,
-    /// Demand miss since the page's last invalidation.
+    /// Demand miss attributed to this phase since the page's last
+    /// invalidation at this phase.
     missed: bool,
-    /// Locally dirtied since the page's last invalidation.
+    /// Locally dirtied since the page's last invalidation here.
     dirtied: bool,
-    /// The current window was covered by one of our prefetches.
+    /// The current window was covered by one of this phase's
+    /// prefetches.
     prefetched: bool,
     /// The current window is a probe (prediction withheld).
     probing: bool,
-    /// Invalidation events seen.
+    /// Invalidation events seen (on this phase's axis).
     invs: u64,
     /// Event at which the last need was recorded (0 = none).
     last_need: u64,
@@ -205,23 +239,68 @@ impl PageEntry {
     }
 }
 
+/// One phase's (barrier site's) learned state: its own per-page event
+/// tables and its own quiesce streak.
+#[derive(Debug, Clone)]
+struct PhaseState {
+    phase: u32,
+    table: Vec<PageEntry>,
+    /// The planned set (picks plus probe-withheld pages) of this
+    /// phase's previous planning epoch — the quiesce-identity check
+    /// compares plans, so a probe thinning one epoch's picks does not
+    /// read as the plan having changed.
+    last_picks: Vec<u32>,
+    /// Consecutive epochs of this phase whose picks matched the
+    /// previous ones.
+    identical_epochs: u32,
+}
+
+impl PhaseState {
+    fn new(phase: u32) -> Self {
+        PhaseState {
+            phase,
+            table: Vec::new(),
+            last_picks: Vec::new(),
+            identical_epochs: 0,
+        }
+    }
+
+    fn entry(&self, page: u32) -> Option<&PageEntry> {
+        self.table.get(page as usize)
+    }
+
+    fn entry_mut(&mut self, page: u32) -> &mut PageEntry {
+        let idx = page as usize;
+        if idx >= self.table.len() {
+            self.table.resize(idx + 1, PageEntry::new());
+        }
+        &mut self.table[idx]
+    }
+}
+
 /// The runtime-adaptive protocol engine (one per processor).
 ///
-/// See the [module docs](self) for the prediction model. The engine
-/// never changes what data a page holds — only when it is fetched — so
-/// program results are bitwise identical to base TreadMarks under any
-/// knob setting, including update-push mode.
+/// See the [module docs](self) for the prediction model and the phase
+/// keying. The engine never changes what data a page holds — only when
+/// it is fetched — so program results are bitwise identical to base
+/// TreadMarks under any knob setting, including update-push mode.
 #[derive(Debug)]
 pub struct AdaptivePolicy {
     cfg: AdaptConfig,
-    table: Vec<PageEntry>,
+    /// Per-phase learned state, in first-seen order (few phases; linear
+    /// scans are cheaper than hashing).
+    phases: Vec<PhaseState>,
+    /// Per page: the phase whose barrier most recently invalidated it —
+    /// the phase any demand miss on the page is attributed to.
+    last_inv: Vec<u32>,
+    /// Demand miss seen before the page's first-ever invalidation
+    /// (consumed by whichever phase invalidates it first).
+    cold_miss: Vec<bool>,
+    /// Dirtying seen before the page's first-ever invalidation.
+    cold_dirty: Vec<bool>,
     log: EpochLog,
     /// Demand misses since the last epoch boundary (for the log).
     epoch_misses: u32,
-    /// Picks of the previous epoch (the quiesce-identity check).
-    last_picks: Vec<u32>,
-    /// Consecutive epochs whose picks matched the previous epoch's.
-    identical_epochs: u32,
 }
 
 impl AdaptivePolicy {
@@ -246,10 +325,11 @@ impl AdaptivePolicy {
         AdaptivePolicy {
             log: EpochLog::new(cfg.log_window),
             cfg,
-            table: Vec::new(),
+            phases: Vec::new(),
+            last_inv: Vec::new(),
+            cold_miss: Vec::new(),
+            cold_dirty: Vec::new(),
             epoch_misses: 0,
-            last_picks: Vec::new(),
-            identical_epochs: 0,
         }
     }
 
@@ -263,93 +343,196 @@ impl AdaptivePolicy {
         &self.log
     }
 
-    /// Current mode of `page` (pages never seen are `Demand`).
+    /// Phase tags this engine has seen, in first-seen order.
+    pub fn phases_seen(&self) -> Vec<u32> {
+        self.phases.iter().map(|st| st.phase).collect()
+    }
+
+    fn phase_pos(&self, phase: u32) -> Option<usize> {
+        self.phases.iter().position(|st| st.phase == phase)
+    }
+
+    fn ensure_phase(&mut self, phase: u32) -> usize {
+        match self.phase_pos(phase) {
+            Some(i) => i,
+            None => {
+                self.phases.push(PhaseState::new(phase));
+                self.phases.len() - 1
+            }
+        }
+    }
+
+    fn ensure_page(&mut self, page: u32) {
+        let idx = page as usize;
+        if idx >= self.last_inv.len() {
+            self.last_inv.resize(idx + 1, NO_PHASE);
+            self.cold_miss.resize(idx + 1, false);
+            self.cold_dirty.resize(idx + 1, false);
+        }
+    }
+
+    fn gap_of(e: &PageEntry, promote_after: u32) -> Option<u32> {
+        if !e.promoted {
+            return None;
+        }
+        locked_period(&e.gaps, promote_after).map(|l| e.gaps[e.gaps.len() - l])
+    }
+
+    /// Current mode of `page` across all phases (pages never seen are
+    /// `Demand`).
     pub fn page_mode(&self, page: u32) -> PageMode {
-        match self.table.get(page as usize) {
+        if self
+            .phases
+            .iter()
+            .any(|st| st.entry(page).is_some_and(|e| e.promoted))
+        {
+            PageMode::Prefetch
+        } else {
+            PageMode::Demand
+        }
+    }
+
+    /// Current mode of `page` within `phase` alone.
+    pub fn page_mode_in(&self, page: u32, phase: u32) -> PageMode {
+        match self
+            .phase_pos(phase)
+            .and_then(|i| self.phases[i].entry(page))
+        {
             Some(e) if e.promoted => PageMode::Prefetch,
             _ => PageMode::Demand,
         }
     }
 
-    /// The page's predicted next need gap, if promoted.
+    /// The page's predicted next need gap in the first (oldest-seen)
+    /// phase that promoted it, if any.
     pub fn page_gap(&self, page: u32) -> Option<u32> {
-        self.table
-            .get(page as usize)
-            .filter(|e| e.promoted)
-            .and_then(|e| {
-                locked_period(&e.gaps, self.cfg.promote_after).map(|l| e.gaps[e.gaps.len() - l])
-            })
+        self.phases
+            .iter()
+            .find_map(|st| st.entry(page).and_then(|e| Self::gap_of(e, self.cfg.promote_after)))
     }
 
-    /// The page's locked need-period cycle length, if promoted: 1 for a
-    /// constant gap, longer for a union of periods.
+    /// The page's predicted next need gap within `phase`, if promoted
+    /// there.
+    pub fn page_gap_in(&self, page: u32, phase: u32) -> Option<u32> {
+        self.phase_pos(phase)
+            .and_then(|i| self.phases[i].entry(page))
+            .and_then(|e| Self::gap_of(e, self.cfg.promote_after))
+    }
+
+    /// The page's locked need-period cycle length in the first phase
+    /// that promoted it: 1 for a constant gap, longer for a union of
+    /// periods.
     pub fn page_period(&self, page: u32) -> Option<u32> {
-        self.table
-            .get(page as usize)
-            .filter(|e| e.promoted)
-            .and_then(|e| locked_period(&e.gaps, self.cfg.promote_after).map(|l| l as u32))
+        let pa = self.cfg.promote_after;
+        self.phases.iter().find_map(|st| {
+            st.entry(page)
+                .filter(|e| e.promoted)
+                .and_then(|e| locked_period(&e.gaps, pa).map(|l| l as u32))
+        })
     }
 
-    /// Completed-window history of `page`, if any events were recorded.
+    /// Completed-window history of `page`: the history of the phase
+    /// that has closed the most windows for it (diagnostics; ties go to
+    /// the later-seen phase).
     pub fn page_history(&self, page: u32) -> Option<PageHistory> {
-        self.table.get(page as usize).map(|e| e.hist)
-    }
-
-    fn entry_mut(&mut self, page: u32) -> &mut PageEntry {
-        let idx = page as usize;
-        if idx >= self.table.len() {
-            self.table.resize(idx + 1, PageEntry::new());
-        }
-        &mut self.table[idx]
+        self.phases
+            .iter()
+            .filter_map(|st| st.entry(page).map(|e| e.hist))
+            .max_by_key(|h| h.windows)
     }
 }
 
 impl ProtocolPolicy for AdaptivePolicy {
     fn note_miss(&mut self, page: u32) {
         self.epoch_misses += 1;
-        self.entry_mut(page).missed = true;
+        self.ensure_page(page);
+        match self.last_inv[page as usize] {
+            NO_PHASE => self.cold_miss[page as usize] = true,
+            ph => {
+                let i = self.phase_pos(ph).expect("attributing phase was seen");
+                self.phases[i].entry_mut(page).missed = true;
+            }
+        }
     }
 
     fn note_interval_close(&mut self, pages: &[u32]) {
         for &page in pages {
-            self.entry_mut(page).dirtied = true;
+            self.ensure_page(page);
+            match self.last_inv[page as usize] {
+                NO_PHASE => self.cold_dirty[page as usize] = true,
+                ph => {
+                    let i = self.phase_pos(ph).expect("attributing phase was seen");
+                    self.phases[i].entry_mut(page).dirtied = true;
+                }
+            }
         }
     }
 
-    fn note_quiesced(&mut self, pages: &[u32]) {
-        // The deferred plan was discarded untriggered: the epoch
-        // provably did not need these pages. Clearing the covered-need
-        // mark turns the quiesced epoch into a free probe — the window
-        // closes as a non-need, predictions stop, and a dissolved
-        // pattern dies at zero wire cost instead of being masked until
-        // the probe cadence catches it.
-        for &page in pages {
-            self.entry_mut(page).prefetched = false;
+    fn note_quiesced(&mut self, phase: u32, pages: &[u32]) {
+        // The deferred plan was discarded untriggered: the window
+        // provably did not need these pages. Clearing the owning
+        // phase's covered-need mark turns the quiesced window into a
+        // free probe — it closes as a non-need, predictions stop, and a
+        // dissolved pattern dies at zero wire cost instead of being
+        // masked until the probe cadence catches it.
+        if let Some(i) = self.phase_pos(phase) {
+            for &page in pages {
+                self.phases[i].entry_mut(page).prefetched = false;
+            }
         }
     }
 
     fn epoch_end(
         &mut self,
         epoch: u64,
+        phase: u32,
         invalidated: &[u32],
         stats: &PolicyStats,
         me: ProcId,
     ) -> EpochDecision {
-        stats.record_epoch(me);
+        stats.record_epoch(me, phase);
         let mut row = EpochRow {
             epoch,
+            phase,
             invalidated: invalidated.len() as u32,
             misses: self.epoch_misses,
             ..Default::default()
         };
         self.epoch_misses = 0;
 
+        let pi = self.ensure_phase(phase);
+        if let Some(&max) = invalidated.iter().max() {
+            self.ensure_page(max);
+        }
+
         let promote_after = self.cfg.promote_after;
         let probe_every = self.cfg.probe_every;
         let history_window = self.cfg.history_window;
         let mut picks = Vec::new();
+        // The picks plus any probe-withheld pages: the quiesce streak
+        // compares *plans*, and a probe deliberately thinning one epoch
+        // must not read as the plan having changed (it would break the
+        // streak twice — once thinning, once restoring).
+        let mut planned = Vec::new();
         for &page in invalidated {
-            let e = self.entry_mut(page);
+            let idx = page as usize;
+            // A page's first-ever invalidation consumes any cold marks
+            // (miss/dirty before any phase owned the page).
+            let (cold_m, cold_d) = if self.last_inv[idx] == NO_PHASE {
+                (
+                    std::mem::take(&mut self.cold_miss[idx]),
+                    std::mem::take(&mut self.cold_dirty[idx]),
+                )
+            } else {
+                (false, false)
+            };
+            // From here on, misses on this page belong to this phase:
+            // only this phase's prefetch could cover them.
+            self.last_inv[idx] = phase;
+
+            let e = self.phases[pi].entry_mut(page);
+            e.missed |= cold_m;
+            e.dirtied |= cold_d;
             e.invs += 1;
             let t = e.invs;
 
@@ -398,6 +581,7 @@ impl ProtocolPolicy for AdaptivePolicy {
                 let gap = e.gaps[e.gaps.len() - l] as u64;
                 if e.last_need + gap == t + 1 {
                     e.predictions += 1;
+                    planned.push(page);
                     if e.predictions % probe_every == 0 {
                         e.probing = true;
                         row.probes += 1;
@@ -422,22 +606,25 @@ impl ProtocolPolicy for AdaptivePolicy {
         self.log.push(row);
 
         // Quiesce heuristic: after `quiesce_after` consecutive epochs
-        // with identical picks, steady state is assumed and the batch
-        // is deferred to the epoch's first fault — so the run's final
-        // barrier (whose epoch never faults) costs nothing. Epochs
-        // that pick nothing (the write-side barrier of a two-barrier
-        // step, idle phases) neither confirm nor break the streak: the
-        // steadiness signal is "the same plan keeps being issued", not
-        // "every single barrier issues it". Push mode never defers (a
-        // fault-triggered plan is a pull — see `AdaptConfig::push`).
+        // of THIS phase with identical picks, steady state is assumed
+        // and the batch is deferred to the epoch's first fault — so the
+        // run's final barrier (whose window never faults) costs
+        // nothing. Epochs of this phase that pick nothing neither
+        // confirm nor break the streak: the steadiness signal is "the
+        // same plan keeps being issued", not "every single barrier
+        // issues it". Other phases' barriers are invisible here — that
+        // is the whole point: interleaved sites no longer reset each
+        // other's streaks. Push mode never defers (a fault-triggered
+        // plan is a pull — see `AdaptConfig::push`).
+        let st = &mut self.phases[pi];
         let defer = if !self.cfg.push && self.cfg.quiesce_after > 0 && !picks.is_empty() {
-            if picks == self.last_picks {
-                self.identical_epochs = self.identical_epochs.saturating_add(1);
+            if planned == st.last_picks {
+                st.identical_epochs = st.identical_epochs.saturating_add(1);
             } else {
-                self.identical_epochs = 0;
-                self.last_picks = picks.clone();
+                st.identical_epochs = 0;
+                st.last_picks = planned;
             }
-            self.identical_epochs >= self.cfg.quiesce_after
+            st.identical_epochs >= self.cfg.quiesce_after
         } else {
             false
         };
@@ -446,6 +633,7 @@ impl ProtocolPolicy for AdaptivePolicy {
             picks,
             defer,
             push: self.cfg.push,
+            phase,
         }
     }
 }
@@ -455,8 +643,12 @@ mod tests {
     use super::*;
 
     fn drive(p: &mut AdaptivePolicy, stats: &PolicyStats, inv: &[u32]) -> Vec<u32> {
+        drive_in(p, stats, 0, inv)
+    }
+
+    fn drive_in(p: &mut AdaptivePolicy, stats: &PolicyStats, phase: u32, inv: &[u32]) -> Vec<u32> {
         let epoch = p.log().total_epochs() + 1;
-        p.epoch_end(epoch, inv, stats, 0).picks
+        p.epoch_end(epoch, phase, inv, stats, 0).picks
     }
 
     #[test]
@@ -679,16 +871,16 @@ mod tests {
         // Promote page 7 (gap 1): three confirmed needs.
         for _ in 0..3 {
             p.note_miss(7);
-            let epoch = p.log().total_epochs() + 1;
-            p.epoch_end(epoch, &[7], &stats, 0);
+            drive(&mut p, &stats, &[7]);
         }
         // Identical picks [7] accumulate; the third identical epoch
         // tips the decision to deferred.
         let mut defers = Vec::new();
         for _ in 0..4 {
             let epoch = p.log().total_epochs() + 1;
-            let dec = p.epoch_end(epoch, &[7], &stats, 0);
+            let dec = p.epoch_end(epoch, 0, &[7], &stats, 0);
             assert_eq!(dec.picks, vec![7]);
+            assert_eq!(dec.phase, 0, "the decision echoes its phase");
             defers.push(dec.defer);
         }
         assert_eq!(defers, vec![false, true, true, true]);
@@ -711,7 +903,7 @@ mod tests {
         // window closes as a non-need, and predictions stop instantly
         // — without this hook the never-performed prefetch would mask
         // the dead pattern until the probe cadence caught it.
-        p.note_quiesced(&[7]);
+        p.note_quiesced(0, &[7]);
         for _ in 0..6 {
             assert!(drive(&mut p, &stats, &[7]).is_empty());
         }
@@ -723,15 +915,14 @@ mod tests {
         let mut p = AdaptivePolicy::new(AdaptConfig::pushing());
         for _ in 0..3 {
             p.note_miss(4);
-            let epoch = p.log().total_epochs() + 1;
-            p.epoch_end(epoch, &[4], &stats, 0);
+            drive(&mut p, &stats, &[4]);
         }
         // Long identical streak — pull mode would defer from the third
         // identical epoch; push mode must stay eager (a fault-triggered
         // plan would be a pull and forfeit the one-way billing).
         for _ in 0..6 {
             let epoch = p.log().total_epochs() + 1;
-            let dec = p.epoch_end(epoch, &[4], &stats, 0);
+            let dec = p.epoch_end(epoch, 0, &[4], &stats, 0);
             assert_eq!(dec.picks, vec![4]);
             assert!(dec.push);
             assert!(!dec.defer, "push plans are always eager");
@@ -758,14 +949,49 @@ mod tests {
         });
         for _ in 0..3 {
             p.note_miss(2);
-            let epoch = p.log().total_epochs() + 1;
-            p.epoch_end(epoch, &[2], &stats, 0);
+            drive(&mut p, &stats, &[2]);
         }
         for _ in 0..6 {
             let epoch = p.log().total_epochs() + 1;
-            let dec = p.epoch_end(epoch, &[2], &stats, 0);
+            let dec = p.epoch_end(epoch, 0, &[2], &stats, 0);
             assert!(!dec.defer, "quiesce_after: 0 disables deferral");
             assert!(dec.push, "push mode rides every decision");
         }
+    }
+
+    #[test]
+    fn phases_learn_independently_and_misses_attribute_to_the_invalidator() {
+        // One page, two interleaved barrier sites: phase 1 invalidates
+        // and the page is read right after (a need); phase 2 also
+        // invalidates it but the read never happens in its window.
+        // Phase 1 must lock and prefetch; phase 2 must stay silent —
+        // under a single global axis the interleaving would read as a
+        // gap-2 pattern and *both* barriers' epochs would share it.
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+        for _ in 0..8 {
+            let picks1 = drive_in(&mut p, &stats, 1, &[3]);
+            if picks1.is_empty() {
+                p.note_miss(3); // read lands while phase 1 owns the page
+            }
+            let picks2 = drive_in(&mut p, &stats, 2, &[3]);
+            assert!(picks2.is_empty(), "phase 2 never sees a need");
+        }
+        assert_eq!(p.page_mode_in(3, 1), PageMode::Prefetch);
+        assert_eq!(p.page_gap_in(3, 1), Some(1), "every phase-1 event needs");
+        assert_eq!(p.page_mode_in(3, 2), PageMode::Demand);
+        assert_eq!(p.phases_seen(), vec![1, 2]);
+    }
+
+    #[test]
+    fn untagged_stream_is_single_phase() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig::default());
+        for _ in 0..4 {
+            p.note_miss(1);
+            drive(&mut p, &stats, &[1]);
+        }
+        assert_eq!(p.phases_seen(), vec![0]);
+        assert_eq!(p.page_mode_in(1, 0), p.page_mode(1));
     }
 }

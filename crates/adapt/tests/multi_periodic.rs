@@ -12,7 +12,7 @@ use simnet::{PolicyReport, PolicyStats};
 
 fn drive(p: &mut AdaptivePolicy, stats: &PolicyStats, inv: &[u32]) -> Vec<u32> {
     let epoch = p.log().total_epochs() + 1;
-    p.epoch_end(epoch, inv, stats, 0).picks
+    p.epoch_end(epoch, 0, inv, stats, 0).picks
 }
 
 #[test]

@@ -36,6 +36,7 @@
 pub mod harness;
 pub mod moldyn;
 pub mod nbf;
+pub mod phases;
 pub mod umesh;
 pub mod report;
 pub mod work;

@@ -134,11 +134,17 @@ pub fn run_tmk(
                 p.write(&x, 3 * i + d, c);
             }
         }
-        p.barrier();
+        // First invalidation of the coordinate pages — the same pages
+        // the position-update barrier re-invalidates every step, so it
+        // carries that site's tag and starts that phase's event axis.
+        p.barrier_tagged(crate::phases::UPDATE);
         my_npairs = rebuild_list(
             p, &part, me, &x, &ilist, &npairs, cap_pp, world, &mut xbuf, mode, &mut v, n,
         );
-        p.barrier();
+        // Phase tags name the barrier *sites* of the step loop so the
+        // adaptive engine learns one plan per site (crate::phases); the
+        // init-time rebuild barrier shares the in-loop rebuild site.
+        p.barrier_tagged(crate::phases::REBUILD);
 
         p.start_timed_region();
         p.reset_counters();
@@ -150,7 +156,7 @@ pub fn run_tmk(
                     p, &part, me, &x, &ilist, &npairs, cap_pp, world, &mut xbuf, mode, &mut v,
                     n,
                 );
-                p.barrier();
+                p.barrier_tagged(crate::phases::REBUILD);
             }
 
             // ---- ComputeForces (the Figure-2 transformation) ----
@@ -229,7 +235,7 @@ pub fn run_tmk(
                         p.write(&forces, e, cur + local[e]);
                     }
                 }
-                p.barrier();
+                p.barrier_tagged(crate::phases::PIPELINE + s as u32);
             }
 
             // ---- position update (owner) ----
@@ -252,7 +258,7 @@ pub fn run_tmk(
                 p.write(&x, e, cur + DT * f);
             }
             p.compute(work::t(work::MOLDYN_UPDATE_US, my_mols.len()));
-            p.barrier();
+            p.barrier_tagged(crate::phases::UPDATE);
         }
 
         // Capture the timed region before any result extraction.

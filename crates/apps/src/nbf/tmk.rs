@@ -84,7 +84,11 @@ pub fn run_tmk(
         for i in my.start..=my.end {
             p.write(&last, i, world.last[i]);
         }
-        p.barrier();
+        // First invalidation of the coordinate pages — same site as the
+        // per-step owner-integrate barrier, so that phase's event axis
+        // starts here (the partner/last pages it also invalidates are
+        // never written again, so their attribution is moot).
+        p.barrier_tagged(crate::phases::UPDATE);
 
         for step in 1..=(cfg.warmup + cfg.steps) {
             if step == cfg.warmup + 1 {
@@ -185,7 +189,10 @@ pub fn run_tmk(
                         p.write(&forces, i, cur + local[i]);
                     }
                 }
-                p.barrier();
+                // Per-round phase tag: each reduction round is its own
+                // barrier site (crate::phases), so the adaptive engine
+                // keeps one chunk plan per round.
+                p.barrier_tagged(crate::phases::PIPELINE + s as u32);
             }
 
             // ---- owner integrates ----
@@ -207,7 +214,7 @@ pub fn run_tmk(
                 p.write(&x, i, cur + DT * f);
             }
             p.compute(work::t(work::NBF_UPDATE_US, my.len()));
-            p.barrier();
+            p.barrier_tagged(crate::phases::UPDATE);
         }
 
         cap.freeze_tmk(me, &cl);

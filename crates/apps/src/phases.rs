@@ -1,0 +1,29 @@
+//! Barrier-phase tags for the classic applications.
+//!
+//! A *phase* names a barrier **site** — the source location of a
+//! barrier in the app's loop body — and must be stable across
+//! iterations of that loop (`dsm::TmkProc::barrier_tagged`). The
+//! adaptive engine keys its gap histories, promotion state, and quiesce
+//! streaks per `(page, phase)`, so multi-barrier apps that alternate
+//! sites (moldyn's position-update barrier vs its pipelined-reduction
+//! rounds) build one clean plan per site instead of aliasing them all
+//! on the raw barrier stream.
+//!
+//! Tags are per-processor bookkeeping; no cross-processor agreement is
+//! needed, and untagged barriers (phase 0) keep the single-site
+//! behavior. The pipelined reduction tags each *round* as its own site
+//! ([`PIPELINE`]` + round`): a round's barrier always precedes the same
+//! chunk's reads in the next round, so per-round identity is what makes
+//! the chunk plans identical epoch over epoch.
+
+/// The owner position/coordinate-update barrier at the end of a step
+/// (moldyn, nbf) or sweep (umesh) — the site whose plan covers the next
+/// step's coordinate reads, and the run's final barrier.
+pub const UPDATE: u32 = 1;
+
+/// The barrier after an interaction-list rebuild (moldyn).
+pub const REBUILD: u32 = 2;
+
+/// Base tag of the pipelined-reduction rounds: the barrier ending round
+/// `s` is `PIPELINE + s` (moldyn, nbf; `nprocs` rounds per step).
+pub const PIPELINE: u32 = 8;

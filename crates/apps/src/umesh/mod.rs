@@ -261,7 +261,11 @@ pub fn run_tmk(
                 k += 1;
             }
         }
-        p.barrier();
+        // The init barrier is the first invalidation of the same pages
+        // the sweep barrier re-invalidates every iteration — same site,
+        // same tag, so the phase's event axis starts here (exactly the
+        // axis the untagged engine saw).
+        p.barrier_tagged(crate::phases::UPDATE);
         p.start_timed_region();
         p.reset_counters();
 
@@ -316,7 +320,10 @@ pub fn run_tmk(
                 let cur = p.read(&x, i);
                 p.write(&x, i, cur + acc[li]);
             }
-            p.barrier();
+            // One barrier site per sweep — tagging it keeps the phase
+            // bookkeeping uniform across the classic apps (the learned
+            // behavior is identical to the untagged single-site case).
+            p.barrier_tagged(crate::phases::UPDATE);
         }
 
         cap.freeze_tmk(me, &cl);

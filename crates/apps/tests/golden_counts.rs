@@ -8,10 +8,25 @@
 //! PR 4 added the update-push variant (`TmkPush`): the same adaptive
 //! predictor with each predicted exchange a single one-way writer push
 //! instead of a request/reply pair, so its rows sit strictly below the
-//! pull-mode adaptive rows on both messages and bytes. The four
-//! pre-existing variants' numbers were *not* shifted by PR 4 at this
-//! scale (the gap-history predictor reduces to the one-gap predictor on
-//! these patterns, and the quiesce streak is too short to engage).
+//! pull-mode adaptive rows on both messages and bytes.
+//!
+//! PR 5 keyed the adaptive engine by **barrier phase** and added the
+//! explicit **push-subscription cost model**, which legitimately shifts
+//! exactly the `TmkAdaptive` and `TmkPush` rows (the protocol layers
+//! with a policy in the loop) and nothing else:
+//!
+//! * `TmkAdaptive`: per-(page, phase) event axes move a handful of
+//!   learning-transient predictions at this tiny scale (moldyn
+//!   990 → 974: the phase-clean axes predict slightly better across its
+//!   rebuilds; nbf 576 → 580: the 4-step run ends inside the learning
+//!   transient, one exchange lands differently; umesh is single-phase
+//!   and stays exactly 218). The quiesce streak (the phase-keyed win)
+//!   needs more epochs than these configs run — the quick-scale
+//!   `table_adapt` asserts it fires there.
+//! * `TmkPush`: same prediction shifts, plus the one-way `AdaptSub`
+//!   subscription messages that PR 4 modeled as free riding (umesh
+//!   194 → 206 is exactly its 12 subscription messages; moldyn and nbf
+//!   add their prediction shifts on top).
 //!
 //! If a *protocol* change legitimately shifts these numbers, update the
 //! table below in the same commit and say why in its message.
@@ -47,8 +62,8 @@ fn moldyn_small_reproduces_pre_refactor_counts() {
         &[
             (Variant::TmkBase, 1250, 617_796),
             (Variant::TmkOpt, 414, 338_596),
-            (Variant::TmkAdaptive, 990, 713_104),
-            (Variant::TmkPush, 849, 707_600),
+            (Variant::TmkAdaptive, 974, 655_284),
+            (Variant::TmkPush, 930, 704_048),
             (Variant::Chaos, 180, 167_120),
         ],
     );
@@ -61,8 +76,8 @@ fn nbf_small_reproduces_pre_refactor_counts() {
         &[
             (Variant::TmkBase, 624, 326_016),
             (Variant::TmkOpt, 240, 150_816),
-            (Variant::TmkAdaptive, 576, 394_944),
-            (Variant::TmkPush, 504, 392_304),
+            (Variant::TmkAdaptive, 580, 389_696),
+            (Variant::TmkPush, 568, 388_600),
             (Variant::Chaos, 96, 129_216),
         ],
     );
@@ -76,7 +91,7 @@ fn umesh_small_reproduces_pre_refactor_counts() {
             (Variant::TmkBase, 218, 101_536),
             (Variant::TmkOpt, 134, 100_576),
             (Variant::TmkAdaptive, 218, 126_592),
-            (Variant::TmkPush, 194, 125_824),
+            (Variant::TmkPush, 206, 126_112),
             (Variant::Chaos, 78, 11_344),
         ],
     );

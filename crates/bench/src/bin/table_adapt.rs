@@ -13,7 +13,12 @@
 //! verifies (per the `simnet` counters) that on moldyn and nbf the
 //! adaptive build sends ≥ 25% fewer messages than plain Tmk and the
 //! update-push build sends strictly fewer than the pull-mode adaptive
-//! build, and that push ≤ prefetch ≤ base holds on every application.
+//! build — *with the explicit push-subscription cost counted* — that
+//! push ≤ prefetch ≤ base holds on every application, and that the
+//! phase-keyed quiesce streaks actually fire on the multi-barrier apps
+//! (quiesced plans > 0 on moldyn and nbf, which a globally-keyed
+//! streak provably never achieves — their alternating barrier sites
+//! reset it every epoch).
 
 use apps::moldyn::{self, MoldynConfig, TmkMode};
 use apps::nbf::{self, NbfConfig};
@@ -59,15 +64,27 @@ impl Group {
             pol.prefetch_rounds,
             pol.prefetch_pages
         );
+        println!(
+            "  phase-keyed quiesce: {} plans deferred, {} quiesced untouched across {} phases",
+            pol.deferred_plans,
+            pol.quiesced_plans,
+            pol.per_phase.len(),
+        );
+        for row in pol.per_phase.iter().filter(|r| r.quiesced_plans > 0) {
+            println!(
+                "    phase {:>2}: {} deferred, {} quiesced ({} pages saved)",
+                row.phase, row.deferred_plans, row.quiesced_plans, row.quiesced_pages
+            );
+        }
         let pp = self.push.policy.clone().expect("push policy report");
         println!(
             "  update-push: {:.1}% fewer messages than pull-mode adaptive \
-             ({} push rounds covering {} pages, {} plans quiesced)",
+             ({} push rounds covering {} pages, {} one-way subscription msgs counted)",
             100.0 * (self.adaptive.messages.saturating_sub(self.push.messages)) as f64
                 / self.adaptive.messages.max(1) as f64,
             pp.push_rounds,
             pp.push_pages,
-            pp.quiesced_plans,
+            pp.subscriptions,
         );
     }
 }
@@ -181,6 +198,14 @@ fn main() {
             g.adaptive.messages
         );
     }
+    for g in &groups {
+        let pp = g.push.policy.as_ref().expect("push policy report");
+        assert!(
+            pp.subscriptions > 0,
+            "{}: push must pay its subscription traffic (0 AdaptSub billed)",
+            g.app
+        );
+    }
     for g in &groups[..2] {
         assert!(
             g.reduction_vs_base() >= 25.0,
@@ -195,8 +220,24 @@ fn main() {
             g.push.messages,
             g.adaptive.messages
         );
+        // The phase-keyed quiesce win: the multi-barrier apps' plans
+        // build per-site streaks and the final exchanges go untriggered
+        // — a globally-keyed streak never fires here, because the
+        // alternating barrier sites reset it every epoch.
+        let pol = g.adaptive.policy.as_ref().expect("adaptive policy report");
+        assert!(
+            pol.deferred_plans > 0,
+            "{}: phase-keyed streaks must defer steady plans",
+            g.app
+        );
+        assert!(
+            pol.quiesced_plans > 0,
+            "{}: the final-barrier exchange must quiesce (0 plans quiesced)",
+            g.app
+        );
     }
     println!("\nacceptance: adaptive ≥25% fewer messages on moldyn and nbf,");
-    println!("            push ≤ prefetch ≤ base everywhere, and push strictly");
-    println!("            beats prefetch on moldyn and nbf  ✓");
+    println!("            push ≤ prefetch ≤ base everywhere (subscriptions counted),");
+    println!("            push strictly beats prefetch on moldyn and nbf, and the");
+    println!("            phase-keyed streaks quiesce plans on both  ✓");
 }

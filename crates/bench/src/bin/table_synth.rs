@@ -67,7 +67,7 @@ fn main() {
     for cfg in grid {
         let is_static = cfg.dynamics == Dynamics::Static;
         let scenario = Scenario::new(cfg);
-        let m = run_matrix(&scenario); // asserts 5-way bitwise agreement
+        let m = run_matrix(&scenario); // asserts 6-way bitwise agreement
         print_matrix_row(&m);
 
         let base = &m.get(Variant::TmkBase).report;

@@ -56,8 +56,24 @@ impl BarrierCtl {
 
 impl TmkProc<'_> {
     /// TreadMarks barrier: release (close interval), rendezvous, acquire
-    /// (merge everyone's write notices).
+    /// (merge everyone's write notices). Equivalent to
+    /// [`TmkProc::barrier_tagged`] with phase 0 — single-barrier loops
+    /// need no tagging.
     pub fn barrier(&mut self) {
+        self.barrier_tagged(0);
+    }
+
+    /// A barrier with an explicit **phase identity**: `phase` names the
+    /// barrier *site* (the source location in the app's loop body), and
+    /// must be stable across iterations. Multi-barrier apps — moldyn's
+    /// rebuild / pipelined-reduction / position-update barriers, nbf's
+    /// reduction rounds — tag each site so the protocol policy can keep
+    /// its learned state per site: gap histories, promotion state, and
+    /// quiesce streaks all key on `(page, phase)`, and the policy's
+    /// deferred/quiesced/push traffic is billed against the owning
+    /// phase. Tags are local bookkeeping (no cross-processor agreement
+    /// is needed); the rendezvous itself is unchanged.
+    pub fn barrier_tagged(&mut self, phase: u32) {
         self.close_interval();
         let cl: &Cluster = self.cl;
         let ctl = cl.barrier_ctl();
@@ -116,16 +132,54 @@ impl TmkProc<'_> {
         self.inner.counters.barriers += 1;
         self.inner.last_barrier_seen.copy_from_slice(&target);
 
-        // A plan deferred at the previous barrier that no fault ever
-        // triggered is dead: the epoch never touched the predicted
-        // pages. Discarding it is the quiesce win — one whole exchange
-        // per peer saved, most importantly at the run's final barrier
-        // (whose "next iteration" never executes at all). The policy is
-        // told first, so the epoch reads as a free probe rather than a
-        // covered need.
-        if let Some((plan, _)) = self.inner.deferred.take() {
-            cl.net().policy().record_quiesced(self.me, plan.len());
-            self.inner.policy.note_quiesced(&plan);
+        // A deferred plan whose pages are being re-invalidated is dead:
+        // its window — "from the arming barrier to the next invalidation
+        // of the predicted pages" — closed without a single touch.
+        // Discarding it is the quiesce win — one whole exchange per peer
+        // saved. Plans whose pages were *not* re-invalidated stay armed:
+        // in a multi-barrier loop body the reads a phase predicts may
+        // legitimately sit several (other-phase) barriers ahead. The
+        // policy is told first, so the quiesced window reads as a free
+        // probe rather than a covered need.
+        // A plan also dies when its *own phase recurs*: the window it
+        // covered ran from the arming barrier to the next barrier of
+        // the same site, and that site is now here again — even if a
+        // dissolved pattern means the pages were never re-invalidated.
+        // Without this, a dead plan would linger armed until some
+        // unrelated fault flushed its stale pages into an exchange.
+        if !self.inner.deferred.is_empty() {
+            let plans = std::mem::take(&mut self.inner.deferred);
+            for mut plan in plans {
+                let stale = epoch.saturating_sub(plan.armed_at)
+                    >= crate::proc::DeferredPlan::STALE_EPOCHS;
+                if plan.phase == phase || stale {
+                    cl.net()
+                        .policy()
+                        .record_quiesced(self.me, plan.phase, plan.pages.len());
+                    self.inner.policy.note_quiesced(plan.phase, &plan.pages);
+                    continue;
+                }
+                if !invalidated.is_empty() {
+                    // Cross-phase partial close: only the pages this
+                    // barrier re-invalidated have their windows over;
+                    // the rest of the plan stays armed for the reads
+                    // its phase still predicts.
+                    let (dead, live): (Vec<u32>, Vec<u32>) = plan
+                        .pages
+                        .iter()
+                        .partition(|pg| invalidated.binary_search(pg).is_ok());
+                    if !dead.is_empty() {
+                        cl.net()
+                            .policy()
+                            .record_quiesced(self.me, plan.phase, dead.len());
+                        self.inner.policy.note_quiesced(plan.phase, &dead);
+                        plan.pages = live;
+                    }
+                }
+                if !plan.pages.is_empty() {
+                    self.inner.deferred.push(plan);
+                }
+            }
         }
 
         // Epoch boundary for the protocol policy: it may answer the
@@ -138,28 +192,35 @@ impl TmkProc<'_> {
         let dec = self
             .inner
             .policy
-            .epoch_end(epoch, &invalidated, cl.net().policy(), self.me);
+            .epoch_end(epoch, phase, &invalidated, cl.net().policy(), self.me);
         let todo: Vec<u32> = dec
             .picks
             .into_iter()
             .filter(|&pg| self.page_invalid(pg))
             .collect();
         if !todo.is_empty() {
-            let class = if dec.push {
-                crate::proc::FetchClass::Push
-            } else {
-                crate::proc::FetchClass::Prefetch
-            };
             if dec.defer {
-                cl.net().policy().record_deferred(self.me);
-                self.inner.deferred = Some((todo, class));
+                // At most one armed plan per phase, by construction:
+                // the phase-recurrence rule above just discarded any
+                // same-phase leftover.
+                debug_assert!(
+                    !self.inner.deferred.iter().any(|d| d.phase == dec.phase),
+                    "same-phase plan survived its own phase's barrier"
+                );
+                cl.net().policy().record_deferred(self.me, dec.phase);
+                self.inner.deferred.push(crate::proc::DeferredPlan {
+                    pages: todo,
+                    phase: dec.phase,
+                    armed_at: epoch,
+                });
+            } else if dec.push {
+                cl.net().policy().record_push(self.me, dec.phase, todo.len());
+                self.fetch_pages_push(&todo, dec.phase);
             } else {
-                if dec.push {
-                    cl.net().policy().record_push(self.me, todo.len());
-                } else {
-                    cl.net().policy().record_prefetch(self.me, todo.len());
-                }
-                self.fetch_pages(&todo, class);
+                cl.net()
+                    .policy()
+                    .record_prefetch(self.me, dec.phase, todo.len());
+                self.fetch_pages(&todo, crate::proc::FetchClass::Prefetch);
             }
         }
 

@@ -156,15 +156,17 @@ impl Cluster {
                         inner,
                     };
                     f(&mut p);
-                    // A batched fetch deferred at the body's final
-                    // barrier that nothing triggered is the quiesce win:
-                    // the exchange the eager policy would have wasted on
-                    // an iteration that never executes. Record and drop
-                    // it so the report sees it and a later run() starts
-                    // clean.
-                    if let Some((plan, _)) = p.inner.deferred.take() {
-                        self.net.policy().record_quiesced(rank, plan.len());
-                        p.inner.policy.note_quiesced(&plan);
+                    // Batched fetches deferred near the body's end that
+                    // nothing triggered are the quiesce win: the
+                    // exchanges the eager policy would have wasted on an
+                    // iteration that never executes. Record and drop
+                    // them (billed to each plan's owning phase) so the
+                    // report sees them and a later run() starts clean.
+                    for plan in std::mem::take(&mut p.inner.deferred) {
+                        self.net
+                            .policy()
+                            .record_quiesced(rank, plan.phase, plan.pages.len());
+                        p.inner.policy.note_quiesced(plan.phase, &plan.pages);
                     }
                     *self.slots[rank].lock() = Some(p.inner);
                 });

@@ -26,7 +26,7 @@ use simnet::{PolicyStats, ProcId};
 /// What a [`ProtocolPolicy`] decided at one barrier epoch boundary.
 ///
 /// The default ([`EpochDecision::none`]) is plain demand paging: no
-/// pages picked, nothing deferred, pull semantics.
+/// pages picked, nothing deferred, pull semantics, phase 0.
 #[derive(Debug, Clone, Default)]
 pub struct EpochDecision {
     /// Pages to bring up to date this epoch instead of leaving them to
@@ -36,20 +36,31 @@ pub struct EpochDecision {
     /// Defer the batched fetch to the epoch's *first demand fault*
     /// instead of issuing it eagerly inside the barrier. In steady
     /// state the exchange still happens once per epoch (triggered by
-    /// the first touch, which also rides along); in an epoch that never
-    /// faults — above all the run's final barrier, whose "next
-    /// iteration" never executes — the whole exchange is saved
-    /// (*quiesced*). The cost of deferring is one page-fault service
-    /// time on the triggering access.
+    /// the first touch, which also rides along); a deferred plan whose
+    /// pages are re-invalidated untouched — above all one armed at the
+    /// run's final barrier, whose "next iteration" never executes — is
+    /// discarded and the whole exchange is saved (*quiesced*). The cost
+    /// of deferring is one page-fault service time on the triggering
+    /// access.
     pub defer: bool,
     /// Account the predicted exchange as **update-push**: the writers
     /// push their diffs in one one-way data message per writer/consumer
     /// pair ([`FetchClass::Push`] → `AdaptPush`), eliminating the
     /// request half of the wire pattern. Data content and application
-    /// order are identical to the pull path.
+    /// order are identical to the pull path. The subscription that
+    /// teaches the writers the schedule is billed explicitly: one
+    /// one-way `AdaptSub` message per serving peer whenever the phase's
+    /// schedule *changes* (a stable plan subscribes once).
     ///
     /// [`FetchClass::Push`]: crate::FetchClass::Push
     pub push: bool,
+    /// The phase identity (barrier-site tag) that owns this decision.
+    /// The protocol layer bills the resulting prefetch/push/deferred/
+    /// quiesced traffic against this plan, so multi-barrier apps see a
+    /// per-site breakdown instead of one aliased stream. Policies
+    /// should echo the `phase` passed to
+    /// [`ProtocolPolicy::epoch_end`].
+    pub phase: u32,
 }
 
 impl EpochDecision {
@@ -58,12 +69,14 @@ impl EpochDecision {
         EpochDecision::default()
     }
 
-    /// An eager pull-mode prefetch of `picks` (PR 2's behavior).
+    /// An eager pull-mode prefetch of `picks` (PR 2's behavior),
+    /// attributed to phase 0.
     pub fn prefetch(picks: Vec<u32>) -> Self {
         EpochDecision {
             picks,
             defer: false,
             push: false,
+            phase: 0,
         }
     }
 }
@@ -86,16 +99,21 @@ pub trait ProtocolPolicy: Send + std::fmt::Debug {
     /// them since the previous release).
     fn note_interval_close(&mut self, _pages: &[u32]) {}
 
-    /// A deferred plan covering `pages` was discarded untriggered: the
-    /// epoch ended (or the run did) without anything touching the
-    /// predicted pages. The protocol layer calls this *before* the
-    /// epoch's `epoch_end`, so a policy can treat the quiesced epoch as
-    /// a free probe — the prediction was provably not needed, at zero
-    /// wire cost — instead of letting its own (never-performed)
+    /// A deferred plan owned by `phase` and covering `pages` was
+    /// discarded untriggered: the plan's window closed (its pages were
+    /// re-invalidated, or the run ended) without anything touching
+    /// them. The protocol layer calls this *before* the discarding
+    /// epoch's `epoch_end`, so a policy can treat the quiesced window
+    /// as a free probe — the prediction was provably not needed, at
+    /// zero wire cost — instead of letting its own (never-performed)
     /// prefetch mask the absence of a miss.
-    fn note_quiesced(&mut self, _pages: &[u32]) {}
+    fn note_quiesced(&mut self, _phase: u32, _pages: &[u32]) {}
 
-    /// A barrier epoch boundary. `epoch` is the barrier sequence number,
+    /// A barrier epoch boundary. `epoch` is the barrier sequence
+    /// number; `phase` is the barrier site's stable identity (the tag
+    /// passed to [`TmkProc::barrier_tagged`]; plain [`TmkProc::barrier`]
+    /// is phase 0) — multi-barrier apps tag each site so a policy can
+    /// keep its learned state per site instead of aliasing them;
     /// `invalidated` the pages write notices just invalidated for this
     /// processor (sorted, deduplicated). Returns an [`EpochDecision`]:
     /// which pages to bring up to date in one aggregated exchange per
@@ -103,9 +121,13 @@ pub trait ProtocolPolicy: Send + std::fmt::Debug {
     /// whether to defer that exchange to the epoch's first fault, and
     /// whether to account it as writer-initiated update-push. Decision
     /// counters go to `stats` (per-processor slot `me`).
+    ///
+    /// [`TmkProc::barrier_tagged`]: crate::TmkProc::barrier_tagged
+    /// [`TmkProc::barrier`]: crate::TmkProc::barrier
     fn epoch_end(
         &mut self,
         _epoch: u64,
+        _phase: u32,
         _invalidated: &[u32],
         _stats: &PolicyStats,
         _me: ProcId,
@@ -132,7 +154,7 @@ mod tests {
         let mut p = StaticPolicy;
         p.note_miss(3);
         p.note_interval_close(&[1, 2]);
-        let dec = p.epoch_end(1, &[1, 2, 3], &stats, 0);
+        let dec = p.epoch_end(1, 7, &[1, 2, 3], &stats, 0);
         assert!(dec.picks.is_empty() && !dec.defer && !dec.push);
         assert_eq!(simnet::PolicyReport::capture(&stats), Default::default());
     }

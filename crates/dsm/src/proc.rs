@@ -111,6 +111,26 @@ pub enum FetchClass {
     Push,
 }
 
+/// A policy-deferred batched fetch: armed at a barrier, owned by the
+/// phase (barrier site) that predicted it, triggered by the next demand
+/// fault, and discarded — *quiesced* — when its pages are
+/// re-invalidated untouched or the run ends.
+#[derive(Debug)]
+pub(crate) struct DeferredPlan {
+    pub(crate) pages: Vec<u32>,
+    pub(crate) phase: u32,
+    /// Barrier epoch the plan was armed at: a plan that outlives
+    /// [`DeferredPlan::STALE_EPOCHS`] barriers is quiesced even if its
+    /// phase never recurs and its pages are never re-invalidated (a
+    /// tagged loop that simply ended), so it cannot linger armed until
+    /// an unrelated fault flushes its stale pages into an exchange.
+    pub(crate) armed_at: u64,
+}
+
+impl DeferredPlan {
+    pub(crate) const STALE_EPOCHS: u64 = 16;
+}
+
 /// Persistent per-processor state (survives across [`Cluster::run`] calls).
 #[derive(Debug)]
 pub(crate) struct ProcInner {
@@ -126,10 +146,15 @@ pub(crate) struct ProcInner {
     pub(crate) last_barrier_seen: Vc,
     /// The protocol decision layer (default: plain demand paging).
     pub(crate) policy: Box<dyn ProtocolPolicy>,
-    /// A policy-deferred batched fetch, armed at the last barrier and
-    /// triggered by the epoch's first demand fault (the quiesce
-    /// heuristic). Discarded untriggered at the next epoch boundary.
-    pub(crate) deferred: Option<(Vec<u32>, FetchClass)>,
+    /// Armed policy-deferred plans, at most one per phase (the quiesce
+    /// heuristic). The epoch's first demand fault triggers them all in
+    /// one merged exchange.
+    pub(crate) deferred: Vec<DeferredPlan>,
+    /// Update-push schedules subscribed so far, per phase: the
+    /// cumulative `(serving peer, pages)` union the writers have been
+    /// taught. A push round covering pages beyond a peer's known set
+    /// re-subscribes (one one-way `AdaptSub` message per grown peer).
+    pub(crate) push_scheds: HashMap<u32, Vec<(ProcId, Vec<u32>)>>,
 }
 
 impl ProcInner {
@@ -144,7 +169,8 @@ impl ProcInner {
             counters: ProcCounters::default(),
             last_barrier_seen: vec![0; nprocs],
             policy: Box::new(StaticPolicy),
-            deferred: None,
+            deferred: Vec::new(),
+            push_scheds: HashMap::new(),
         }
     }
 
@@ -268,30 +294,50 @@ impl<'c> TmkProc<'c> {
         self.demand_fetch(page);
     }
 
-    /// Demand-service a fault on `page`. If a policy-deferred batch is
-    /// armed, the fault triggers it: the whole predicted plan (plus the
-    /// faulting page, which rides along free of its own demand pair) is
-    /// fetched in one aggregated exchange. Otherwise plain TreadMarks:
-    /// one request/reply pair for this page alone.
+    /// Demand-service a fault on `page`. If policy-deferred plans are
+    /// armed, the fault triggers them all: the predicted pages of every
+    /// live plan (plus the faulting page, which rides along free of its
+    /// own demand pair) are fetched in one merged aggregated exchange,
+    /// billed per owning phase. Otherwise plain TreadMarks: one
+    /// request/reply pair for this page alone.
     ///
     /// A triggered plan is **consumer-initiated by definition** — the
     /// transfer happens at a moment only the faulting processor knows —
-    /// so even a plan armed in push mode degrades to a pull exchange
-    /// here; one-way `AdaptPush` billing is reserved for eager
-    /// barrier-time pushes, the only shape the writer-subscription
-    /// model can honestly claim.
+    /// so deferral exists only in pull mode; one-way `AdaptPush`
+    /// billing is reserved for eager barrier-time pushes, the only
+    /// shape the writer-subscription model can honestly claim.
     fn demand_fetch(&mut self, page: u32) {
-        match self.inner.deferred.take() {
-            Some((mut plan, _)) => {
-                plan.retain(|&pg| self.page_invalid(pg));
-                if !plan.contains(&page) {
-                    plan.push(page);
-                }
-                self.cl.net().policy().record_prefetch(self.me, plan.len());
-                self.fetch_pages(&plan, FetchClass::Prefetch);
-            }
-            None => self.fetch_pages(&[page], FetchClass::Demand),
+        if self.inner.deferred.is_empty() {
+            self.fetch_pages(&[page], FetchClass::Demand);
+            return;
         }
+        let mut merged: Vec<u32> = Vec::new();
+        for plan in std::mem::take(&mut self.inner.deferred) {
+            let retained: Vec<u32> = plan
+                .pages
+                .iter()
+                .copied()
+                .filter(|&pg| self.page_invalid(pg) && !merged.contains(&pg))
+                .collect();
+            if retained.is_empty() {
+                continue;
+            }
+            self.cl
+                .net()
+                .policy()
+                .record_prefetch(self.me, plan.phase, retained.len());
+            merged.extend(retained);
+        }
+        if merged.is_empty() {
+            // Every predicted page turned out valid already: nothing of
+            // the plans is left to move, so this is an ordinary fault.
+            self.fetch_pages(&[page], FetchClass::Demand);
+            return;
+        }
+        if !merged.contains(&page) {
+            merged.push(page);
+        }
+        self.fetch_pages(&merged, FetchClass::Prefetch);
     }
 
     #[cold]
@@ -392,6 +438,20 @@ impl<'c> TmkProc<'c> {
     /// request/reply per peer *for the whole set* when `Aggregated`
     /// (the paper's communication aggregation).
     pub fn fetch_pages(&mut self, pages: &[u32], class: FetchClass) {
+        self.fetch_pages_impl(pages, class, None);
+    }
+
+    /// An eager barrier-time update-push round predicted by `phase`:
+    /// like [`TmkProc::fetch_pages`] with [`FetchClass::Push`], plus the
+    /// explicit subscription cost model — if the phase's per-peer
+    /// schedule changed since its last push round, one one-way
+    /// `AdaptSub` message per changed peer teaches the writers the new
+    /// schedule before the data moves.
+    pub(crate) fn fetch_pages_push(&mut self, pages: &[u32], phase: u32) {
+        self.fetch_pages_impl(pages, FetchClass::Push, Some(phase));
+    }
+
+    fn fetch_pages_impl(&mut self, pages: &[u32], class: FetchClass, push_phase: Option<u32>) {
         // Phase 1: figure out what is needed, per page.
         struct Need {
             page: u32,
@@ -513,20 +573,74 @@ impl<'c> TmkProc<'c> {
         const REQ_PER_PAGE: usize = 8; // page id + applied seq
         let mut req_pages: Vec<usize> = vec![0; self.nprocs];
         let mut resp_bytes: Vec<usize> = vec![0; self.nprocs];
+        let mut peer_pages: Vec<Vec<u32>> = vec![Vec::new(); self.nprocs];
         for n in &needs {
             for r in &n.records {
                 req_pages[r.proc] += 1;
                 resp_bytes[r.proc] += r.payload.wire_bytes();
+                peer_pages[r.proc].push(n.page);
             }
             if n.master {
                 let mgr = (n.page as usize) % self.nprocs;
                 req_pages[mgr] += 1;
                 resp_bytes[mgr] += self.page_size + 8 + 4 * self.nprocs;
+                peer_pages[mgr].push(n.page);
             }
         }
         if class == FetchClass::Push {
             // Update-push: the writers initiate — one one-way data
-            // message per serving peer, no request leg on the wire.
+            // message per serving peer, no request leg on the wire. The
+            // writers only know *what* to push because the consumer
+            // subscribed them to its schedule: bill one one-way
+            // subscription message per peer whose share of this phase's
+            // schedule *grew* beyond what it was already taught (the
+            // cumulative union). A steady-state plan subscribes once
+            // and then rides free; a probe — a transient subset of the
+            // subscribed schedule — costs nothing extra. Unsubscription
+            // is lazy and unbilled: a writer briefly pushing pages a
+            // demoted pattern no longer needs shows up as the pull
+            // traffic the probe/demand path already counts.
+            if let Some(phase) = push_phase {
+                let subscribed = self.inner.push_scheds.entry(phase).or_default();
+                let mut newly: Vec<(ProcId, usize)> = Vec::new();
+                for (q, pp) in peer_pages.iter().enumerate() {
+                    if q == self.me || pp.is_empty() {
+                        continue;
+                    }
+                    let known = match subscribed.iter_mut().find(|(oq, _)| *oq == q) {
+                        Some((_, known)) => known,
+                        None => {
+                            subscribed.push((q, Vec::new()));
+                            &mut subscribed.last_mut().unwrap().1
+                        }
+                    };
+                    let mut fresh = 0usize;
+                    for &pg in pp {
+                        if !known.contains(&pg) {
+                            known.push(pg);
+                            fresh += 1;
+                        }
+                    }
+                    if fresh > 0 {
+                        newly.push((q, fresh));
+                    }
+                }
+                if !newly.is_empty() {
+                    let net = self.cl.net();
+                    for &(q, npages) in &newly {
+                        // One-way teach message: the consumer pays the
+                        // injection (inside push), the writer absorbs
+                        // it asynchronously for one interrupt-handler
+                        // cost. Only commutative clock updates here —
+                        // folding the arrival time in with a max would
+                        // make simulated time depend on OS interleaving
+                        // (several consumers subscribe concurrently).
+                        let _arrival = net.push(self.me, MsgKind::AdaptSub, 16 + 4 * npages);
+                        net.advance(q, net.cost().handler());
+                    }
+                    net.policy().record_subscribe(self.me, phase, newly.len());
+                }
+            }
             let legs: Vec<(ProcId, MsgKind, usize)> = (0..self.nprocs)
                 .filter(|&q| q != self.me && req_pages[q] > 0)
                 .map(|q| (q, MsgKind::AdaptPush, resp_bytes[q]))
@@ -730,9 +844,15 @@ impl<'c> TmkProc<'c> {
 
     /// Install a protocol policy on this processor. The policy persists
     /// across [`Cluster::run`] calls (like the page table); installing
-    /// replaces any previous policy and its learned state.
+    /// replaces any previous policy and its learned state — including
+    /// the protocol layer's own per-policy state: armed deferred plans
+    /// are dropped (the old engine that predicted them is gone) and the
+    /// push-subscription schedules are forgotten, so a fresh push-mode
+    /// policy is billed for teaching its writers from scratch.
     pub fn set_policy(&mut self, policy: Box<dyn ProtocolPolicy>) {
         self.inner.policy = policy;
+        self.inner.deferred.clear();
+        self.inner.push_scheds.clear();
     }
 
     /// The installed protocol policy (diagnostics).

@@ -45,16 +45,18 @@ impl ProtocolPolicy for PrefetchAll {
     fn epoch_end(
         &mut self,
         epoch: u64,
+        phase: u32,
         invalidated: &[u32],
         stats: &PolicyStats,
         me: ProcId,
     ) -> EpochDecision {
-        stats.record_epoch(me);
+        stats.record_epoch(me, phase);
         self.epochs.push(epoch);
         EpochDecision {
             picks: invalidated.to_vec(),
             defer: self.defer,
             push: self.push,
+            phase,
         }
     }
 }
@@ -150,6 +152,7 @@ fn policy_hooks_observe_misses_closes_and_epochs() {
         fn epoch_end(
             &mut self,
             _epoch: u64,
+            _phase: u32,
             _invalidated: &[u32],
             _stats: &PolicyStats,
             _me: ProcId,

@@ -27,5 +27,5 @@ mod time;
 
 pub use cost::CostModel;
 pub use net::{Net, ProcId};
-pub use stats::{MsgKind, NetReport, PolicyReport, PolicyStats, Stats};
+pub use stats::{MsgKind, NetReport, PhasePolicyRow, PolicyReport, PolicyStats, Stats};
 pub use time::SimTime;

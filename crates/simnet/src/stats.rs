@@ -4,7 +4,9 @@
 //! harnesses can report both the paper's aggregate "Messages"/"Data"
 //! columns and a per-protocol breakdown.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::ProcId;
 
@@ -29,6 +31,11 @@ pub enum MsgKind {
     /// one one-way data message per writer/consumer pair, no request
     /// leg at all.
     AdaptPush,
+    /// DSM: one-way push-schedule subscription — a consumer in
+    /// update-push mode teaching a writer which pages to push at its
+    /// barriers. Sent once per peer per *changed* schedule, so a stable
+    /// per-phase plan subscribes once and then rides free.
+    AdaptSub,
     /// DSM: barrier arrival/departure traffic (write notices ride along).
     Barrier,
     /// DSM: lock acquire/forward/grant traffic.
@@ -46,7 +53,7 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     pub const ALL: [MsgKind; MsgKind::COUNT] = [
         MsgKind::DiffRequest,
@@ -56,6 +63,7 @@ impl MsgKind {
         MsgKind::AdaptRequest,
         MsgKind::AdaptReply,
         MsgKind::AdaptPush,
+        MsgKind::AdaptSub,
         MsgKind::Barrier,
         MsgKind::Lock,
         MsgKind::Translate,
@@ -79,6 +87,7 @@ impl MsgKind {
             MsgKind::AdaptRequest => "adapt-req",
             MsgKind::AdaptReply => "adapt-rep",
             MsgKind::AdaptPush => "adapt-push",
+            MsgKind::AdaptSub => "adapt-sub",
             MsgKind::Barrier => "barrier",
             MsgKind::Lock => "lock",
             MsgKind::Translate => "translate",
@@ -168,7 +177,11 @@ impl Stats {
 /// paging, and how its per-page modes churned. Plain (static-policy)
 /// runs never touch these, so they stay zero and cost nothing.
 ///
-/// Counters are per processor, like [`Stats`], and lock-free.
+/// Counters are per processor, like [`Stats`], and lock-free. Since
+/// plans carry a **phase identity** (the barrier site that issued
+/// them), every decision is additionally broken down per phase in a
+/// mutex-guarded side table — one lock round per barrier per
+/// processor, off every hot path.
 #[derive(Debug)]
 pub struct PolicyStats {
     epochs: Vec<AtomicU64>,
@@ -179,9 +192,13 @@ pub struct PolicyStats {
     deferred_plans: Vec<AtomicU64>,
     quiesced_plans: Vec<AtomicU64>,
     quiesced_pages: Vec<AtomicU64>,
+    subscriptions: Vec<AtomicU64>,
     promotions: Vec<AtomicU64>,
     demotions: Vec<AtomicU64>,
     probes: Vec<AtomicU64>,
+    /// Per-phase breakdown of the decision stream (summed over
+    /// processors; phases are app-level barrier-site tags).
+    phases: Mutex<BTreeMap<u32, PhasePolicyRow>>,
 }
 
 impl PolicyStats {
@@ -196,47 +213,89 @@ impl PolicyStats {
             deferred_plans: make(),
             quiesced_plans: make(),
             quiesced_pages: make(),
+            subscriptions: make(),
             promotions: make(),
             demotions: make(),
             probes: make(),
+            phases: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// One barrier epoch observed by `p`'s policy.
-    #[inline]
-    pub fn record_epoch(&self, p: ProcId) {
-        self.epochs[p].fetch_add(1, Ordering::Relaxed);
+    fn phase_row(&self, phase: u32, f: impl FnOnce(&mut PhasePolicyRow)) {
+        let mut map = self.phases.lock().unwrap();
+        let row = map.entry(phase).or_insert_with(|| PhasePolicyRow {
+            phase,
+            ..Default::default()
+        });
+        f(row);
     }
 
-    /// `p` issued one aggregated prefetch exchange covering `pages` pages.
+    /// One barrier epoch (tagged `phase`) observed by `p`'s policy.
     #[inline]
-    pub fn record_prefetch(&self, p: ProcId, pages: usize) {
+    pub fn record_epoch(&self, p: ProcId, phase: u32) {
+        self.epochs[p].fetch_add(1, Ordering::Relaxed);
+        self.phase_row(phase, |r| r.epochs += 1);
+    }
+
+    /// `p` issued one plan's worth of aggregated prefetch covering
+    /// `pages` pages, on behalf of `phase`. Rounds count *plans fired*,
+    /// not wire exchanges: when one fault triggers several phases'
+    /// deferred plans they merge into a single exchange, and a plan
+    /// partially quiesced at a cross-phase barrier can contribute both
+    /// a quiesce record and, later, a round for its live remainder.
+    #[inline]
+    pub fn record_prefetch(&self, p: ProcId, phase: u32, pages: usize) {
         self.prefetch_rounds[p].fetch_add(1, Ordering::Relaxed);
         self.prefetch_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
+        self.phase_row(phase, |r| {
+            r.prefetch_rounds += 1;
+            r.prefetch_pages += pages as u64;
+        });
     }
 
     /// `p` absorbed one round of writer-initiated update pushes covering
-    /// `pages` pages (update-push mode: no request leg on the wire).
+    /// `pages` pages (update-push mode: no request leg on the wire),
+    /// predicted by `phase`'s plan.
     #[inline]
-    pub fn record_push(&self, p: ProcId, pages: usize) {
+    pub fn record_push(&self, p: ProcId, phase: u32, pages: usize) {
         self.push_rounds[p].fetch_add(1, Ordering::Relaxed);
         self.push_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
+        self.phase_row(phase, |r| {
+            r.push_rounds += 1;
+            r.push_pages += pages as u64;
+        });
     }
 
-    /// `p`'s policy deferred its batched fetch to the epoch's first
-    /// demand fault instead of issuing it eagerly at the barrier.
+    /// `p`'s policy deferred `phase`'s batched fetch to the epoch's
+    /// first demand fault instead of issuing it eagerly at the barrier.
     #[inline]
-    pub fn record_deferred(&self, p: ProcId) {
+    pub fn record_deferred(&self, p: ProcId, phase: u32) {
         self.deferred_plans[p].fetch_add(1, Ordering::Relaxed);
+        self.phase_row(phase, |r| r.deferred_plans += 1);
     }
 
-    /// A deferred plan of `pages` pages at `p` was discarded untriggered
-    /// — the epoch (typically the run's final barrier) never touched the
-    /// predicted pages, so the whole exchange was saved.
+    /// A deferred plan of `pages` pages owned by `phase` at `p` was
+    /// discarded untriggered — its window closed (or the run ended)
+    /// without anything touching the predicted pages, so the exchange
+    /// was saved. A plan whose pages' windows close at *different*
+    /// barriers (cross-phase page sharing) quiesces in parts and can
+    /// contribute more than one record here.
     #[inline]
-    pub fn record_quiesced(&self, p: ProcId, pages: usize) {
+    pub fn record_quiesced(&self, p: ProcId, phase: u32, pages: usize) {
         self.quiesced_plans[p].fetch_add(1, Ordering::Relaxed);
         self.quiesced_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
+        self.phase_row(phase, |r| {
+            r.quiesced_plans += 1;
+            r.quiesced_pages += pages as u64;
+        });
+    }
+
+    /// `p` (a push-mode consumer) sent `peers` one-way subscription
+    /// messages because `phase`'s push schedule changed.
+    #[inline]
+    pub fn record_subscribe(&self, p: ProcId, phase: u32, peers: usize) {
+        self.subscriptions[p].fetch_add(peers as u64, Ordering::Relaxed);
+        self.phase_row(phase, |r| r.subscriptions += peers as u64);
     }
 
     /// `n` pages switched from demand paging to batched prefetch at `p`.
@@ -268,6 +327,7 @@ impl PolicyStats {
             &self.deferred_plans,
             &self.quiesced_plans,
             &self.quiesced_pages,
+            &self.subscriptions,
             &self.promotions,
             &self.demotions,
             &self.probes,
@@ -276,7 +336,35 @@ impl PolicyStats {
                 c.store(0, Ordering::Relaxed);
             }
         }
+        self.phases.lock().unwrap().clear();
     }
+}
+
+/// One phase's share of the policy-decision stream — the per-plan
+/// breakdown that shows *which barrier site* earned each quiesce or
+/// push round (summed over processors).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhasePolicyRow {
+    /// The barrier-site tag this row describes.
+    pub phase: u32,
+    /// Barrier epochs carrying this tag.
+    pub epochs: u64,
+    /// Aggregated prefetch exchanges issued by this phase's plans.
+    pub prefetch_rounds: u64,
+    /// Pages covered by those exchanges.
+    pub prefetch_pages: u64,
+    /// Writer-initiated push rounds predicted by this phase.
+    pub push_rounds: u64,
+    /// Pages covered by those push rounds.
+    pub push_pages: u64,
+    /// Plans this phase deferred to a first fault.
+    pub deferred_plans: u64,
+    /// Deferred plans of this phase discarded untriggered.
+    pub quiesced_plans: u64,
+    /// Pages covered by those quiesced plans.
+    pub quiesced_pages: u64,
+    /// One-way push-schedule subscription messages this phase cost.
+    pub subscriptions: u64,
 }
 
 /// Frozen totals of [`PolicyStats`] (summed over processors).
@@ -299,12 +387,18 @@ pub struct PolicyReport {
     pub quiesced_plans: u64,
     /// Pages covered by those quiesced plans.
     pub quiesced_pages: u64,
+    /// One-way push-schedule subscription messages (update-push mode:
+    /// one per peer per *changed* per-phase schedule).
+    pub subscriptions: u64,
     /// Demand → prefetch mode switches.
     pub promotions: u64,
     /// Prefetch → demand mode switches.
     pub demotions: u64,
     /// Probe epochs (prefetch withheld to re-validate the pattern).
     pub probes: u64,
+    /// Per-phase breakdown of the decision stream, sorted by phase tag.
+    /// Untagged runs put everything in phase 0.
+    pub per_phase: Vec<PhasePolicyRow>,
 }
 
 impl PolicyReport {
@@ -319,10 +413,17 @@ impl PolicyReport {
             deferred_plans: sum(&stats.deferred_plans),
             quiesced_plans: sum(&stats.quiesced_plans),
             quiesced_pages: sum(&stats.quiesced_pages),
+            subscriptions: sum(&stats.subscriptions),
             promotions: sum(&stats.promotions),
             demotions: sum(&stats.demotions),
             probes: sum(&stats.probes),
+            per_phase: stats.phases.lock().unwrap().values().copied().collect(),
         }
+    }
+
+    /// This report's row for `phase`, if the phase made any decisions.
+    pub fn phase(&self, phase: u32) -> Option<&PhasePolicyRow> {
+        self.per_phase.iter().find(|r| r.phase == phase)
     }
 
     /// Did any adaptive decision actually happen?
@@ -439,13 +540,14 @@ mod tests {
     #[test]
     fn policy_counters_roundtrip() {
         let s = PolicyStats::new(2);
-        s.record_epoch(0);
-        s.record_epoch(1);
-        s.record_prefetch(0, 12);
-        s.record_prefetch(1, 3);
-        s.record_push(0, 5);
-        s.record_deferred(1);
-        s.record_quiesced(1, 4);
+        s.record_epoch(0, 1);
+        s.record_epoch(1, 2);
+        s.record_prefetch(0, 1, 12);
+        s.record_prefetch(1, 2, 3);
+        s.record_push(0, 1, 5);
+        s.record_deferred(1, 2);
+        s.record_quiesced(1, 2, 4);
+        s.record_subscribe(0, 1, 3);
         s.record_promotions(0, 4);
         s.record_demotions(1, 1);
         s.record_probes(0, 2);
@@ -458,10 +560,24 @@ mod tests {
         assert_eq!(r.deferred_plans, 1);
         assert_eq!(r.quiesced_plans, 1);
         assert_eq!(r.quiesced_pages, 4);
+        assert_eq!(r.subscriptions, 3);
         assert_eq!(r.promotions, 4);
         assert_eq!(r.demotions, 1);
         assert_eq!(r.probes, 2);
         assert!(r.is_active());
+        // The per-phase breakdown splits the same stream by plan owner.
+        assert_eq!(r.per_phase.len(), 2);
+        let p1 = r.phase(1).unwrap();
+        assert_eq!(
+            (p1.epochs, p1.prefetch_rounds, p1.prefetch_pages, p1.push_rounds, p1.subscriptions),
+            (1, 1, 12, 1, 3)
+        );
+        let p2 = r.phase(2).unwrap();
+        assert_eq!(
+            (p2.prefetch_pages, p2.deferred_plans, p2.quiesced_plans, p2.quiesced_pages),
+            (3, 1, 1, 4)
+        );
+        assert!(r.phase(7).is_none());
         s.reset();
         let z = PolicyReport::capture(&s);
         assert_eq!(z, PolicyReport::default());

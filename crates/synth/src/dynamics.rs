@@ -26,6 +26,14 @@ pub enum Dynamics {
     /// multi-periodic need-gap pattern from the ROADMAP's untested
     /// adaptive directions (e.g. period 3 interleaved with period 5).
     MultiPeriodic { p1: usize, p2: usize },
+    /// Iterations alternate between two fixed lists: A, B, A, B, … —
+    /// the **two-phase multi-barrier regime** of the classic apps
+    /// (coordinate pages at one barrier, force chunks at the next) in
+    /// isolation. Each parity reads a different page set, so
+    /// consecutive barrier picks always differ and a globally-keyed
+    /// quiesce streak provably never fires; the kernel tags its
+    /// barriers per parity, and the phase-keyed engine locks both.
+    Alternating,
 }
 
 impl Dynamics {
@@ -36,6 +44,7 @@ impl Dynamics {
             Dynamics::PeriodicRemap { period } => format!("remap{period}"),
             Dynamics::Drift { per_mille } => format!("drift{per_mille}"),
             Dynamics::MultiPeriodic { p1, p2 } => format!("multi{p1}x{p2}"),
+            Dynamics::Alternating => "alt2".into(),
         }
     }
 
@@ -48,6 +57,7 @@ impl Dynamics {
             Dynamics::PeriodicRemap { period } => (iter / period) as u64,
             Dynamics::Drift { .. } => iter as u64,
             Dynamics::MultiPeriodic { p1, p2 } => (((iter / p1) as u64) << 32) | (iter / p2) as u64,
+            Dynamics::Alternating => (iter % 2) as u64,
         }
     }
 
@@ -101,6 +111,9 @@ pub fn raw_for_iter(
                 mix(seed ^ 0xA0A0, (iter / p2) as u64),
             ));
             raw
+        }
+        Dynamics::Alternating => {
+            structure.gen_raw(n, refs, mix(seed ^ 0xA172, (iter % 2) as u64))
         }
     }
 }
@@ -195,12 +208,26 @@ mod tests {
     }
 
     #[test]
+    fn alternating_reuses_exactly_two_lists() {
+        let d = Dynamics::Alternating;
+        let versions: Vec<u64> = (0..8).map(|i| d.version(i)).collect();
+        assert_eq!(versions, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!((1..8).all(|i| d.remaps_at(i)), "every iteration flips");
+        let a0 = raw_for_iter(&S, &d, 256, 512, 1, 0);
+        let b1 = raw_for_iter(&S, &d, 256, 512, 1, 1);
+        assert_ne!(a0, b1, "the two lists differ");
+        assert_eq!(a0, raw_for_iter(&S, &d, 256, 512, 1, 2), "A repeats");
+        assert_eq!(b1, raw_for_iter(&S, &d, 256, 512, 1, 3), "B repeats");
+    }
+
+    #[test]
     fn normalized_lists_nonempty_for_all_dynamics() {
         for d in [
             Dynamics::Static,
             Dynamics::PeriodicRemap { period: 3 },
             Dynamics::Drift { per_mille: 10 },
             Dynamics::MultiPeriodic { p1: 3, p2: 5 },
+            Dynamics::Alternating,
         ] {
             for it in 0..8 {
                 assert!(!normalize(&raw_for_iter(&S, &d, 128, 400, 9, it)).is_empty());

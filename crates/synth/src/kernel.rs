@@ -28,7 +28,17 @@ use chaos::{
     TTableKind,
 };
 
-use crate::{SynthConfig, SynthWorld, TmkMode};
+use crate::{Dynamics, SynthConfig, SynthWorld, TmkMode};
+
+/// Barrier-site phase tag of the end-of-iteration barrier (see
+/// `apps::phases` for the idea). Under [`Dynamics::Alternating`] the
+/// tag is split by iteration parity — the two interleaved lists are two
+/// distinct sites, exactly like a classic app's alternating barriers.
+pub const PHASE_ITER: u32 = 2;
+
+/// Barrier-site phase tag of the post-rebuild barrier (parity-split
+/// under [`Dynamics::Alternating`], like [`PHASE_ITER`]).
+pub const PHASE_REMAP: u32 = 4;
 
 /// Modeled cost of one incident-flux evaluation (per visit; cross-block
 /// pairs are evaluated by both endpoint owners, as in umesh).
@@ -173,6 +183,18 @@ pub fn run_tmk(
 
     let cap = Capture::new(nprocs);
 
+    // Phase identity of the kernel's two barrier sites: constant tags
+    // normally; split by iteration parity for the alternating cell so
+    // its two interleaved lists register as two plans.
+    let alternating = cfg.dynamics == Dynamics::Alternating;
+    let site = move |base: u32, it: usize| {
+        if alternating {
+            base + (it % 2) as u32
+        } else {
+            base
+        }
+    };
+
     cl.run(|p| {
         if mode.is_adaptive() {
             let knobs = adapt::AdaptConfig {
@@ -207,7 +229,10 @@ pub fn run_tmk(
         }
         let mut cur_ver = world.version_of_iter[0];
         write_section(p, &pl.flat[cur_ver][me]);
-        p.barrier();
+        // The init barrier covers iteration 0's reads, i.e. it stands
+        // where the end-of-iteration barrier of a (virtual) iteration
+        // −1 would: same site, so that phase's event axis starts here.
+        p.barrier_tagged(site(PHASE_ITER, 1));
         p.start_timed_region();
         p.reset_counters();
 
@@ -218,7 +243,7 @@ pub fn run_tmk(
                 // rewrite this processor's section of the shared list.
                 write_section(p, &pl.flat[ver][me]);
                 p.compute(work::t(REMAP_US, cfg.refs / nprocs));
-                p.barrier();
+                p.barrier_tagged(site(PHASE_REMAP, it));
                 cur_ver = ver;
             }
             let my_flat = pl.flat[ver][me].len();
@@ -268,7 +293,7 @@ pub fn run_tmk(
                 let cur = p.read(&x, i);
                 p.write(&x, i, cur + acc[li]);
             }
-            p.barrier();
+            p.barrier_tagged(site(PHASE_ITER, it));
         }
 
         cap.freeze_tmk(me, &cl);

@@ -10,8 +10,10 @@
 //!   grid-local;
 //! * [`Dynamics`] — how the indirection array evolves: static (nbf's
 //!   regime), wholesale periodic remap every `k` iterations (moldyn's,
-//!   parameterized), incremental drift, or *multi-periodic* interleaved
-//!   remaps (the ROADMAP's untested adaptive direction).
+//!   parameterized), incremental drift, *multi-periodic* interleaved
+//!   remaps (the ROADMAP's untested adaptive direction), or
+//!   *alternating* two-list iterations (the classic apps' two-phase
+//!   barrier structure in isolation — the phase-keyed quiesce regime).
 //!
 //! Every `(structure, dynamics, nprocs)` cell drives the same generic
 //! gather–compute–scatter reduction kernel ([`kernel`]) with
@@ -43,7 +45,7 @@ pub mod kernel;
 pub mod structure;
 
 pub use dynamics::{drift_round, raw_for_iter, Dynamics};
-pub use kernel::{run_chaos, run_seq, run_tmk, REF_US, REMAP_US};
+pub use kernel::{run_chaos, run_seq, run_tmk, PHASE_ITER, PHASE_REMAP, REF_US, REMAP_US};
 pub use structure::{degrees, normalize, Structure};
 
 use std::collections::HashMap;
@@ -233,7 +235,7 @@ impl Workload for Scenario {
 }
 
 /// The scenario grid `table_synth` sweeps: structure × dynamics ×
-/// nprocs. The quick grid is 18 cells (3 structures × 5 dynamics at 4
+/// nprocs. The quick grid is 21 cells (3 structures × 6 dynamics at 4
 /// processors, plus the 3 static cells again at 8 processors); the full
 /// grid is the same shape at paper scale.
 pub fn scenario_grid(quick: bool) -> Vec<SynthConfig> {
@@ -260,6 +262,7 @@ pub fn scenario_grid(quick: bool) -> Vec<SynthConfig> {
         Dynamics::PeriodicRemap { period: 5 },
         Dynamics::Drift { per_mille: 25 },
         Dynamics::MultiPeriodic { p1: 3, p2: 5 },
+        Dynamics::Alternating,
     ];
     let make = |s: &Structure, d: &Dynamics| {
         if quick {

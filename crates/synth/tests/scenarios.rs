@@ -63,6 +63,7 @@ fn adaptive_never_exceeds_base_across_dynamics() {
         Dynamics::PeriodicRemap { period: 3 },
         Dynamics::Drift { per_mille: 25 },
         Dynamics::MultiPeriodic { p1: 3, p2: 5 },
+        Dynamics::Alternating,
     ] {
         let m = run_matrix(&Scenario::new(tiny(Structure::Uniform, dynamics.clone())));
         let base = m.get(Variant::TmkBase).report.messages;
@@ -139,6 +140,42 @@ fn quiesce_saves_the_final_barrier_prefetch_on_identical_epochs() {
         "quiesce {} !< eager {}",
         quiet.messages,
         eager.messages
+    );
+}
+
+#[test]
+fn alternating_two_phase_cell_quiesces_per_phase() {
+    // The two-phase multi-barrier regime in isolation: iterations
+    // alternate between two lists, the kernel tags its barriers by
+    // parity, and each parity's picks are identical epoch over epoch —
+    // so both phases build streaks, defer their steady plans, and the
+    // final plans die untriggered. A globally-keyed streak provably
+    // never fires here (consecutive barrier picks always differ — the
+    // pinned contrast lives in crates/adapt/tests/phase_keyed.rs).
+    let mut cfg = tiny(Structure::Uniform, Dynamics::Alternating);
+    cfg.iters = 16; // 8 epochs per parity: promote, streak, quiesce
+    let m = run_matrix(&Scenario::new(cfg));
+    let base = &m.get(Variant::TmkBase).report;
+    let ad = &m.get(Variant::TmkAdaptive).report;
+    assert!(ad.messages <= base.messages);
+    let pol = ad.policy.as_ref().expect("adaptive policy report");
+    assert!(pol.deferred_plans > 0, "per-parity streaks must defer");
+    assert!(
+        pol.quiesced_plans > 0,
+        "the final plans must die untriggered"
+    );
+    // The breakdown shows *both* parity phases of the iteration barrier
+    // participated in the deferral (phase tags 2 and 3 = PHASE_ITER +
+    // parity).
+    let deferring: Vec<u32> = pol
+        .per_phase
+        .iter()
+        .filter(|r| r.deferred_plans > 0)
+        .map(|r| r.phase)
+        .collect();
+    assert!(
+        deferring.contains(&synth::PHASE_ITER) && deferring.contains(&(synth::PHASE_ITER + 1)),
+        "both parities must build streaks, got {deferring:?}"
     );
 }
 
