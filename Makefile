@@ -14,8 +14,13 @@ test:
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
 
+# Microbenchmarks + the committed machine-readable snapshot: the shim
+# appends one JSON line per bench to CRITERION_JSON; bench_json merges
+# those with the in-simulation message counts into BENCH_6.json.
 bench:
-	cargo bench
+	rm -f target/criterion.jsonl
+	CRITERION_JSON=$(CURDIR)/target/criterion.jsonl cargo bench
+	CRITERION_JSON=$(CURDIR)/target/criterion.jsonl cargo run --release -p bench --bin bench_json
 
 examples:
 	cargo run --release --example quickstart
@@ -46,7 +51,8 @@ synth:
 # PROPTEST_SEED for exact replay and a shrunk minimal input) + the
 # adaptive and scenario-matrix acceptance smokes.
 soak:
-	PROPTEST_CASES=512 cargo test -q -p chaos -p dsm -p adapt -p synth
+	PROPTEST_CASES=512 cargo test -q -p chaos -p dsm -p adapt
+	PROPTEST_CASES=96 cargo test -q -p synth
 	cargo run --release -p bench --bin table_adapt -- --quick
 	cargo run --release -p bench --bin table_synth -- --quick
 

@@ -241,6 +241,12 @@ impl PageEntry {
 
 /// One phase's (barrier site's) learned state: its own per-page event
 /// tables and its own quiesce streak.
+///
+/// Scaling contract (see ARCHITECTURE.md): `table` is a dense
+/// page-indexed vector — no hashing, nothing keyed by peer processor —
+/// so `epoch_end` at 256 processors walks only the pages this barrier
+/// invalidated, never a per-peer structure. The only bounded shifts are
+/// the per-page gap ring (≤ `history_window` ≤ 64 entries).
 #[derive(Debug, Clone)]
 struct PhaseState {
     phase: u32,

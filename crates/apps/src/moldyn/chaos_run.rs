@@ -221,7 +221,8 @@ fn gather3(cp: &mut chaos::ChaosProc, sched: &chaos::CommSchedule, data: &mut Gh
     let cost = cp.net().cost().clone();
     let mut out = Vec::new();
     let mut packed = 0usize;
-    for (q, list) in sched.send.iter().enumerate() {
+    for q in 0..cp.nprocs() {
+        let list = sched.send(q);
         if q == me || list.is_empty() {
             continue;
         }
@@ -248,7 +249,8 @@ fn scatter3(cp: &mut chaos::ChaosProc, sched: &chaos::CommSchedule, data: &mut G
     let cost = cp.net().cost().clone();
     let mut out = Vec::new();
     let mut packed = 0usize;
-    for (q, list) in sched.recv.iter().enumerate() {
+    for q in 0..cp.nprocs() {
+        let list = sched.recv(q);
         if q == me || list.is_empty() {
             continue;
         }
@@ -260,7 +262,7 @@ fn scatter3(cp: &mut chaos::ChaosProc, sched: &chaos::CommSchedule, data: &mut G
     cp.compute(cost.pack(packed));
     let incoming = cp.exchange_f64(MsgKind::Scatter, out);
     for (from, vals) in incoming {
-        let list = &sched.send[from];
+        let list = sched.send(from);
         for (k, &o) in list.iter().enumerate() {
             let b = 3 * o as usize;
             for d in 0..3 {

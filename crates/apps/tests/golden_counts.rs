@@ -28,6 +28,14 @@
 //!   194 → 206 is exactly its 12 subscription messages; moldyn and nbf
 //!   add their prediction shifts on top).
 //!
+//! PR 6 flattened the O(nprocs) metadata layers (sparse delta clocks on
+//! the wire, the flat barrier notice digest, page-indexed stores) for
+//! 64–256-processor runs. At these 4/8-processor scales every clock
+//! still travels in the dense encoding — billed exactly as before by
+//! construction — so **every row here stays byte-identical**; the
+//! sparse regime is covered by the `nprocs ∈ {16, 64}` properties in
+//! `synth/tests/properties.rs` and the `table_synth` scale cells.
+//!
 //! If a *protocol* change legitimately shifts these numbers, update the
 //! table below in the same commit and say why in its message.
 

@@ -1,0 +1,111 @@
+//! Collect the machine-readable benchmark snapshot `BENCH_6.json`.
+//!
+//! `make bench` runs `cargo bench` with `CRITERION_JSON` pointing at a
+//! JSON-lines sink (one `{"name": ..., "ns": ...}` per microbenchmark,
+//! written by the criterion shim), then runs this collector, which
+//! merges:
+//!
+//! * the per-benchmark best-of-batches nanoseconds (last line wins if a
+//!   bench ran twice);
+//! * the per-variant **message totals** of the three classic apps at
+//!   their small sizes (the numbers `golden_counts.rs` pins — counted
+//!   in-simulation, so they are machine-independent);
+//! * the barrier notice-metadata probe at 16 and 64 processors (the
+//!   scaling figure `table_synth` asserts).
+//!
+//! The output is committed so a diff of protocol counts shows up in
+//! review like a golden-file change; the wall-clock ns are a snapshot
+//! of the machine that last ran `make bench` and are expected to drift.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use apps::workload::{run_matrix, MoldynWorkload, NbfWorkload, UmeshWorkload, Variant};
+use apps::moldyn::MoldynConfig;
+use apps::nbf::NbfConfig;
+use apps::umesh::UmeshConfig;
+use synth::{notice_meta_probe, Dynamics, Structure, SynthConfig};
+
+fn main() {
+    let sink = std::env::var("CRITERION_JSON")
+        .unwrap_or_else(|_| "target/criterion.jsonl".to_string());
+    let mut ns: BTreeMap<String, f64> = BTreeMap::new();
+    if let Ok(lines) = std::fs::read_to_string(&sink) {
+        for line in lines.lines() {
+            if let Some((name, v)) = parse_line(line) {
+                ns.insert(name, v); // last line per name wins
+            }
+        }
+    } else {
+        eprintln!("note: no criterion sink at {sink}; emitting counts only");
+    }
+
+    let variants = [
+        (Variant::TmkBase, "tmk_base"),
+        (Variant::TmkOpt, "tmk_opt"),
+        (Variant::TmkAdaptive, "tmk_adaptive"),
+        (Variant::TmkPush, "tmk_push"),
+        (Variant::Chaos, "chaos"),
+    ];
+    let mut messages: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    for (label, matrix) in [
+        ("moldyn_small", run_matrix(&MoldynWorkload::new(MoldynConfig::small()))),
+        ("nbf_small", run_matrix(&NbfWorkload::new(NbfConfig::small()))),
+        ("umesh_small", run_matrix(&UmeshWorkload::new(UmeshConfig::small()))),
+    ] {
+        let row = variants
+            .iter()
+            .map(|&(v, tag)| (tag, matrix.get(v).report.messages))
+            .collect();
+        messages.insert(label, row);
+    }
+
+    // The metadata-scaling probe at the sizes table_synth asserts.
+    let probe = |nprocs: usize| {
+        let mut cfg = SynthConfig::quick(Structure::Uniform, Dynamics::Static);
+        cfg.n = 8192;
+        cfg.refs = 12288;
+        cfg.iters = 6;
+        cfg.nprocs = nprocs;
+        notice_meta_probe(&cfg, &synth::gen_world(&cfg))
+    };
+    let (nb16, nb64) = (probe(16), probe(64));
+
+    let mut out = String::from("{\n  \"benches_ns\": {\n");
+    let rows: Vec<String> = ns
+        .iter()
+        .map(|(name, v)| format!("    \"{name}\": {v:.1}"))
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  },\n  \"message_totals\": {\n");
+    let rows: Vec<String> = messages
+        .iter()
+        .map(|(label, row)| {
+            let cells: Vec<String> =
+                row.iter().map(|(tag, m)| format!("\"{tag}\": {m}")).collect();
+            format!("    \"{label}\": {{ {} }}", cells.join(", "))
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    let _ = write!(
+        out,
+        "\n  }},\n  \"notice_meta_bytes\": {{ \"p16\": {nb16}, \"p64\": {nb64} }}\n}}\n"
+    );
+
+    std::fs::write("BENCH_6.json", &out).expect("write BENCH_6.json");
+    println!("wrote BENCH_6.json ({} benches, 3 apps, notice probe)", ns.len());
+}
+
+/// Minimal parse of one `{"name":"...","ns":...}` sink line.
+fn parse_line(line: &str) -> Option<(String, f64)> {
+    let name_start = line.find("\"name\":\"")? + 8;
+    let name_end = name_start + line[name_start..].find('"')?;
+    let ns_start = line.find("\"ns\":")? + 5;
+    let ns_end = line[ns_start..]
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .map_or(line.len(), |k| ns_start + k);
+    Some((
+        line[name_start..name_end].to_string(),
+        line[ns_start..ns_end].parse().ok()?,
+    ))
+}

@@ -31,7 +31,7 @@ use apps::workload::{
     run_matrix, MoldynWorkload, NbfWorkload, UmeshWorkload, Variant, WorkloadMatrix,
 };
 use bench::Scale;
-use synth::{scenario_grid, Dynamics, Scenario};
+use synth::{notice_meta_probe, scenario_grid, Dynamics, Scenario, Structure, SynthConfig};
 
 fn print_matrix_row(m: &WorkloadMatrix) {
     let cell = |v: Variant| {
@@ -104,9 +104,42 @@ fn main() {
     println!("\n{ncells}-cell grid: all six variants bitwise-identical per scenario,");
     println!("push ≤ adaptive ≤ plain Tmk messages everywhere, CHAOS won all {static_wins} static cells  ✓");
 
+    notice_scaling_probe();
+
     if quick {
         classic_apps_through_trait();
     }
+}
+
+/// The barrier-metadata scaling check: the same fixed-size workload at
+/// 16 and 64 processors (both past the dense-clock cutoff, so both use
+/// the sparse delta encoding). With the flat digest and delta clocks,
+/// the per-barrier notice payload is ~`12·nwriters + 4·pages`: the
+/// page term is constant in nprocs for a fixed problem, so quadrupling
+/// the cluster must *not* quadruple the bytes. The dense O(nprocs)
+/// clock-per-record encoding this replaced fails this assertion.
+fn notice_scaling_probe() {
+    let probe = |nprocs: usize| {
+        let mut cfg = SynthConfig::quick(Structure::Uniform, synth::Dynamics::Static);
+        cfg.n = 8192; // 128 pages of 512 B — ≥ 2 per proc at both sizes
+        cfg.refs = 12288;
+        cfg.iters = 6;
+        cfg.nprocs = nprocs;
+        let world = synth::gen_world(&cfg);
+        notice_meta_probe(&cfg, &world)
+    };
+    let nb16 = probe(16);
+    let nb64 = probe(64);
+    println!(
+        "\nbarrier notice metadata, same workload: p16 {nb16} B, p64 {nb64} B ({:.2}x for 4x procs)",
+        nb64 as f64 / nb16 as f64
+    );
+    assert!(nb16 > 0 && nb64 > 0, "probe counted no notice metadata");
+    assert!(
+        nb64 < 4 * nb16,
+        "barrier metadata super-linear in nprocs: p64 {nb64} B vs p16 {nb16} B"
+    );
+    println!("metadata cost ~linear in nprocs (64-proc < 4x the 16-proc bytes)  ✓");
 }
 
 /// The refactor-safety check: each classic app, run through the

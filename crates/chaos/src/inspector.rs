@@ -31,23 +31,55 @@ pub enum Loc {
 /// A communication schedule: for each peer, which of *its* elements we
 /// receive (gather) and which of *ours* we send (the mirror lists), plus
 /// the ghost-slot directory.
+///
+/// Both per-peer list families are flat CSR (one offsets array + one
+/// backing array), not `Vec<Vec<u32>>`: a 256-processor schedule with a
+/// handful of actual neighbors used to carry 256 heap allocations per
+/// direction; now it carries two.
 #[derive(Debug, Clone, Default)]
 pub struct CommSchedule {
-    /// `recv[q][k]` = local offset (at q) of the k-th element we receive
-    /// from q; our ghost area concatenates these lists in q order.
-    pub recv: Vec<Vec<u32>>,
-    /// `send[q][k]` = local offset (ours) of the k-th element we send to
-    /// q in a gather (and receive-and-accumulate in a scatter).
-    pub send: Vec<Vec<u32>>,
+    /// Backing array of receive lists: local offsets (at the owner) of
+    /// the elements we receive, ascending per owner, concatenated in
+    /// owner order. [`CommSchedule::ghost_starts`] is its CSR offsets
+    /// array — the ghost area and the receive lists correspond slot for
+    /// slot by construction.
+    recv_idx: Vec<u32>,
+    /// CSR offsets into [`CommSchedule::send_idx`]: peer `q`'s segment
+    /// is `send_idx[send_starts[q]..send_starts[q+1]]`.
+    send_starts: Vec<u32>,
+    /// Backing array of send lists: local offsets (ours) of the
+    /// elements we send to each peer in a gather (and
+    /// receive-and-accumulate in a scatter).
+    send_idx: Vec<u32>,
     /// Ghost slot of a remote element, keyed by `(owner << 32) | offset`.
     ghost_of: HashMap<u64, u32>,
-    /// Start of each peer's segment in the ghost area.
+    /// Start of each peer's segment in the ghost area — also the CSR
+    /// offsets of [`CommSchedule::recv_idx`].
     pub ghost_starts: Vec<u32>,
 }
 
 impl CommSchedule {
     pub fn ghost_count(&self) -> usize {
         self.ghost_of.len()
+    }
+
+    /// Local offsets (at `q`) of the elements we receive from `q`,
+    /// ascending. Empty for unknown peers (e.g. a default schedule).
+    #[inline]
+    pub fn recv(&self, q: ProcId) -> &[u32] {
+        match self.ghost_starts.get(q..=q + 1) {
+            Some(&[a, b]) => &self.recv_idx[a as usize..b as usize],
+            _ => &[],
+        }
+    }
+
+    /// Local offsets (ours) of the elements we send to `q`.
+    #[inline]
+    pub fn send(&self, q: ProcId) -> &[u32] {
+        match self.send_starts.get(q..=q + 1) {
+            Some(&[a, b]) => &self.send_idx[a as usize..b as usize],
+            _ => &[],
+        }
     }
 
     /// Resolve a `(owner, offset)` pair to a local location.
@@ -62,7 +94,7 @@ impl CommSchedule {
 
     /// Total elements moved per gather/scatter.
     pub fn traffic_elems(&self) -> usize {
-        self.send.iter().map(Vec::len).sum()
+        self.send_idx.len()
     }
 }
 
@@ -110,46 +142,54 @@ pub fn inspector(
     // Translate (collective for non-replicated tables).
     let translated = ttable.lookup_batch(cp, &distinct, cache);
 
-    // Receive lists: remote elements grouped by owner, sorted by offset.
-    let mut recv: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
-    for &(owner, off) in &translated {
-        if owner != me {
-            recv[owner].push(off);
-        }
-    }
-    for list in &mut recv {
-        list.sort_unstable();
-        list.dedup();
-    }
+    // Receive lists in CSR form: the remote (owner, offset) pairs,
+    // sorted, are already the per-owner segments (ascending offsets
+    // within each owner) laid out back to back.
+    let mut remote: Vec<(ProcId, u32)> = translated
+        .into_iter()
+        .filter(|&(owner, _)| owner != me)
+        .collect();
+    remote.sort_unstable();
+    remote.dedup();
+    let recv_idx: Vec<u32> = remote.iter().map(|&(_, off)| off).collect();
 
-    // Ghost directory: concatenate per-owner segments.
+    // Ghost directory: a remote element's ghost slot is its rank in the
+    // sorted receive order.
     let mut ghost_of = HashMap::new();
     let mut ghost_starts = vec![0u32; nprocs + 1];
-    let mut next = 0u32;
-    for q in 0..nprocs {
-        ghost_starts[q] = next;
-        for &off in &recv[q] {
-            ghost_of.insert(key(q, off), next);
-            next += 1;
-        }
+    for (slot, &(owner, off)) in remote.iter().enumerate() {
+        ghost_of.insert(key(owner, off), slot as u32);
+        ghost_starts[owner + 1] += 1;
     }
-    ghost_starts[nprocs] = next;
+    for q in 0..nprocs {
+        ghost_starts[q + 1] += ghost_starts[q];
+    }
 
     // Schedule exchange: tell each owner what we need; what we receive
     // back (as requests from others) becomes our send lists.
     let out: Vec<(ProcId, Vec<u32>)> = (0..nprocs)
-        .filter(|&q| q != me && !recv[q].is_empty())
-        .map(|q| (q, recv[q].clone()))
+        .filter(|&q| q != me && ghost_starts[q] != ghost_starts[q + 1])
+        .map(|q| {
+            let seg = ghost_starts[q] as usize..ghost_starts[q + 1] as usize;
+            (q, recv_idx[seg].to_vec())
+        })
         .collect();
-    let incoming = cp.exchange_u32(MsgKind::Schedule, out);
-    let mut send: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+    let mut incoming = cp.exchange_u32(MsgKind::Schedule, out);
+    incoming.sort_unstable_by_key(|&(from, _)| from);
+    let mut send_starts = vec![0u32; nprocs + 1];
+    let mut send_idx = Vec::new();
     for (from, wants) in incoming {
-        send[from] = wants;
+        send_starts[from + 1] = wants.len() as u32;
+        send_idx.extend_from_slice(&wants);
+    }
+    for q in 0..nprocs {
+        send_starts[q + 1] += send_starts[q];
     }
 
     CommSchedule {
-        recv,
-        send,
+        recv_idx,
+        send_starts,
+        send_idx,
         ghost_of,
         ghost_starts,
     }
@@ -180,14 +220,15 @@ mod tests {
             let sched = inspector(cp, &tt, &mut cache, refs.iter().copied());
             assert_eq!(sched.ghost_count(), 2);
             if me == 0 {
-                assert_eq!(sched.recv[1], vec![0, 1]); // q1-local offsets of 4,5
-                assert_eq!(sched.send[1], vec![0, 1]); // my 0,1 (q1 wants)
+                assert_eq!(sched.recv(1), [0, 1]); // q1-local offsets of 4,5
+                assert_eq!(sched.send(1), [0, 1]); // my 0,1 (q1 wants)
                 assert_eq!(sched.locate(0, 0, 2), Loc::Own(2));
                 assert_eq!(sched.locate(0, 1, 0), Loc::Ghost(0));
                 assert_eq!(sched.locate(0, 1, 1), Loc::Ghost(1));
             } else {
-                assert_eq!(sched.recv[0], vec![0, 1]);
+                assert_eq!(sched.recv(0), [0, 1]);
                 assert_eq!(sched.traffic_elems(), 2);
+                assert!(sched.recv(7).is_empty(), "out-of-range peer is empty");
             }
         });
         let r = w.report();

@@ -45,6 +45,21 @@ impl TTableCache {
     }
 }
 
+/// Group storer-sorted `(storer, value)` pairs into the per-peer
+/// message lists an exchange wants — the flat replacement for the old
+/// `Vec<Vec<u32>>` scratch indexed by processor.
+fn group_csr(flat: &[(ProcId, u32)]) -> Vec<(ProcId, Vec<u32>)> {
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < flat.len() {
+        let s = flat[k].0;
+        let end = k + flat[k..].iter().take_while(|e| e.0 == s).count();
+        out.push((s, flat[k..end].iter().map(|e| e.1).collect()));
+        k = end;
+    }
+    out
+}
+
 /// The translation table.
 #[derive(Debug, Clone)]
 pub struct TTable {
@@ -131,20 +146,17 @@ impl TTable {
             }
             TTableKind::Distributed => {
                 // Superstep 1 — requests: group remote ids by storing
-                // processor, 4 B per id.
-                let mut per_storer: Vec<Vec<u32>> = vec![Vec::new(); self.nprocs];
-                for &e in ids {
-                    let s = self.storer(e);
-                    if s != me {
-                        per_storer[s].push(e);
-                    }
-                }
-                let out: Vec<(ProcId, Vec<u32>)> = per_storer
-                    .into_iter()
-                    .enumerate()
-                    .filter(|(q, v)| *q != me && !v.is_empty())
+                // processor, 4 B per id. Flat sort-and-group, not a
+                // `Vec<Vec<u32>>` scratch of nprocs allocations: the
+                // stable sort keys only on the storer, so each group
+                // keeps the caller's id order.
+                let mut flat: Vec<(ProcId, u32)> = ids
+                    .iter()
+                    .map(|&e| (self.storer(e), e))
+                    .filter(|&(s, _)| s != me)
                     .collect();
-                let requests = cp.exchange_u32(MsgKind::Translate, out);
+                flat.sort_by_key(|&(s, _)| s);
+                let requests = cp.exchange_u32(MsgKind::Translate, group_csr(&flat));
                 // Superstep 2 — replies: each storer answers with 8 B per
                 // requested entry (owner + offset), charging its own
                 // lookup work.
@@ -164,22 +176,18 @@ impl TTable {
                     .collect()
             }
             TTableKind::Paged { entries_per_page } => {
-                // Superstep 1 — page requests for uncached table pages.
-                let mut want: Vec<Vec<u32>> = vec![Vec::new(); self.nprocs];
+                // Superstep 1 — page requests for uncached table pages,
+                // grouped by storer the same flat way as `Distributed`.
+                let mut flat: Vec<(ProcId, u32)> = Vec::new();
                 for &e in ids {
                     let page = e / entries_per_page as u32;
                     let s = self.storer(e);
-                    if s != me && !cache.pages.contains(&page) {
-                        cache.pages.insert(page);
-                        want[s].push(page);
+                    if s != me && cache.pages.insert(page) {
+                        flat.push((s, page));
                     }
                 }
-                let out: Vec<(ProcId, Vec<u32>)> = want
-                    .into_iter()
-                    .enumerate()
-                    .filter(|(q, v)| *q != me && !v.is_empty())
-                    .collect();
-                let requests = cp.exchange_u32(MsgKind::Translate, out);
+                flat.sort_by_key(|&(s, _)| s);
+                let requests = cp.exchange_u32(MsgKind::Translate, group_csr(&flat));
                 // Superstep 2 — whole table pages come back.
                 let replies: Vec<(ProcId, Vec<u8>)> = requests
                     .into_iter()

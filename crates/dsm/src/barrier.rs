@@ -12,7 +12,7 @@
 //! processor can race ahead and publish new intervals while stragglers
 //! still read the snapshot.
 
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 use parking_lot::Mutex;
 use simnet::{MsgKind, SimTime};
@@ -34,6 +34,11 @@ struct BarrierState {
     /// Vector clock of the *previous* barrier — the GC fold horizon
     /// (records older than one full barrier epoch go to the master).
     prev: Vc,
+    /// Flat write-notice digest of this barrier: `(page, proc, seq)` for
+    /// every notice in `(prev target, target]`, built once by the leader
+    /// and consumed by every processor in Phase B — the per-peer board
+    /// re-walk this replaces was O(nprocs²) work per barrier.
+    digest: Arc<[(u32, u32, u32)]>,
     epoch: u64,
 }
 
@@ -44,6 +49,7 @@ impl BarrierCtl {
             state: Mutex::new(BarrierState {
                 target: vec![0; nprocs],
                 prev: vec![0; nprocs],
+                digest: Arc::new([]),
                 epoch: 0,
             }),
         }
@@ -88,12 +94,27 @@ impl TmkProc<'_> {
 
             // Account the 2(n-1) barrier messages. Arrival messages carry
             // each processor's notices since the last barrier; departure
-            // messages carry everyone else's.
+            // messages carry everyone else's. The same single pass over
+            // the new intervals also builds the flat notice digest every
+            // processor merges in Phase B.
             let manager = 0usize;
+            let mut digest: Vec<(u32, u32, u32)> = Vec::new();
             let deltas: Vec<usize> = (0..nprocs)
-                .map(|q| cl.board().range_bytes(q, st.target[q], new_target[q]))
+                .map(|q| {
+                    let mut bytes = 0usize;
+                    cl.board().for_range(q, st.target[q], new_target[q], |seq, rec| {
+                        bytes += rec.wire_bytes();
+                        for &page in rec.pages.iter() {
+                            digest.push((page, q as u32, seq));
+                        }
+                    });
+                    bytes
+                })
                 .collect();
             let total: usize = deltas.iter().sum();
+            // Metadata-scaling probe: the per-barrier notice payload,
+            // counted once (not per fan-in/fan-out copy).
+            net.add_notice_meta(total as u64);
             for (p, &delta) in deltas.iter().enumerate() {
                 if p == manager {
                     continue;
@@ -119,16 +140,18 @@ impl TmkProc<'_> {
             cl.store().fold(&prev);
 
             st.target = new_target;
+            st.digest = digest.into();
             st.epoch += 1;
         }
 
-        // Phase B: snapshot is ready; merge notices.
+        // Phase B: snapshot is ready; merge notices from the shared
+        // digest (one flat pass, no per-peer board walks).
         ctl.rendezvous.wait();
-        let (target, epoch) = {
+        let (target, digest, epoch) = {
             let st = ctl.state.lock();
-            (st.target.clone(), st.epoch)
+            (st.target.clone(), Arc::clone(&st.digest), st.epoch)
         };
-        let invalidated = self.apply_notices(&target, true);
+        let invalidated = self.apply_digest(&digest, &target);
         self.inner.counters.barriers += 1;
         self.inner.last_barrier_seen.copy_from_slice(&target);
 

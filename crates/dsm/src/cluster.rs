@@ -147,7 +147,7 @@ impl Cluster {
                         .lock()
                         .take()
                         .expect("processor state in use — nested run()?");
-                    inner.ensure_frames(npages, self.cfg.nprocs);
+                    inner.ensure_frames(npages);
                     let mut p = TmkProc {
                         cl: self,
                         me: rank,

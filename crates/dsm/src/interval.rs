@@ -36,6 +36,69 @@ pub fn vc_key(vc: &[u32], proc: ProcId, seq: u32) -> (u64, usize, u32) {
     (vc.iter().map(|&v| v as u64).sum(), proc, seq)
 }
 
+/// Clusters at or below this size ship the full dense vector clock on
+/// the wire (`4 * nprocs` bytes); larger clusters switch to the sparse
+/// delta encoding of [`CompactVc`]. Eight matches the paper's cluster
+/// size, so the reviewed tables are unaffected by the sparse format.
+pub const DENSE_VC_MAX: usize = 8;
+
+/// Wire encoding of a vector clock relative to a shared `base` clock.
+///
+/// Both sides of a notice exchange already agree on the previous
+/// barrier's target clock (every processor adopts it at departure), so
+/// an interval only needs to ship the components that advanced past it:
+/// the closing processor's own (always), plus any learned through lock
+/// acquires since. At 256 processors an interval that advanced two
+/// ranks costs 20 bytes instead of 1024.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactVc {
+    /// Small cluster: the full clock, `4 * nprocs` wire bytes.
+    Dense(Vec<u32>),
+    /// Large cluster: `(rank, seq)` pairs for ranks with
+    /// `vc[rank] > base[rank]`; 4-byte count header + 8 bytes per pair.
+    Sparse(Vec<(u32, u32)>),
+}
+
+impl CompactVc {
+    /// Encode `vc` as a delta against `base` (`base[q] ≤ vc[q]` pointwise).
+    pub fn encode(vc: &[u32], base: &[u32]) -> CompactVc {
+        debug_assert_eq!(vc.len(), base.len());
+        if vc.len() <= DENSE_VC_MAX {
+            return CompactVc::Dense(vc.to_vec());
+        }
+        let pairs = vc
+            .iter()
+            .zip(base)
+            .enumerate()
+            .filter(|(_, (&v, &b))| v > b)
+            .map(|(q, (&v, _))| (q as u32, v))
+            .collect();
+        CompactVc::Sparse(pairs)
+    }
+
+    /// Reconstruct the full clock given the same `base` used to encode.
+    pub fn decode(&self, base: &[u32]) -> Vc {
+        match self {
+            CompactVc::Dense(vc) => vc.clone(),
+            CompactVc::Sparse(pairs) => {
+                let mut vc = base.to_vec();
+                for &(q, seq) in pairs {
+                    vc[q as usize] = seq;
+                }
+                vc
+            }
+        }
+    }
+
+    /// Wire size of this encoding.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            CompactVc::Dense(vc) => vc.len() * 4,
+            CompactVc::Sparse(pairs) => 4 + pairs.len() * 8,
+        }
+    }
+}
+
 /// What one closed interval publishes.
 #[derive(Debug, Clone)]
 pub struct IntervalRec {
@@ -44,13 +107,25 @@ pub struct IntervalRec {
     pub vc: Arc<[u32]>,
     /// Write notices: pages dirtied during the interval.
     pub pages: Arc<[u32]>,
+    /// Precomputed wire size of the clock under the [`CompactVc`]
+    /// encoding against the closing processor's last barrier snapshot.
+    vc_wire: u32,
 }
 
 impl IntervalRec {
+    /// Build a record, computing the clock's wire size as the compact
+    /// delta against `base` (the closing processor's view of the last
+    /// barrier target; ranks advanced since — own component, lock
+    /// acquires — form the sparse set).
+    pub fn new(vc: Arc<[u32]>, pages: Arc<[u32]>, base: &[u32]) -> IntervalRec {
+        let vc_wire = CompactVc::encode(&vc, base).wire_bytes() as u32;
+        IntervalRec { vc, pages, vc_wire }
+    }
+
     /// Approximate wire size of this record inside a notice exchange:
-    /// the vector clock plus one page id per notice.
+    /// the (compactly encoded) vector clock plus one page id per notice.
     pub fn wire_bytes(&self) -> usize {
-        self.vc.len() * 4 + self.pages.len() * 4
+        self.vc_wire as usize + self.pages.len() * 4
     }
 }
 
@@ -116,10 +191,8 @@ mod tests {
     use super::*;
 
     fn rec(vc: Vec<u32>, pages: Vec<u32>) -> IntervalRec {
-        IntervalRec {
-            vc: vc.into(),
-            pages: pages.into(),
-        }
+        let base = vec![0u32; vc.len()];
+        IntervalRec::new(vc.into(), pages.into(), &base)
     }
 
     #[test]
@@ -169,5 +242,45 @@ mod tests {
         nb.publish(0, r);
         assert_eq!(nb.range_bytes(0, 0, 1), 20);
         assert_eq!(nb.range_bytes(0, 1, 1), 0);
+    }
+
+    #[test]
+    fn compact_vc_dense_at_small_nprocs() {
+        // At ≤ DENSE_VC_MAX ranks the encoding is the full clock and the
+        // wire size matches the historical `4 * nprocs` formula exactly.
+        let vc = vec![3, 1, 0, 2];
+        let base = vec![2, 1, 0, 2];
+        let c = CompactVc::encode(&vc, &base);
+        assert_eq!(c.wire_bytes(), 16);
+        assert_eq!(c.decode(&base), vc);
+    }
+
+    #[test]
+    fn compact_vc_sparse_above_dense_max() {
+        let mut base = vec![0u32; 16];
+        base[3] = 5;
+        let mut vc = base.clone();
+        vc[0] = 2; // own component advanced
+        vc[7] = 9; // learned via a lock acquire
+        let c = CompactVc::encode(&vc, &base);
+        // 4-byte count header + two (rank, seq) pairs.
+        assert_eq!(c.wire_bytes(), 4 + 2 * 8);
+        assert_eq!(c.decode(&base), vc);
+        // Unchanged clock encodes to the bare header.
+        let none = CompactVc::encode(&base, &base);
+        assert_eq!(none.wire_bytes(), 4);
+        assert_eq!(none.decode(&base), base);
+    }
+
+    #[test]
+    fn interval_rec_wire_uses_sparse_encoding_at_scale() {
+        let nprocs = 64;
+        let mut base = vec![0u32; nprocs];
+        base[10] = 4;
+        let mut vc = base.clone();
+        vc[0] = 1;
+        let r = IntervalRec::new(vc.into(), vec![42u32, 43].into(), &base);
+        // One advanced rank: 4 + 8 clock bytes + 2 page ids.
+        assert_eq!(r.wire_bytes(), 12 + 8);
     }
 }

@@ -63,7 +63,7 @@ mod store;
 pub use cluster::{Cluster, DsmConfig};
 pub use diff::{Diff, Payload, DIFF_WORD};
 pub use heap::{Pod, SharedSlice};
-pub use interval::{covers, vc_key, IntervalRec, NoticeBoard, Vc};
+pub use interval::{covers, vc_key, CompactVc, IntervalRec, NoticeBoard, Vc, DENSE_VC_MAX};
 pub use policy::{EpochDecision, ProtocolPolicy, StaticPolicy};
 pub use proc::{FetchClass, PageState, ProcCounters, TmkProc};
 pub use store::{DiffStore, Record};

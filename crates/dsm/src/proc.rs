@@ -2,7 +2,6 @@
 //! fault/fetch/apply paths, interval close, and the watch mechanism that
 //! `Validate` uses to detect indirection-array changes.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use simnet::{MsgKind, ProcId, SimTime};
@@ -39,14 +38,17 @@ struct Frame {
     /// This page has registered watchers (slow-path lookup on events).
     watched: bool,
     /// Highest interval of each processor whose modification of this page
-    /// is reflected in `data`.
-    applied: Box<[u32]>,
+    /// is reflected in `data`: sparse `(proc, seq)` pairs sorted by proc
+    /// (absent means 0). A page only ever has a handful of writers, so
+    /// this stays a few entries at 256 processors instead of a dense
+    /// 256-slot array per (page, processor).
+    applied: Vec<(u32, u32)>,
     /// Write notices seen but not yet fetched: `(proc, seq)`.
     pending: Vec<(ProcId, u32)>,
 }
 
 impl Frame {
-    fn new(nprocs: usize) -> Self {
+    fn new() -> Self {
         Frame {
             state: PageState::Invalid,
             data: None,
@@ -54,7 +56,7 @@ impl Frame {
             full_write: false,
             watch_protect: false,
             watched: false,
-            applied: vec![0; nprocs].into_boxed_slice(),
+            applied: Vec::new(),
             pending: Vec::new(),
         }
     }
@@ -62,6 +64,34 @@ impl Frame {
     #[inline]
     fn dirty(&self) -> bool {
         self.twin.is_some() || self.full_write
+    }
+
+    /// Highest applied interval of `q` (0 if none).
+    #[inline]
+    fn applied_of(&self, q: ProcId) -> u32 {
+        match self.applied.binary_search_by_key(&(q as u32), |&(p, _)| p) {
+            Ok(i) => self.applied[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    #[inline]
+    fn set_applied(&mut self, q: ProcId, seq: u32) {
+        match self.applied.binary_search_by_key(&(q as u32), |&(p, _)| p) {
+            Ok(i) => self.applied[i].1 = seq,
+            Err(i) => self.applied.insert(i, (q as u32, seq)),
+        }
+    }
+
+    /// Regress the whole applied map to a master-fold horizon (the page
+    /// data was just replaced by the snapshot taken at that horizon).
+    fn reset_applied_to(&mut self, horizon: &[u32]) {
+        self.applied.clear();
+        for (q, &h) in horizon.iter().enumerate() {
+            if h > 0 {
+                self.applied.push((q as u32, h));
+            }
+        }
     }
 }
 
@@ -137,7 +167,9 @@ pub(crate) struct ProcInner {
     frames: Vec<Frame>,
     vc: Vc,
     dirty: Vec<u32>,
-    watchers: HashMap<u32, Vec<usize>>,
+    /// Watch keys registered per page, indexed by page id (empty for
+    /// unwatched pages; lookups are gated by `Frame::watched` anyway).
+    watchers: Vec<Vec<usize>>,
     watch_flags: Vec<bool>,
     /// Pages that fired each watch since the last take (supports the
     /// paper's future-work extension: incremental page-set recompute).
@@ -150,12 +182,17 @@ pub(crate) struct ProcInner {
     /// heuristic). The epoch's first demand fault triggers them all in
     /// one merged exchange.
     pub(crate) deferred: Vec<DeferredPlan>,
-    /// Update-push schedules subscribed so far, per phase: the
-    /// cumulative `(serving peer, pages)` union the writers have been
-    /// taught. A push round covering pages beyond a peer's known set
-    /// re-subscribes (one one-way `AdaptSub` message per grown peer).
-    pub(crate) push_scheds: HashMap<u32, Vec<(ProcId, Vec<u32>)>>,
+    /// Update-push schedules subscribed so far, per phase (flat, sorted
+    /// page vecs): the cumulative `(serving peer, pages)` union the
+    /// writers have been taught. A push round covering pages beyond a
+    /// peer's known set re-subscribes (one one-way `AdaptSub` message
+    /// per grown peer).
+    pub(crate) push_scheds: Vec<(u32, PushSched)>,
 }
+
+/// One phase's cumulative push subscriptions: each serving peer with
+/// the sorted set of pages it has been taught to push.
+pub(crate) type PushSched = Vec<(ProcId, Vec<u32>)>;
 
 impl ProcInner {
     pub(crate) fn new(nprocs: usize) -> Self {
@@ -163,20 +200,20 @@ impl ProcInner {
             frames: Vec::new(),
             vc: vec![0; nprocs],
             dirty: Vec::new(),
-            watchers: HashMap::new(),
+            watchers: Vec::new(),
             watch_flags: Vec::new(),
             watch_dirty: Vec::new(),
             counters: ProcCounters::default(),
             last_barrier_seen: vec![0; nprocs],
             policy: Box::new(StaticPolicy),
             deferred: Vec::new(),
-            push_scheds: HashMap::new(),
+            push_scheds: Vec::new(),
         }
     }
 
-    pub(crate) fn ensure_frames(&mut self, npages: usize, nprocs: usize) {
+    pub(crate) fn ensure_frames(&mut self, npages: usize) {
         while self.frames.len() < npages {
-            self.frames.push(Frame::new(nprocs));
+            self.frames.push(Frame::new());
         }
     }
 }
@@ -400,7 +437,6 @@ impl<'c> TmkProc<'c> {
     /// before the next release (`WRITE_ALL`): no twin is kept, no fetch is
     /// needed, and interval close publishes the whole page (paper §3.2).
     pub fn mark_full_write(&mut self, pages: &[u32]) {
-        let nprocs = self.nprocs;
         let page_size = self.page_size;
         for &page in pages {
             if self.inner.frames[page as usize].watch_protect {
@@ -418,11 +454,10 @@ impl<'c> TmkProc<'c> {
             // overwritten locally. Mark it applied so no fetch happens.
             let pending = std::mem::take(&mut f.pending);
             for (q, seq) in pending {
-                if f.applied[q] < seq {
-                    f.applied[q] = seq;
+                if f.applied_of(q) < seq {
+                    f.set_applied(q, seq);
                 }
             }
-            debug_assert_eq!(f.applied.len(), nprocs);
             f.full_write = true;
             f.twin = None;
             f.state = PageState::Write;
@@ -458,59 +493,62 @@ impl<'c> TmkProc<'c> {
             records: Vec<Record>,
             master: bool,
         }
-        // 1a: per invalid page, the highest pending seq per source.
+        // 1a: per invalid page, the highest pending seq per source —
+        // kept as sparse `(proc, seq)` pairs (one per writer of the
+        // page), not a dense nprocs-slot array per page.
         let mut needs: Vec<Need> = Vec::new();
-        let mut uptos: Vec<Vec<u32>> = Vec::new(); // parallel to `needs`
+        let mut uptos: Vec<Vec<(ProcId, u32)>> = Vec::new(); // parallel to `needs`
         for &page in pages {
             let f = &mut self.inner.frames[page as usize];
             if f.state != PageState::Invalid {
                 continue;
             }
-            let mut upto: Vec<u32> = vec![0; self.nprocs];
-            for (q, seq) in f.pending.drain(..) {
-                if seq > f.applied[q] && seq > upto[q] {
-                    upto[q] = seq;
+            let mut pend: Vec<(ProcId, u32)> = f.pending.drain(..).collect();
+            pend.sort_unstable();
+            pend.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 = b.1.max(a.1);
+                    true
+                } else {
+                    false
                 }
-            }
+            });
+            pend.retain(|&(q, seq)| seq > f.applied_of(q));
             needs.push(Need {
                 page,
                 records: Vec::new(),
                 master: false,
             });
-            uptos.push(upto);
+            uptos.push(pend);
         }
-        // 1b: one store-lock round per serving processor resolves every
+        // 1b: one store-lock round per *serving* processor resolves every
         // pending record of every page in the fetch (collect_batch),
-        // instead of one lock round per (page, processor) pair.
-        // `q` is a ProcId addressing the store and the per-need upto
-        // columns, not a plain index walk.
-        #[allow(clippy::needless_range_loop)]
-        for q in 0..self.nprocs {
-            let reqs: Vec<(usize, (u32, u32, u32))> = needs
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| uptos[i][q] > 0)
-                .map(|(i, n)| {
-                    (
-                        i,
-                        (
-                            n.page,
-                            self.inner.frames[n.page as usize].applied[q],
-                            uptos[i][q],
-                        ),
-                    )
-                })
-                .collect();
-            if reqs.is_empty() {
-                continue;
+        // instead of one lock round per (page, processor) pair. The flat
+        // request list is grouped by server, so a 256-proc fetch visits
+        // only the peers that actually hold records.
+        let mut flat: Vec<(ProcId, usize, u32, u32, u32)> = Vec::new(); // (q, need, page, after, upto)
+        for (i, n) in needs.iter().enumerate() {
+            let f = &self.inner.frames[n.page as usize];
+            for &(q, up) in &uptos[i] {
+                flat.push((q, i, n.page, f.applied_of(q), up));
             }
+        }
+        flat.sort_unstable_by_key(|&(q, i, ..)| (q, i));
+        let mut k = 0;
+        while k < flat.len() {
+            let q = flat[k].0;
+            let end = k + flat[k..].iter().take_while(|e| e.0 == q).count();
             debug_assert_ne!(q, self.me, "own writes are always applied");
-            let batch: Vec<(u32, u32, u32)> = reqs.iter().map(|&(_, r)| r).collect();
+            let batch: Vec<(u32, u32, u32)> = flat[k..end]
+                .iter()
+                .map(|&(_, _, page, after, upto)| (page, after, upto))
+                .collect();
             let collected = self.cl.store().collect_batch(q, &batch);
-            for ((i, _), c) in reqs.into_iter().zip(collected) {
+            for (&(_, i, ..), c) in flat[k..end].iter().zip(collected) {
                 needs[i].records.extend(c.records);
                 needs[i].master |= c.needs_master;
             }
+            k = end;
         }
         // 1c: master-copy resolution (rare GC path) + pruning, per page.
         for (n, upto) in needs.iter_mut().zip(&uptos) {
@@ -529,14 +567,20 @@ impl<'c> TmkProc<'c> {
                 // be applied — that would break release consistency).
                 let horizon = self.cl.store().master_horizon();
                 records.clear();
-                for q in 0..self.nprocs {
+                let up_of = |q: ProcId| -> u32 {
+                    match upto.binary_search_by_key(&q, |&(p, _)| p) {
+                        Ok(i) => upto[i].1,
+                        Err(_) => 0,
+                    }
+                };
+                for (q, &h) in horizon.iter().enumerate().take(self.nprocs) {
                     let known = if q == self.me {
                         self.inner.vc[self.me]
                     } else {
-                        self.inner.vc[q].max(upto[q])
+                        self.inner.vc[q].max(up_of(q))
                     };
-                    if known > horizon[q] {
-                        let c = self.cl.store().collect(q, page, horizon[q], known);
+                    if known > h {
+                        let c = self.cl.store().collect(q, page, h, known);
                         records.extend(c.records);
                     }
                 }
@@ -568,25 +612,51 @@ impl<'c> TmkProc<'c> {
             return;
         }
 
-        // Phase 2: message accounting — group by serving processor.
+        // Phase 2: message accounting — group by serving processor. The
+        // accumulator is a compact list over the peers actually serving
+        // this exchange (typically a handful), not three dense
+        // nprocs-slot arrays per fetch.
         const REQ_FIXED: usize = 16; // header + vc digest
         const REQ_PER_PAGE: usize = 8; // page id + applied seq
-        let mut req_pages: Vec<usize> = vec![0; self.nprocs];
-        let mut resp_bytes: Vec<usize> = vec![0; self.nprocs];
-        let mut peer_pages: Vec<Vec<u32>> = vec![Vec::new(); self.nprocs];
+        struct PeerAcc {
+            q: ProcId,
+            req_pages: usize,
+            resp_bytes: usize,
+            pages: Vec<u32>,
+        }
+        fn acc(peers: &mut Vec<PeerAcc>, q: ProcId) -> &mut PeerAcc {
+            let i = match peers.iter().position(|p| p.q == q) {
+                Some(i) => i,
+                None => {
+                    peers.push(PeerAcc {
+                        q,
+                        req_pages: 0,
+                        resp_bytes: 0,
+                        pages: Vec::new(),
+                    });
+                    peers.len() - 1
+                }
+            };
+            &mut peers[i]
+        }
+        let mut peers: Vec<PeerAcc> = Vec::new();
         for n in &needs {
             for r in &n.records {
-                req_pages[r.proc] += 1;
-                resp_bytes[r.proc] += r.payload.wire_bytes();
-                peer_pages[r.proc].push(n.page);
+                let a = acc(&mut peers, r.proc);
+                a.req_pages += 1;
+                a.resp_bytes += r.payload.wire_bytes();
+                a.pages.push(n.page);
             }
             if n.master {
                 let mgr = (n.page as usize) % self.nprocs;
-                req_pages[mgr] += 1;
-                resp_bytes[mgr] += self.page_size + 8 + 4 * self.nprocs;
-                peer_pages[mgr].push(n.page);
+                let a = acc(&mut peers, mgr);
+                a.req_pages += 1;
+                a.resp_bytes += self.page_size + 8 + 4 * self.nprocs;
+                a.pages.push(n.page);
             }
         }
+        // Deterministic leg order regardless of record arrival order.
+        peers.sort_unstable_by_key(|p| p.q);
         if class == FetchClass::Push {
             // Update-push: the writers initiate — one one-way data
             // message per serving peer, no request leg on the wire. The
@@ -601,9 +671,18 @@ impl<'c> TmkProc<'c> {
             // demoted pattern no longer needs shows up as the pull
             // traffic the probe/demand path already counts.
             if let Some(phase) = push_phase {
-                let subscribed = self.inner.push_scheds.entry(phase).or_default();
+                let scheds = &mut self.inner.push_scheds;
+                let si = match scheds.iter().position(|(ph, _)| *ph == phase) {
+                    Some(i) => i,
+                    None => {
+                        scheds.push((phase, Vec::new()));
+                        scheds.len() - 1
+                    }
+                };
+                let subscribed = &mut scheds[si].1;
                 let mut newly: Vec<(ProcId, usize)> = Vec::new();
-                for (q, pp) in peer_pages.iter().enumerate() {
+                for p in &peers {
+                    let (q, pp) = (p.q, &p.pages);
                     if q == self.me || pp.is_empty() {
                         continue;
                     }
@@ -614,10 +693,12 @@ impl<'c> TmkProc<'c> {
                             &mut subscribed.last_mut().unwrap().1
                         }
                     };
+                    // `known` stays sorted: membership is a binary search
+                    // even when a phase's cumulative schedule grows large.
                     let mut fresh = 0usize;
                     for &pg in pp {
-                        if !known.contains(&pg) {
-                            known.push(pg);
+                        if let Err(pos) = known.binary_search(&pg) {
+                            known.insert(pos, pg);
                             fresh += 1;
                         }
                     }
@@ -641,9 +722,10 @@ impl<'c> TmkProc<'c> {
                     net.policy().record_subscribe(self.me, phase, newly.len());
                 }
             }
-            let legs: Vec<(ProcId, MsgKind, usize)> = (0..self.nprocs)
-                .filter(|&q| q != self.me && req_pages[q] > 0)
-                .map(|q| (q, MsgKind::AdaptPush, resp_bytes[q]))
+            let legs: Vec<(ProcId, MsgKind, usize)> = peers
+                .iter()
+                .filter(|p| p.q != self.me && p.req_pages > 0)
+                .map(|p| (p.q, MsgKind::AdaptPush, p.resp_bytes))
                 .collect();
             self.cl.net().push_round(self.me, &legs);
         } else {
@@ -653,15 +735,16 @@ impl<'c> TmkProc<'c> {
                 FetchClass::Prefetch => (MsgKind::AdaptRequest, MsgKind::AdaptReply),
                 FetchClass::Push => unreachable!("handled by the push_round branch above"),
             };
-            let legs: Vec<(ProcId, MsgKind, usize, MsgKind, usize)> = (0..self.nprocs)
-                .filter(|&q| q != self.me && req_pages[q] > 0)
-                .map(|q| {
+            let legs: Vec<(ProcId, MsgKind, usize, MsgKind, usize)> = peers
+                .iter()
+                .filter(|p| p.q != self.me && p.req_pages > 0)
+                .map(|p| {
                     (
-                        q,
+                        p.q,
                         kreq,
-                        REQ_FIXED + REQ_PER_PAGE * req_pages[q],
+                        REQ_FIXED + REQ_PER_PAGE * p.req_pages,
                         kresp,
-                        resp_bytes[q],
+                        p.resp_bytes,
                     )
                 })
                 .collect();
@@ -699,14 +782,12 @@ impl<'c> TmkProc<'c> {
                 // The master is a snapshot *at the horizon*: the page
                 // regresses to exactly that knowledge; newer records
                 // (re-collected above) are applied on top.
-                for (a, &h) in f.applied.iter_mut().zip(horizon.iter()) {
-                    *a = h;
-                }
+                f.reset_applied_to(&horizon);
                 apply_time += cost.diff_apply(self.page_size);
                 self.inner.counters.master_fetches += 1;
             }
             for r in &n.records {
-                if r.seq <= f.applied[r.proc] {
+                if r.seq <= f.applied_of(r.proc) {
                     continue; // subsumed by the master copy
                 }
                 r.payload.apply(f.data.as_mut().unwrap());
@@ -715,7 +796,7 @@ impl<'c> TmkProc<'c> {
                 if let Some(t) = f.twin.as_mut() {
                     r.payload.apply(t);
                 }
-                f.applied[r.proc] = r.seq;
+                f.set_applied(r.proc, r.seq);
                 apply_time += cost.diff_apply(r.payload.wire_bytes());
                 self.inner.counters.records_applied += 1;
             }
@@ -780,18 +861,15 @@ impl<'c> TmkProc<'c> {
         let vc: Arc<[u32]> = self.inner.vc.clone().into();
         let pages: Arc<[u32]> = payloads.iter().map(|&(p, _)| p).collect();
         for (page, payload) in payloads {
-            self.inner.frames[page as usize].applied[self.me] = seq;
+            self.inner.frames[page as usize].set_applied(self.me, seq);
             self.cl
                 .store()
                 .publish(self.me, page, seq, Arc::clone(&vc), payload);
         }
-        self.cl.board().publish(
-            self.me,
-            IntervalRec {
-                vc,
-                pages,
-            },
-        );
+        // The record's clock ships as a delta against the last barrier
+        // target — both ends of any later exchange know that base.
+        let rec = IntervalRec::new(vc, pages, &self.inner.last_barrier_seen);
+        self.cl.board().publish(self.me, rec);
         self.inner.counters.intervals_closed += 1;
     }
 
@@ -828,6 +906,39 @@ impl<'c> TmkProc<'c> {
                 }
             }
             self.inner.vc[q] = to;
+        }
+        invalidated.sort_unstable();
+        invalidated.dedup();
+        invalidated
+    }
+
+    /// Barrier-path acquire: consume the leader's flat notice digest —
+    /// `(page, proc, seq)` entries covering `(previous target, target]`
+    /// across *all* processors, built once per barrier — instead of
+    /// re-walking every peer's board per processor. Entries already
+    /// merged through lock acquires (`seq ≤ vc[q]`) are skipped, so this
+    /// applies exactly the intervals `apply_notices(target)` would:
+    /// `vc[q] ≥ prev_target[q]` always holds after the previous barrier.
+    pub(crate) fn apply_digest(&mut self, digest: &[(u32, u32, u32)], target: &[u32]) -> Vec<u32> {
+        let me = self.me;
+        let mut invalidated: Vec<u32> = Vec::new();
+        for &(page, q, seq) in digest {
+            let q = q as usize;
+            if q == me || seq <= self.inner.vc[q] {
+                continue;
+            }
+            let f = &mut self.inner.frames[page as usize];
+            f.pending.push((q, seq));
+            f.state = PageState::Invalid;
+            invalidated.push(page);
+            if f.watched {
+                self.fire_watch(page);
+            }
+        }
+        for (q, &to) in target.iter().enumerate() {
+            if self.inner.vc[q] < to {
+                self.inner.vc[q] = to;
+            }
         }
         invalidated.sort_unstable();
         invalidated.dedup();
@@ -878,7 +989,11 @@ impl<'c> TmkProc<'c> {
             let f = &mut self.inner.frames[page as usize];
             f.watched = true;
             f.watch_protect = true;
-            let w = self.inner.watchers.entry(page).or_default();
+            let idx = page as usize;
+            if self.inner.watchers.len() <= idx {
+                self.inner.watchers.resize_with(idx + 1, Vec::new);
+            }
+            let w = &mut self.inner.watchers[idx];
             if !w.contains(&key) {
                 w.push(key);
             }
@@ -909,7 +1024,7 @@ impl<'c> TmkProc<'c> {
     }
 
     fn fire_watch(&mut self, page: u32) {
-        if let Some(keys) = self.inner.watchers.get(&page) {
+        if let Some(keys) = self.inner.watchers.get(page as usize) {
             for &k in keys {
                 self.inner.watch_flags[k] = true;
                 self.inner.watch_dirty[k].push(page);

@@ -10,7 +10,6 @@
 //! older than the fold horizon fetches the master page plus any newer
 //! records — the analogue of TreadMarks fetching the whole page after GC.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -52,14 +51,21 @@ struct PageLog {
 struct Master {
     /// Pointwise: every record with `seq <= horizon[proc]` is folded.
     horizon: Vc,
-    pages: HashMap<u32, Box<[u8]>>,
+    /// Master copies indexed by page id (`None` = never folded).
+    pages: Vec<Option<Box<[u8]>>>,
 }
 
 /// See module docs.
+///
+/// Per-processor logs are flat page-indexed arenas, not hash maps. A
+/// slot stays `None` until that processor first publishes to the page:
+/// the `None`-vs-empty distinction is semantic (a missing log with a
+/// pending notice means "fetch the master"; an existing log answers
+/// from its own [`PageLog::folded_upto`]), so flattening must keep it.
 #[derive(Debug)]
 pub struct DiffStore {
     page_size: usize,
-    per_proc: Vec<RwLock<HashMap<u32, PageLog>>>,
+    per_proc: Vec<RwLock<Vec<Option<PageLog>>>>,
     master: RwLock<Master>,
 }
 
@@ -76,10 +82,10 @@ impl DiffStore {
     pub fn new(nprocs: usize, page_size: usize) -> Self {
         DiffStore {
             page_size,
-            per_proc: (0..nprocs).map(|_| RwLock::new(HashMap::new())).collect(),
+            per_proc: (0..nprocs).map(|_| RwLock::new(Vec::new())).collect(),
             master: RwLock::new(Master {
                 horizon: vec![0; nprocs],
-                pages: HashMap::new(),
+                pages: Vec::new(),
             }),
         }
     }
@@ -88,7 +94,11 @@ impl DiffStore {
     /// of `page`.
     pub fn publish(&self, proc: ProcId, page: u32, seq: u32, vc: Arc<[u32]>, payload: Payload) {
         let mut map = self.per_proc[proc].write();
-        let log = map.entry(page).or_default();
+        let idx = page as usize;
+        if map.len() <= idx {
+            map.resize_with(idx + 1, || None);
+        }
+        let log = map[idx].get_or_insert_with(PageLog::default);
         debug_assert!(
             log.records.last().is_none_or(|r| r.seq < seq),
             "records must be published in seq order"
@@ -101,8 +111,8 @@ impl DiffStore {
         });
     }
 
-    fn collect_locked(map: &HashMap<u32, PageLog>, page: u32, after: u32, upto: u32) -> Collected {
-        match map.get(&page) {
+    fn collect_locked(map: &[Option<PageLog>], page: u32, after: u32, upto: u32) -> Collected {
+        match map.get(page as usize).and_then(|s| s.as_ref()) {
             None => Collected {
                 records: Vec::new(),
                 // A pending notice referenced this record but the whole log
@@ -146,8 +156,8 @@ impl DiffStore {
         let m = self.master.read();
         let data = m
             .pages
-            .get(&page)
-            .cloned()
+            .get(page as usize)
+            .and_then(|s| s.clone())
             .unwrap_or_else(|| vec![0u8; self.page_size].into_boxed_slice());
         (data, m.horizon.clone())
     }
@@ -168,7 +178,9 @@ impl DiffStore {
         let mut folded: Vec<(Record, u32)> = Vec::new();
         for (q, lock) in self.per_proc.iter().enumerate() {
             let mut map = lock.write();
-            for (&page, log) in map.iter_mut() {
+            for (page, slot) in map.iter_mut().enumerate() {
+                let page = page as u32;
+                let Some(log) = slot.as_mut() else { continue };
                 if horizon[q] > log.folded_upto {
                     let keep = log
                         .records
@@ -192,10 +204,12 @@ impl DiffStore {
         folded.sort_by_key(|(r, page)| (*page, r.key()));
         let mut m = self.master.write();
         for (r, page) in folded {
-            let buf = m
-                .pages
-                .entry(page)
-                .or_insert_with(|| vec![0u8; self.page_size].into_boxed_slice());
+            let idx = page as usize;
+            if m.pages.len() <= idx {
+                m.pages.resize_with(idx + 1, || None);
+            }
+            let buf = m.pages[idx]
+                .get_or_insert_with(|| vec![0u8; self.page_size].into_boxed_slice());
             r.payload.apply(buf);
         }
         for (h, &n) in m.horizon.iter_mut().zip(horizon) {
@@ -207,7 +221,13 @@ impl DiffStore {
     pub fn retained_records(&self) -> usize {
         self.per_proc
             .iter()
-            .map(|l| l.read().values().map(|g| g.records.len()).sum::<usize>())
+            .map(|l| {
+                l.read()
+                    .iter()
+                    .flatten()
+                    .map(|g| g.records.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }

@@ -34,6 +34,11 @@ pub struct Net {
     clocks: Vec<AtomicU64>,
     stats: Stats,
     policy: PolicyStats,
+    /// Cumulative barrier write-notice payload bytes, counted once per
+    /// barrier by the leader (not per fan-in/fan-out copy) — the
+    /// metadata-scaling probe `table_synth` asserts on. The per-copy
+    /// traffic stays in [`Stats`] under `MsgKind::Barrier`.
+    notice_meta: AtomicU64,
     /// Scenario label stamped into every captured [`NetReport`] — set by
     /// scenario-matrix harnesses (`table_synth`) so a report identifies
     /// the workload it measured.
@@ -49,8 +54,21 @@ impl Net {
             clocks: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
             stats: Stats::new(nprocs),
             policy: PolicyStats::new(nprocs),
+            notice_meta: AtomicU64::new(0),
             label: Mutex::new(None),
         }
+    }
+
+    /// Add `bytes` of barrier notice metadata (leader-side, once per
+    /// barrier).
+    #[inline]
+    pub fn add_notice_meta(&self, bytes: u64) {
+        self.notice_meta.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Cumulative barrier notice metadata bytes since the last reset.
+    pub fn notice_meta_bytes(&self) -> u64 {
+        self.notice_meta.load(Ordering::Relaxed)
     }
 
     /// Tag this cluster with a scenario label; subsequent
@@ -130,6 +148,7 @@ impl Net {
         }
         self.stats.reset();
         self.policy.reset();
+        self.notice_meta.store(0, Ordering::Relaxed);
     }
 
     // ---- traffic ----

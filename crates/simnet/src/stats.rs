@@ -180,8 +180,10 @@ impl Stats {
 /// Counters are per processor, like [`Stats`], and lock-free. Since
 /// plans carry a **phase identity** (the barrier site that issued
 /// them), every decision is additionally broken down per phase in a
-/// mutex-guarded side table — one lock round per barrier per
-/// processor, off every hot path.
+/// side table sharded per recording processor — each shard's mutex is
+/// uncontended (only its own processor locks it), so 256 processors
+/// recording an epoch simultaneously never serialize on one global
+/// lock; [`PolicyReport::capture`] merges the shards field-wise.
 #[derive(Debug)]
 pub struct PolicyStats {
     epochs: Vec<AtomicU64>,
@@ -196,9 +198,10 @@ pub struct PolicyStats {
     promotions: Vec<AtomicU64>,
     demotions: Vec<AtomicU64>,
     probes: Vec<AtomicU64>,
-    /// Per-phase breakdown of the decision stream (summed over
-    /// processors; phases are app-level barrier-site tags).
-    phases: Mutex<BTreeMap<u32, PhasePolicyRow>>,
+    /// Per-phase breakdown of the decision stream, sharded by recording
+    /// processor (phases are app-level barrier-site tags; shards merge
+    /// at capture).
+    phases: Vec<Mutex<BTreeMap<u32, PhasePolicyRow>>>,
 }
 
 impl PolicyStats {
@@ -217,12 +220,12 @@ impl PolicyStats {
             promotions: make(),
             demotions: make(),
             probes: make(),
-            phases: Mutex::new(BTreeMap::new()),
+            phases: (0..nprocs).map(|_| Mutex::new(BTreeMap::new())).collect(),
         }
     }
 
-    fn phase_row(&self, phase: u32, f: impl FnOnce(&mut PhasePolicyRow)) {
-        let mut map = self.phases.lock().unwrap();
+    fn phase_row(&self, p: ProcId, phase: u32, f: impl FnOnce(&mut PhasePolicyRow)) {
+        let mut map = self.phases[p].lock().unwrap();
         let row = map.entry(phase).or_insert_with(|| PhasePolicyRow {
             phase,
             ..Default::default()
@@ -234,7 +237,7 @@ impl PolicyStats {
     #[inline]
     pub fn record_epoch(&self, p: ProcId, phase: u32) {
         self.epochs[p].fetch_add(1, Ordering::Relaxed);
-        self.phase_row(phase, |r| r.epochs += 1);
+        self.phase_row(p, phase, |r| r.epochs += 1);
     }
 
     /// `p` issued one plan's worth of aggregated prefetch covering
@@ -247,7 +250,7 @@ impl PolicyStats {
     pub fn record_prefetch(&self, p: ProcId, phase: u32, pages: usize) {
         self.prefetch_rounds[p].fetch_add(1, Ordering::Relaxed);
         self.prefetch_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
-        self.phase_row(phase, |r| {
+        self.phase_row(p, phase, |r| {
             r.prefetch_rounds += 1;
             r.prefetch_pages += pages as u64;
         });
@@ -260,7 +263,7 @@ impl PolicyStats {
     pub fn record_push(&self, p: ProcId, phase: u32, pages: usize) {
         self.push_rounds[p].fetch_add(1, Ordering::Relaxed);
         self.push_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
-        self.phase_row(phase, |r| {
+        self.phase_row(p, phase, |r| {
             r.push_rounds += 1;
             r.push_pages += pages as u64;
         });
@@ -271,7 +274,7 @@ impl PolicyStats {
     #[inline]
     pub fn record_deferred(&self, p: ProcId, phase: u32) {
         self.deferred_plans[p].fetch_add(1, Ordering::Relaxed);
-        self.phase_row(phase, |r| r.deferred_plans += 1);
+        self.phase_row(p, phase, |r| r.deferred_plans += 1);
     }
 
     /// A deferred plan of `pages` pages owned by `phase` at `p` was
@@ -284,7 +287,7 @@ impl PolicyStats {
     pub fn record_quiesced(&self, p: ProcId, phase: u32, pages: usize) {
         self.quiesced_plans[p].fetch_add(1, Ordering::Relaxed);
         self.quiesced_pages[p].fetch_add(pages as u64, Ordering::Relaxed);
-        self.phase_row(phase, |r| {
+        self.phase_row(p, phase, |r| {
             r.quiesced_plans += 1;
             r.quiesced_pages += pages as u64;
         });
@@ -295,7 +298,7 @@ impl PolicyStats {
     #[inline]
     pub fn record_subscribe(&self, p: ProcId, phase: u32, peers: usize) {
         self.subscriptions[p].fetch_add(peers as u64, Ordering::Relaxed);
-        self.phase_row(phase, |r| r.subscriptions += peers as u64);
+        self.phase_row(p, phase, |r| r.subscriptions += peers as u64);
     }
 
     /// `n` pages switched from demand paging to batched prefetch at `p`.
@@ -336,7 +339,9 @@ impl PolicyStats {
                 c.store(0, Ordering::Relaxed);
             }
         }
-        self.phases.lock().unwrap().clear();
+        for shard in &self.phases {
+            shard.lock().unwrap().clear();
+        }
     }
 }
 
@@ -404,6 +409,26 @@ pub struct PolicyReport {
 impl PolicyReport {
     pub fn capture(stats: &PolicyStats) -> Self {
         let sum = |v: &Vec<AtomicU64>| v.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        // Merge the per-processor phase shards field-wise; BTreeMap keeps
+        // the rows sorted by phase tag, as the report promises.
+        let mut merged: BTreeMap<u32, PhasePolicyRow> = BTreeMap::new();
+        for shard in &stats.phases {
+            for (&phase, row) in shard.lock().unwrap().iter() {
+                let e = merged.entry(phase).or_insert_with(|| PhasePolicyRow {
+                    phase,
+                    ..Default::default()
+                });
+                e.epochs += row.epochs;
+                e.prefetch_rounds += row.prefetch_rounds;
+                e.prefetch_pages += row.prefetch_pages;
+                e.push_rounds += row.push_rounds;
+                e.push_pages += row.push_pages;
+                e.deferred_plans += row.deferred_plans;
+                e.quiesced_plans += row.quiesced_plans;
+                e.quiesced_pages += row.quiesced_pages;
+                e.subscriptions += row.subscriptions;
+            }
+        }
         PolicyReport {
             epochs: sum(&stats.epochs),
             prefetch_rounds: sum(&stats.prefetch_rounds),
@@ -417,7 +442,7 @@ impl PolicyReport {
             promotions: sum(&stats.promotions),
             demotions: sum(&stats.demotions),
             probes: sum(&stats.probes),
-            per_phase: stats.phases.lock().unwrap().values().copied().collect(),
+            per_phase: merged.into_values().collect(),
         }
     }
 

@@ -167,6 +167,26 @@ pub fn run_tmk(
     mode: TmkMode,
     seq_time: SimTime,
 ) -> (RunReport, Vec<f64>) {
+    let (report, x, _) = run_tmk_counted(cfg, world, mode, seq_time);
+    (report, x)
+}
+
+/// Barrier-metadata scaling probe: run the plain-Tmk kernel and report
+/// the leader-counted write-notice payload bytes of the timed region
+/// (`simnet::Net::notice_meta_bytes`, billed once per barrier, not per
+/// fan-in/fan-out copy). `table_synth` runs the same fixed-size
+/// workload at two cluster sizes and asserts the figure stays
+/// ~linear in nprocs — the flat-digest + sparse-clock contract.
+pub fn notice_meta_probe(cfg: &SynthConfig, world: &SynthWorld) -> u64 {
+    run_tmk_counted(cfg, world, TmkMode::Base, SimTime::ZERO).2
+}
+
+fn run_tmk_counted(
+    cfg: &SynthConfig,
+    world: &SynthWorld,
+    mode: TmkMode,
+    seq_time: SimTime,
+) -> (RunReport, Vec<f64>, u64) {
     let n = cfg.n;
     let nprocs = cfg.nprocs;
     let pl = plan(cfg, world);
@@ -314,9 +334,11 @@ pub fn run_tmk(
     });
     let final_x = final_x.into_inner();
     let checksum = final_x.iter().map(|v| v.abs()).sum();
+    let notice_bytes = cl.net().notice_meta_bytes();
     (
         cap.report(mode.system_kind(), seq_time, checksum, policy),
         final_x,
+        notice_bytes,
     )
 }
 

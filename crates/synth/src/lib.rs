@@ -45,7 +45,9 @@ pub mod kernel;
 pub mod structure;
 
 pub use dynamics::{drift_round, raw_for_iter, Dynamics};
-pub use kernel::{run_chaos, run_seq, run_tmk, PHASE_ITER, PHASE_REMAP, REF_US, REMAP_US};
+pub use kernel::{
+    notice_meta_probe, run_chaos, run_seq, run_tmk, PHASE_ITER, PHASE_REMAP, REF_US, REMAP_US,
+};
 pub use structure::{degrees, normalize, Structure};
 
 use std::collections::HashMap;
@@ -235,9 +237,11 @@ impl Workload for Scenario {
 }
 
 /// The scenario grid `table_synth` sweeps: structure × dynamics ×
-/// nprocs. The quick grid is 21 cells (3 structures × 6 dynamics at 4
-/// processors, plus the 3 static cells again at 8 processors); the full
-/// grid is the same shape at paper scale.
+/// nprocs. The quick grid is 24 cells (3 structures × 6 dynamics at 4
+/// processors, the 3 static cells again at 8 processors, and the same
+/// 3 again at 64 processors — the sparse-metadata regime); the full
+/// grid is the same shape at paper scale with the scale cells at 256
+/// processors.
 pub fn scenario_grid(quick: bool) -> Vec<SynthConfig> {
     // Banded width = two pages' worth of elements, so each neighbor
     // exchange spans ≥ 2 pages and aggregation has something to merge
@@ -281,6 +285,28 @@ pub fn scenario_grid(quick: bool) -> Vec<SynthConfig> {
     for s in &structures {
         let mut cfg = make(s, &Dynamics::Static);
         cfg.nprocs = if quick { 8 } else { 4 };
+        grid.push(cfg);
+    }
+    // The scale cells: the same static structures at 64 (quick) / 256
+    // (full) processors — past `dsm::DENSE_VC_MAX`, so every interval
+    // clock travels in the sparse delta encoding. The problem grows
+    // with the cluster so each peer still owns ≥ 2 value pages
+    // (pages-per-peer > 1): with exactly one page per peer, one
+    // exchange per peer is already what demand paging does and neither
+    // aggregation path has anything to merge.
+    for s in &structures {
+        let mut cfg = make(s, &Dynamics::Static);
+        if quick {
+            cfg.nprocs = 64;
+            cfg.n = 8192; // 128 pages of 512 B → 2 per processor
+            cfg.refs = 12288;
+            cfg.iters = 6;
+        } else {
+            cfg.nprocs = 256;
+            cfg.n = 65536; // 512 pages of 1 KB → 2 per processor
+            cfg.refs = 98304;
+            cfg.iters = 8;
+        }
         grid.push(cfg);
     }
     // Distinct seeds per cell so no two scenarios share geometry.
@@ -353,6 +379,25 @@ mod tests {
         for quick in [true, false] {
             let grid = scenario_grid(quick);
             assert!(grid.len() >= 12, "grid too small: {}", grid.len());
+            // The scale cells exist, sit past the dense-VC cutoff, and
+            // keep the pages-per-peer > 1 regime.
+            let scale_n = if quick { 64 } else { 256 };
+            let scale: Vec<_> = grid.iter().filter(|c| c.nprocs == scale_n).collect();
+            assert_eq!(scale.len(), 3, "one scale cell per structure");
+            for c in &scale {
+                assert!(
+                    c.nprocs > sdsm_core::DENSE_VC_MAX,
+                    "scale cells must be sparse"
+                );
+                let pages = c.n * 8 / c.page_size;
+                assert!(
+                    pages / c.nprocs >= 2,
+                    "{}: {} pages over {} procs breaks pages-per-peer > 1",
+                    c.label(),
+                    pages,
+                    c.nprocs
+                );
+            }
             let mut labels: Vec<String> = grid.iter().map(|c| c.label()).collect();
             labels.sort();
             labels.dedup();

@@ -97,6 +97,26 @@ fn run_bench<F: FnMut(&mut Bencher)>(budget: Duration, samples: usize, name: &st
         }
     }
     println!("{name:<50} {:>12.1} ns/iter (best of batches)", best.as_nanos() as f64);
+
+    // Machine-readable sink: append one JSON line per benchmark to the
+    // file named by CRITERION_JSON (collected into BENCH_6.json by
+    // `make bench`). Append-only so multiple bench binaries in one
+    // `cargo bench` run share the file; the collector takes the last
+    // line per name.
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            let line = format!(
+                "{{\"name\":\"{}\",\"ns\":{:.1}}}\n",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                best.as_nanos() as f64
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+        }
+    }
 }
 
 #[macro_export]
