@@ -1,7 +1,7 @@
 # Tier-1 verification and common entry points. CI (.github/workflows/ci.yml)
 # runs the same commands; `make tier1` is the local equivalent.
 
-.PHONY: tier1 build test clippy bench examples tables soak synth clean
+.PHONY: tier1 build test clippy bench examples tables soak synth serve clean
 
 tier1: build test
 
@@ -16,11 +16,15 @@ clippy:
 
 # Microbenchmarks + the committed machine-readable snapshot: the shim
 # appends one JSON line per bench to CRITERION_JSON; bench_json merges
-# those with the in-simulation message counts into BENCH_6.json.
+# those with the in-simulation message counts (plus a serve round over
+# the quick grid) into BENCH_7.json, and bench_diff then gates the
+# per-variant message totals against the committed BENCH_6.json —
+# protocol counts may only move together with golden_counts.rs.
 bench:
 	rm -f target/criterion.jsonl
 	CRITERION_JSON=$(CURDIR)/target/criterion.jsonl cargo bench
 	CRITERION_JSON=$(CURDIR)/target/criterion.jsonl cargo run --release -p bench --bin bench_json
+	cargo run --release -p bench --bin bench_diff
 
 examples:
 	cargo run --release --example quickstart
@@ -47,14 +51,23 @@ tables:
 synth:
 	cargo run --release -p bench --bin table_synth
 
+# The throughput service at quick scale: 200 jobs over the 24-cell grid
+# on a work-stealing pool, every job bitwise-checked against cold
+# goldens (~20 s here). Drop --quick for the nightly 60 s window at
+# paper scale.
+serve:
+	cargo run --release -p bench --bin table_serve -- --quick
+
 # Nightly-style depth: high-case-count property tests (failures print a
 # PROPTEST_SEED for exact replay and a shrunk minimal input) + the
-# adaptive and scenario-matrix acceptance smokes.
+# adaptive, scenario-matrix, and serve acceptance smokes.
 soak:
 	PROPTEST_CASES=512 cargo test -q -p chaos -p dsm -p adapt
 	PROPTEST_CASES=96 cargo test -q -p synth
+	PROPTEST_CASES=256 cargo test -q -p serve
 	cargo run --release -p bench --bin table_adapt -- --quick
 	cargo run --release -p bench --bin table_synth -- --quick
+	cargo run --release -p bench --bin table_serve -- --quick
 
 clean:
 	cargo clean

@@ -3,11 +3,46 @@
 //! snapshot, the per-processor second counters, and the final
 //! [`RunReport`] assembly. Pure bookkeeping: nothing here touches the
 //! protocol, so extracting it cannot change a message count.
+//!
+//! The per-processor second buffers are pooled per thread: a serving
+//! workload builds one `Capture` per job, and in steady state the
+//! buffers cycle through the pool instead of the allocator (part of the
+//! reusable-scratch path the `serve` crate's allocation tests pin).
+
+use std::cell::RefCell;
 
 use parking_lot::Mutex;
-use simnet::{PolicyReport, SimTime};
+use simnet::{NetReport, PolicyReport, SimTime};
 
 use crate::report::{RunReport, SystemKind};
+
+thread_local! {
+    /// Retired per-proc second buffers, reused by the next
+    /// [`Capture::new`] on this thread.
+    static BUF_POOL: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Retained buffers per thread: each capture holds three, and a worker
+/// builds captures one at a time, so a handful covers steady state.
+const MAX_POOLED_BUFS: usize = 12;
+
+fn take_buf(nprocs: usize) -> Vec<f64> {
+    let mut v = BUF_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    v.clear();
+    v.resize(nprocs, 0.0);
+    v
+}
+
+fn give_buf(v: Vec<f64>) {
+    BUF_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED_BUFS {
+            pool.push(v);
+        }
+    });
+}
 
 /// Capture state for one parallel run. Create it before `cl.run` /
 /// `w.run`, have rank 0 call a `freeze_*` method at the end of the timed
@@ -15,6 +50,7 @@ use crate::report::{RunReport, SystemKind};
 /// table row with [`Capture::report`].
 pub struct Capture {
     timed: Mutex<Option<(SimTime, u64, u64)>>,
+    net: Mutex<Option<NetReport>>,
     scan: Mutex<Vec<f64>>,
     insp_timed: Mutex<Vec<f64>>,
     insp_untimed: Mutex<Vec<f64>>,
@@ -25,9 +61,10 @@ impl Capture {
     pub fn new(nprocs: usize) -> Self {
         Capture {
             timed: Mutex::new(None),
-            scan: Mutex::new(vec![0.0; nprocs]),
-            insp_timed: Mutex::new(vec![0.0; nprocs]),
-            insp_untimed: Mutex::new(vec![0.0; nprocs]),
+            net: Mutex::new(None),
+            scan: Mutex::new(take_buf(nprocs)),
+            insp_timed: Mutex::new(take_buf(nprocs)),
+            insp_untimed: Mutex::new(take_buf(nprocs)),
             nprocs,
         }
     }
@@ -39,6 +76,7 @@ impl Capture {
         if me == 0 {
             let rep = cl.report();
             *self.timed.lock() = Some((cl.elapsed(), rep.messages, rep.bytes));
+            *self.net.lock() = Some(rep);
         }
     }
 
@@ -47,6 +85,7 @@ impl Capture {
         if cp.rank() == 0 {
             let rep = cp.net().report();
             *self.timed.lock() = Some((cp.net().clock_max(), rep.messages, rep.bytes));
+            *self.net.lock() = Some(rep);
         }
     }
 
@@ -74,7 +113,11 @@ impl Capture {
         policy: Option<PolicyReport>,
     ) -> RunReport {
         let (time, messages, bytes) = self.timed.into_inner().expect("timed region captured");
-        let avg = |v: Vec<f64>| v.iter().sum::<f64>() / self.nprocs as f64;
+        let avg = |v: Vec<f64>| {
+            let a = v.iter().sum::<f64>() / self.nprocs as f64;
+            give_buf(v);
+            a
+        };
         RunReport {
             system,
             time,
@@ -86,6 +129,7 @@ impl Capture {
             validate_scan_s: avg(self.scan.into_inner()),
             checksum,
             policy,
+            net: self.net.into_inner(),
         }
     }
 }
@@ -116,5 +160,20 @@ mod tests {
     fn report_without_freeze_panics() {
         let c = Capture::new(1);
         let _ = c.report(SystemKind::TmkBase, SimTime::ZERO, 0.0, None);
+    }
+
+    #[test]
+    fn buffers_cycle_through_the_thread_pool() {
+        // Drain whatever earlier tests on this thread pooled.
+        while BUF_POOL.with(|p| p.borrow_mut().pop()).is_some() {}
+        let c = Capture::new(8);
+        *c.timed.lock() = Some((SimTime::ZERO, 0, 0));
+        let _ = c.report(SystemKind::TmkBase, SimTime::ZERO, 0.0, None);
+        assert_eq!(BUF_POOL.with(|p| p.borrow().len()), 3);
+        // The next capture reuses them (pool drains), even at another
+        // cluster size — buffers are resized, not reallocated.
+        let c = Capture::new(4);
+        assert_eq!(BUF_POOL.with(|p| p.borrow().len()), 0);
+        assert_eq!(c.scan.lock().len(), 4);
     }
 }

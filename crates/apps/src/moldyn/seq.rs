@@ -65,6 +65,7 @@ pub fn run_seq(cfg: &MoldynConfig, world: &MoldynWorld) -> SeqResult {
             validate_scan_s: 0.0,
             checksum,
             policy: None,
+            net: None,
         },
         x,
     }

@@ -53,6 +53,7 @@ pub fn run_seq(cfg: &NbfConfig, world: &NbfWorld) -> SeqResult {
             validate_scan_s: 0.0,
             checksum,
             policy: None,
+            net: None,
         },
         x,
     }

@@ -1,6 +1,6 @@
 //! Run reports: the numbers that become the rows of Tables 1 and 2.
 
-use simnet::{PolicyReport, SimTime};
+use simnet::{NetReport, PolicyReport, SimTime};
 
 /// Which system produced a report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,12 @@ pub struct RunReport {
     /// Policy-decision counters of the timed region — present only for
     /// the adaptive build (`None` everywhere else).
     pub policy: Option<PolicyReport>,
+    /// Full per-kind message/byte breakdown of the timed region, when
+    /// the runner captured one (parallel variants via [`crate::harness::Capture`];
+    /// `None` for sequential runs, which exchange nothing). The serve
+    /// driver folds these with [`NetReport::merge`] so concurrent cells
+    /// accumulate per-variant totals without a global lock.
+    pub net: Option<NetReport>,
 }
 
 impl RunReport {
@@ -104,6 +110,7 @@ mod tests {
             validate_scan_s: 0.0,
             checksum: 1.0,
             policy: None,
+            net: None,
         };
         assert!((r.speedup() - 6.0).abs() < 1e-9);
         assert!((r.megabytes() - 5.0).abs() < 1e-12);

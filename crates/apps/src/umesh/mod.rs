@@ -197,6 +197,7 @@ pub fn run_seq(cfg: &UmeshConfig, mesh: &Mesh) -> SeqResult {
             validate_scan_s: 0.0,
             checksum,
             policy: None,
+            net: None,
         },
         x,
     }

@@ -1,0 +1,143 @@
+//! Diff the per-variant message totals between two committed bench
+//! snapshots — the golden-count regression gate for `make bench` / CI.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_diff              # BENCH_6.json vs BENCH_7.json
+//! cargo run --release -p bench --bin bench_diff -- OLD NEW   # explicit files
+//! ```
+//!
+//! Message totals are counted in-simulation, so they are exactly
+//! reproducible: any drift between snapshots means a protocol change.
+//! That is allowed — but only *deliberately*, with `golden_counts.rs`
+//! and the committed snapshot updated in the same change. This tool
+//! exits non-zero when the totals moved, so an accidental protocol
+//! regression cannot hide inside a benchmark refresh.
+//!
+//! Wall-clock sections (`benches_ns`, `cells_per_sec`, percentiles) are
+//! machine-dependent and deliberately ignored.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// `app -> variant -> messages`, scraped from a snapshot's
+/// `"message_totals"` section (format written by `bench_json`).
+type Totals = BTreeMap<String, BTreeMap<String, u64>>;
+
+fn parse_totals(text: &str) -> Totals {
+    let mut totals = Totals::new();
+    let Some(start) = text.find("\"message_totals\"") else {
+        return totals;
+    };
+    let Some(end) = text[start..].find('}').map(|_| {
+        // The section closes at the first line that is exactly "  },"
+        // or "  }" — every app row's braces sit on one line.
+        let tail = &text[start..];
+        let mut depth = 0usize;
+        let mut idx = 0usize;
+        for (i, c) in tail.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        idx = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        start + idx
+    }) else {
+        return totals;
+    };
+    for line in text[start..end].lines() {
+        let line = line.trim();
+        // `"label": { "tag": N, "tag": N, ... },`
+        let Some((label, rest)) = line.split_once(": {") else {
+            continue;
+        };
+        let label = label.trim_matches(|c| c == '"' || c == ' ');
+        let mut row = BTreeMap::new();
+        for cell in rest.trim_end_matches(['}', ',', ' ']).split(',') {
+            if let Some((tag, n)) = cell.split_once(':') {
+                let tag = tag.trim().trim_matches('"');
+                if let Ok(n) = n.trim().parse::<u64>() {
+                    row.insert(tag.to_string(), n);
+                }
+            }
+        }
+        if !row.is_empty() {
+            totals.insert(label.to_string(), row);
+        }
+    }
+    totals
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path) = match args.as_slice() {
+        [] => ("BENCH_6.json".to_string(), "BENCH_7.json".to_string()),
+        [old, new] => (old.clone(), new.clone()),
+        _ => {
+            eprintln!("usage: bench_diff [OLD.json NEW.json]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let old_text = match std::fs::read_to_string(&old_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {old_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new_text = match std::fs::read_to_string(&new_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {new_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let old = parse_totals(&old_text);
+    let new = parse_totals(&new_text);
+    if old.is_empty() || new.is_empty() {
+        eprintln!("bench_diff: no message_totals section in one of the snapshots");
+        return ExitCode::FAILURE;
+    }
+
+    let mut drift = 0usize;
+    for (app, old_row) in &old {
+        let Some(new_row) = new.get(app) else {
+            println!("bench_diff: {app}: present in {old_path}, missing from {new_path}");
+            drift += 1;
+            continue;
+        };
+        for (tag, &was) in old_row {
+            let now = new_row.get(tag).copied();
+            if now != Some(was) {
+                println!(
+                    "bench_diff: {app}/{tag}: {was} -> {}",
+                    now.map_or("missing".to_string(), |n| n.to_string())
+                );
+                drift += 1;
+            }
+        }
+    }
+
+    if drift == 0 {
+        println!(
+            "bench_diff: message totals identical across {} apps ({old_path} vs {new_path})  ✓",
+            old.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nbench_diff: {drift} per-variant totals drifted. Protocol counts are\n\
+             exact simulation artifacts: if this change is deliberate, update\n\
+             crates/apps/tests/golden_counts.rs and commit the refreshed snapshot\n\
+             in the same change; if not, a protocol regression slipped in."
+        );
+        ExitCode::FAILURE
+    }
+}

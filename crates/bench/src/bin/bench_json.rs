@@ -1,39 +1,45 @@
-//! Collect the machine-readable benchmark snapshot `BENCH_6.json`.
+//! Collect the machine-readable benchmark snapshot `BENCH_7.json`.
 //!
 //! `make bench` runs `cargo bench` with `CRITERION_JSON` pointing at a
-//! JSON-lines sink (one `{"name": ..., "ns": ...}` per microbenchmark,
-//! written by the criterion shim), then runs this collector, which
-//! merges:
+//! JSON-lines sink (one `{"name": ..., "ns": ..., "mad_ns": ...}` per
+//! microbenchmark, written by the criterion shim), then runs this
+//! collector, which merges:
 //!
-//! * the per-benchmark best-of-batches nanoseconds (last line wins if a
-//!   bench ran twice);
+//! * the per-benchmark median nanoseconds and their MAD (last line wins
+//!   if a bench ran twice);
 //! * the per-variant **message totals** of the three classic apps at
 //!   their small sizes (the numbers `golden_counts.rs` pins — counted
 //!   in-simulation, so they are machine-independent);
 //! * the barrier notice-metadata probe at 16 and 64 processors (the
-//!   scaling figure `table_synth` asserts).
+//!   scaling figure `table_synth` asserts);
+//! * a `serve` section: the deterministic per-variant message totals of
+//!   one round over the quick scenario grid (24 jobs, machine-
+//!   independent) plus a throughput/latency snapshot of that run
+//!   (machine-dependent, expected to drift like the wall-clock ns).
 //!
 //! The output is committed so a diff of protocol counts shows up in
-//! review like a golden-file change; the wall-clock ns are a snapshot
-//! of the machine that last ran `make bench` and are expected to drift.
+//! review like a golden-file change; `bench_diff` enforces that the
+//! message totals moved only when the committed previous snapshot (and
+//! `golden_counts.rs`) moved with them.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use apps::workload::{run_matrix, MoldynWorkload, NbfWorkload, UmeshWorkload, Variant};
 use apps::moldyn::MoldynConfig;
 use apps::nbf::NbfConfig;
 use apps::umesh::UmeshConfig;
-use synth::{notice_meta_probe, Dynamics, Structure, SynthConfig};
+use apps::workload::{run_matrix, MoldynWorkload, NbfWorkload, UmeshWorkload, Variant};
+use serve::{serve, ServeConfig, Stop};
+use synth::{notice_meta_probe, scenario_grid, Dynamics, Structure, SynthConfig};
 
 fn main() {
     let sink = std::env::var("CRITERION_JSON")
         .unwrap_or_else(|_| "target/criterion.jsonl".to_string());
-    let mut ns: BTreeMap<String, f64> = BTreeMap::new();
+    let mut ns: BTreeMap<String, (f64, Option<f64>)> = BTreeMap::new();
     if let Ok(lines) = std::fs::read_to_string(&sink) {
         for line in lines.lines() {
-            if let Some((name, v)) = parse_line(line) {
-                ns.insert(name, v); // last line per name wins
+            if let Some((name, v, mad)) = parse_line(line) {
+                ns.insert(name, (v, mad)); // last line per name wins
             }
         }
     } else {
@@ -71,10 +77,31 @@ fn main() {
     };
     let (nb16, nb64) = (probe(16), probe(64));
 
+    // One serve round over the quick grid: 24 jobs, one per cell. The
+    // message totals are pure simulation counts (deterministic); the
+    // throughput and percentiles are wall-clock (drift expected).
+    let grid = scenario_grid(true);
+    let out_serve = serve(
+        &grid,
+        &ServeConfig {
+            workers: 4,
+            stop: Stop::Jobs(grid.len()),
+            thread_budget: 96,
+            check_allocs: false,
+        },
+    );
+    let lat = |q: f64| out_serve.latency(q).as_secs_f64() * 1e3;
+
     let mut out = String::from("{\n  \"benches_ns\": {\n");
     let rows: Vec<String> = ns
         .iter()
-        .map(|(name, v)| format!("    \"{name}\": {v:.1}"))
+        .map(|(name, (v, _))| format!("    \"{name}\": {v:.1}"))
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  },\n  \"benches_mad_ns\": {\n");
+    let rows: Vec<String> = ns
+        .iter()
+        .filter_map(|(name, (_, mad))| mad.map(|m| format!("    \"{name}\": {m:.1}")))
         .collect();
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  },\n  \"message_totals\": {\n");
@@ -89,23 +116,47 @@ fn main() {
     out.push_str(&rows.join(",\n"));
     let _ = write!(
         out,
-        "\n  }},\n  \"notice_meta_bytes\": {{ \"p16\": {nb16}, \"p64\": {nb64} }}\n}}\n"
+        "\n  }},\n  \"notice_meta_bytes\": {{ \"p16\": {nb16}, \"p64\": {nb64} }},\n"
+    );
+    let serve_rows: Vec<String> = Variant::PARALLEL
+        .iter()
+        .zip(variants.iter())
+        .map(|(&v, &(_, tag))| format!("\"{tag}\": {}", out_serve.totals(v).messages))
+        .collect();
+    let _ = write!(
+        out,
+        "  \"serve_quick_grid\": {{\n    \"jobs\": {},\n    \"message_totals\": {{ {} }},\n    \"cells_per_sec\": {:.2},\n    \"latency_ms\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }}\n  }}\n}}\n",
+        out_serve.jobs_done,
+        serve_rows.join(", "),
+        out_serve.cells_per_sec(),
+        lat(0.50),
+        lat(0.95),
+        lat(0.99),
     );
 
-    std::fs::write("BENCH_6.json", &out).expect("write BENCH_6.json");
-    println!("wrote BENCH_6.json ({} benches, 3 apps, notice probe)", ns.len());
+    std::fs::write("BENCH_7.json", &out).expect("write BENCH_7.json");
+    println!(
+        "wrote BENCH_7.json ({} benches, 3 apps, notice probe, {}-job serve round)",
+        ns.len(),
+        out_serve.jobs_done
+    );
 }
 
-/// Minimal parse of one `{"name":"...","ns":...}` sink line.
-fn parse_line(line: &str) -> Option<(String, f64)> {
+/// Minimal parse of one `{"name":"...","ns":...}` sink line, tolerating
+/// the pre-MAD shim format (no `"mad_ns"` key).
+fn parse_line(line: &str) -> Option<(String, f64, Option<f64>)> {
     let name_start = line.find("\"name\":\"")? + 8;
     let name_end = name_start + line[name_start..].find('"')?;
-    let ns_start = line.find("\"ns\":")? + 5;
-    let ns_end = line[ns_start..]
-        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
-        .map_or(line.len(), |k| ns_start + k);
+    let number_at = |key: &str| -> Option<f64> {
+        let start = line.find(key)? + key.len();
+        let end = line[start..]
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .map_or(line.len(), |k| start + k);
+        line[start..end].parse().ok()
+    };
     Some((
         line[name_start..name_end].to_string(),
-        line[ns_start..ns_end].parse().ok()?,
+        number_at("\"ns\":")?,
+        number_at("\"mad_ns\":"),
     ))
 }

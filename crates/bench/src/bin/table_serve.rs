@@ -1,0 +1,124 @@
+//! The scenario-matrix *service* harness: where `table_synth` runs each
+//! grid cell once, `table_serve` keeps serving cells — every job one
+//! full six-variant `run_matrix` pass — from a work-stealing pool of
+//! executor threads, and reports sustained throughput (cells/sec) and
+//! per-job latency percentiles (p50/p95/p99).
+//!
+//! ```text
+//! cargo run --release -p bench --bin table_serve -- --quick   # ≥200 jobs, 24-cell grid
+//! cargo run --release -p bench --bin table_serve             # 60 s window, paper scale
+//! ```
+//!
+//! Flags: `--jobs N` serves exactly N jobs; `--window-secs S` serves for
+//! S seconds of wall clock; `--workers W` sets the executor count
+//! (default 4); `--json PATH` additionally writes a machine-readable
+//! report (the nightly run uploads it as an artifact). Without an
+//! explicit stop, `--quick` serves 200 jobs and the paper-scale run
+//! serves a 60-second window (the nightly soak).
+//!
+//! The run doubles as the serve subsystem's acceptance check: every
+//! served job re-asserts the six-way bitwise contract inside
+//! `run_matrix`, and the driver compares each job's per-variant message
+//! and byte totals against cold-run goldens pinned before serving began
+//! — the reusable-scratch path must be *observably* identical to fresh
+//! clusters, or the run aborts.
+
+use std::time::Duration;
+
+use serve::{serve, ServeConfig, Stop};
+use synth::scenario_grid;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workers: usize = arg_value("--workers")
+        .map(|v| v.parse().expect("--workers takes a count"))
+        .unwrap_or(4);
+    let jobs: Option<usize> = arg_value("--jobs").map(|v| v.parse().expect("--jobs takes a count"));
+    let window: Option<u64> = arg_value("--window-secs")
+        .map(|v| v.parse().expect("--window-secs takes seconds"));
+
+    let stop = match (jobs, window) {
+        (Some(n), _) => Stop::Jobs(n),
+        (None, Some(s)) => Stop::Window(Duration::from_secs(s)),
+        (None, None) if quick => Stop::Jobs(200),
+        (None, None) => Stop::Window(Duration::from_secs(60)),
+    };
+
+    let grid = scenario_grid(quick);
+    println!("=== table_serve: scenario-matrix-as-a-service ===");
+    println!(
+        "({} grid, {} cells; every job = one six-variant bitwise-checked matrix,",
+        if quick { "quick" } else { "paper-scale" },
+        grid.len()
+    );
+    println!(" served warm off recycled clusters, checked against cold goldens)\n");
+
+    let cfg = ServeConfig {
+        workers,
+        stop,
+        // Room for one sparse-clock scale cell (64/256 procs) plus a few
+        // small cells beside it.
+        thread_budget: if quick { 96 } else { 288 },
+        check_allocs: false,
+    };
+    let out = serve(&grid, &cfg);
+    print!("{}", out.summary());
+
+    if let Some(path) = arg_value("--json") {
+        let lat = |q: f64| out.latency(q).as_secs_f64() * 1e3;
+        let rows: Vec<String> = out
+            .per_variant
+            .iter()
+            .map(|t| {
+                format!(
+                    "    {{ \"variant\": \"{:?}\", \"messages\": {}, \"bytes\": {} }}",
+                    t.variant, t.messages, t.bytes
+                )
+            })
+            .collect();
+        let report = format!(
+            "{{\n  \"grid\": \"{}\",\n  \"cells\": {},\n  \"workers\": {},\n  \"jobs\": {},\n  \"wall_secs\": {:.2},\n  \"cells_per_sec\": {:.2},\n  \"latency_ms\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }},\n  \"per_variant\": [\n{}\n  ]\n}}\n",
+            if quick { "quick" } else { "paper" },
+            out.cells,
+            out.workers,
+            out.jobs_done,
+            out.wall.as_secs_f64(),
+            out.cells_per_sec(),
+            lat(0.50),
+            lat(0.95),
+            lat(0.99),
+            rows.join(",\n"),
+        );
+        std::fs::write(&path, report).expect("write --json report");
+        println!("wrote {path}");
+    }
+
+    if let Stop::Jobs(n) = stop {
+        assert_eq!(
+            out.jobs_done, n as u64,
+            "driver stopped early: {} of {n} jobs",
+            out.jobs_done
+        );
+    }
+    if quick && jobs.is_none() && window.is_none() {
+        assert!(
+            out.jobs_done >= 200,
+            "quick acceptance needs ≥ 200 jobs, served {}",
+            out.jobs_done
+        );
+    }
+    println!(
+        "\n{} jobs × 6 variants: all bitwise-identical, all equal to cold goldens  ✓",
+        out.jobs_done
+    );
+}

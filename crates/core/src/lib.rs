@@ -41,6 +41,7 @@ pub use descriptor::{flat_indices, AccessType, Desc, RegionRef};
 pub use validate::{validate, ScheduleInfo, Validator};
 
 pub use dsm::{
-    Cluster, DsmConfig, FetchClass, MsgKind, Pod, SharedSlice, SimTime, TmkProc, DENSE_VC_MAX,
+    Cluster, ClusterPool, DsmConfig, FetchClass, MsgKind, Pod, SharedSlice, SimTime, TmkProc,
+    DENSE_VC_MAX,
 };
 pub use rsd::{Dim, Rsd};

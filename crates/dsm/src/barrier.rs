@@ -58,6 +58,15 @@ impl BarrierCtl {
     pub(crate) fn epoch(&self) -> u64 {
         self.state.lock().epoch
     }
+
+    /// Back to the just-built state; the rendezvous itself is reusable.
+    pub(crate) fn reset(&self) {
+        let mut st = self.state.lock();
+        st.target.fill(0);
+        st.prev.fill(0);
+        st.digest = Arc::new([]);
+        st.epoch = 0;
+    }
 }
 
 impl TmkProc<'_> {

@@ -1,6 +1,8 @@
 //! The cluster: configuration, the shared-heap allocator, and the SPMD
 //! launcher.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 use simnet::{CostModel, Net, NetReport, SimTime};
 
@@ -8,6 +10,7 @@ use crate::barrier::BarrierCtl;
 use crate::heap::{Pod, SharedSlice};
 use crate::interval::NoticeBoard;
 use crate::lock::LockMgr;
+use crate::pagepool::PagePool;
 use crate::proc::{ProcInner, TmkProc};
 use crate::store::DiffStore;
 
@@ -74,6 +77,12 @@ pub struct Cluster {
     locks: LockMgr,
     alloc_next: Mutex<usize>,
     slots: Vec<Mutex<Option<Box<ProcInner>>>>,
+    /// Free page-sized boxes, fed by [`Cluster::recycle`] and drained by
+    /// the fault paths — repeated runs on a recycled cluster stop
+    /// allocating page frames and twins. Shared with the diff store, so
+    /// master copies and master-fetch replies cycle through the same
+    /// free-list (see [`crate::pagepool::PagePool`]).
+    page_pool: Arc<PagePool>,
 }
 
 impl Cluster {
@@ -84,10 +93,11 @@ impl Cluster {
         assert!(cfg.page_size >= 64, "page size too small");
         let nprocs = cfg.nprocs;
         let page_size = cfg.page_size;
+        let page_pool = Arc::new(PagePool::new(page_size));
         Cluster {
             net: Net::new(nprocs, cfg.cost.clone()),
             board: NoticeBoard::new(nprocs),
-            store: DiffStore::new(nprocs, page_size),
+            store: DiffStore::with_pool(nprocs, page_size, Arc::clone(&page_pool)),
             cfg,
             barrier: BarrierCtl::new(nprocs),
             locks: LockMgr::default(),
@@ -95,7 +105,57 @@ impl Cluster {
             slots: (0..nprocs)
                 .map(|_| Mutex::new(Some(Box::new(ProcInner::new(nprocs)))))
                 .collect(),
+            page_pool,
         }
+    }
+
+    /// Reset all protocol, heap, and accounting state so the cluster is
+    /// observably indistinguishable from a fresh [`Cluster::new`] with
+    /// the same configuration — but with every page frame, twin, diff
+    /// store, and barrier board allocation retained for reuse. Panics if
+    /// called while a [`Cluster::run`] is in flight. The scenario label
+    /// survives (callers re-stamp it per run anyway).
+    pub fn recycle(&self) {
+        let heap_pages = self.alloc_next.lock().div_ceil(self.cfg.page_size);
+        self.net.reset();
+        self.board.reset();
+        self.store.reset();
+        self.barrier.reset();
+        self.locks.reset();
+        *self.alloc_next.lock() = 0;
+        for slot in &self.slots {
+            let mut guard = slot.lock();
+            let inner = guard
+                .as_mut()
+                .expect("recycle() while a run() is in flight");
+            inner.recycle(&mut |b| self.page_pool.give(b));
+        }
+        // Backstop: everything a run can hold live is bounded by frames
+        // (nprocs × pages) + twins (nprocs × pages) + masters (pages);
+        // trim anything beyond it so one paging-heavy job's high-water
+        // mark is not pinned forever.
+        let cap = heap_pages * (2 * self.cfg.nprocs + 1) + 64;
+        self.page_pool.trim(cap);
+    }
+
+    /// A zeroed page-sized box, reusing a pooled frame when available.
+    pub(crate) fn take_page_zeroed(&self) -> Box<[u8]> {
+        self.page_pool.take_zeroed()
+    }
+
+    /// A page-sized box holding a copy of `src` (twin creation).
+    pub(crate) fn take_page_copy(&self, src: &[u8]) -> Box<[u8]> {
+        self.page_pool.take_copy(src)
+    }
+
+    /// Return a page-sized box to the pool (dropped if mis-sized).
+    pub(crate) fn recycle_page(&self, b: Box<[u8]>) {
+        self.page_pool.give(b);
+    }
+
+    /// Pooled free frames (diagnostics for reuse tests).
+    pub fn pooled_pages(&self) -> usize {
+        self.page_pool.len()
     }
 
     /// The configuration this cluster was built with.

@@ -177,6 +177,14 @@ impl NoticeBoard {
         }
     }
 
+    /// Drop every published interval, keeping the boards' capacity
+    /// (part of [`crate::Cluster::recycle`]).
+    pub fn reset(&self) {
+        for b in &self.boards {
+            b.write().clear();
+        }
+    }
+
     /// Total wire bytes of `q`'s intervals in `(from, to]` — used to
     /// account barrier/lock message sizes.
     pub fn range_bytes(&self, q: ProcId, from: u32, to: u32) -> usize {

@@ -56,11 +56,14 @@ mod diff;
 mod heap;
 mod interval;
 mod lock;
+mod pagepool;
 mod policy;
 mod proc;
+mod scratch;
 mod store;
 
 pub use cluster::{Cluster, DsmConfig};
+pub use scratch::ClusterPool;
 pub use diff::{Diff, Payload, DIFF_WORD};
 pub use heap::{Pod, SharedSlice};
 pub use interval::{covers, vc_key, CompactVc, IntervalRec, NoticeBoard, Vc, DENSE_VC_MAX};

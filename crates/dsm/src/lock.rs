@@ -41,6 +41,11 @@ pub(crate) struct LockMgr {
 }
 
 impl LockMgr {
+    /// Forget every lock (fresh-cluster state; no lock may be held).
+    pub(crate) fn reset(&self) {
+        self.slots.lock().clear();
+    }
+
     fn slot(&self, id: u32, nprocs: usize) -> Arc<LockSlot> {
         let mut m = self.slots.lock();
         Arc::clone(m.entry(id).or_insert_with(|| {

@@ -216,6 +216,37 @@ impl ProcInner {
             self.frames.push(Frame::new());
         }
     }
+
+    /// Reset to the just-built state, surrendering page boxes to `give`
+    /// but keeping every vector's capacity (and the frame table itself)
+    /// for the next run — the per-processor half of
+    /// [`crate::Cluster::recycle`].
+    pub(crate) fn recycle(&mut self, give: &mut dyn FnMut(Box<[u8]>)) {
+        for f in &mut self.frames {
+            f.state = PageState::Invalid;
+            if let Some(b) = f.data.take() {
+                give(b);
+            }
+            if let Some(b) = f.twin.take() {
+                give(b);
+            }
+            f.full_write = false;
+            f.watch_protect = false;
+            f.watched = false;
+            f.applied.clear();
+            f.pending.clear();
+        }
+        self.vc.fill(0);
+        self.dirty.clear();
+        self.watchers.clear();
+        self.watch_flags.clear();
+        self.watch_dirty.clear();
+        self.counters = ProcCounters::default();
+        self.last_barrier_seen.fill(0);
+        self.policy = Box::new(StaticPolicy);
+        self.deferred.clear();
+        self.push_scheds.clear();
+    }
 }
 
 /// A simulated processor inside [`Cluster::run`]: rank, page table, and
@@ -396,7 +427,7 @@ impl<'c> TmkProc<'c> {
         let f = &mut self.inner.frames[page as usize];
         if f.state == PageState::Read {
             if !f.full_write && f.twin.is_none() {
-                f.twin = Some(f.data.as_ref().unwrap().clone());
+                f.twin = Some(self.cl.take_page_copy(f.data.as_ref().unwrap()));
                 self.inner.counters.twins_made += 1;
                 self.inner.dirty.push(page);
                 self.cl.net().advance(self.me, cost.twin(page_size));
@@ -424,7 +455,7 @@ impl<'c> TmkProc<'c> {
                 "pre_twin on invalid page {page}: fetch first"
             );
             if f.state == PageState::Read && !f.full_write && f.twin.is_none() {
-                f.twin = Some(f.data.as_ref().unwrap().clone());
+                f.twin = Some(self.cl.take_page_copy(f.data.as_ref().unwrap()));
                 self.inner.counters.twins_made += 1;
                 self.inner.dirty.push(page);
                 self.cl.net().advance(self.me, cost.twin(page_size));
@@ -437,7 +468,6 @@ impl<'c> TmkProc<'c> {
     /// before the next release (`WRITE_ALL`): no twin is kept, no fetch is
     /// needed, and interval close publishes the whole page (paper §3.2).
     pub fn mark_full_write(&mut self, pages: &[u32]) {
-        let page_size = self.page_size;
         for &page in pages {
             if self.inner.frames[page as usize].watch_protect {
                 self.fire_watch(page);
@@ -445,7 +475,7 @@ impl<'c> TmkProc<'c> {
             }
             let f = &mut self.inner.frames[page as usize];
             if f.data.is_none() {
-                f.data = Some(vec![0u8; page_size].into_boxed_slice());
+                f.data = Some(self.cl.take_page_zeroed());
             }
             if !f.dirty() {
                 self.inner.dirty.push(page);
@@ -459,7 +489,9 @@ impl<'c> TmkProc<'c> {
                 }
             }
             f.full_write = true;
-            f.twin = None;
+            if let Some(t) = f.twin.take() {
+                self.cl.recycle_page(t);
+            }
             f.state = PageState::Write;
         }
     }
@@ -760,7 +792,7 @@ impl<'c> TmkProc<'c> {
         for n in needs {
             let f = &mut self.inner.frames[n.page as usize];
             if f.data.is_none() {
-                f.data = Some(vec![0u8; self.page_size].into_boxed_slice());
+                f.data = Some(self.cl.take_page_zeroed());
             }
             if n.master {
                 let (mdata, horizon) = self.cl.store().master_fetch(n.page);
@@ -779,6 +811,7 @@ impl<'c> TmkProc<'c> {
                 if let Some(d) = own_delta {
                     d.apply(f.data.as_mut().unwrap());
                 }
+                self.cl.recycle_page(mdata);
                 // The master is a snapshot *at the horizon*: the page
                 // regresses to exactly that knowledge; newer records
                 // (re-collected above) are applied on top.
@@ -844,7 +877,9 @@ impl<'c> TmkProc<'c> {
                     self.inner.counters.diffs_created += 1;
                 }
             }
-            f.twin = None;
+            if let Some(t) = f.twin.take() {
+                self.cl.recycle_page(t);
+            }
             f.full_write = false;
             // Re-protect: the next write in the new interval faults again.
             if f.state == PageState::Write {

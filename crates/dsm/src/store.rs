@@ -17,6 +17,7 @@ use simnet::ProcId;
 
 use crate::diff::Payload;
 use crate::interval::{vc_key, Vc};
+use crate::pagepool::PagePool;
 
 /// One published modification of one page by one interval.
 #[derive(Debug, Clone)]
@@ -64,9 +65,12 @@ struct Master {
 /// from its own [`PageLog::folded_upto`]), so flattening must keep it.
 #[derive(Debug)]
 pub struct DiffStore {
-    page_size: usize,
     per_proc: Vec<RwLock<Vec<Option<PageLog>>>>,
     master: RwLock<Master>,
+    /// Free-list shared with the owning cluster: master copies and
+    /// master-fetch replies cycle through the same boxes as page frames
+    /// and twins, keeping recycled runs allocation-neutral.
+    pool: Arc<PagePool>,
 }
 
 /// Result of asking for one page's records from one processor.
@@ -78,15 +82,22 @@ pub(crate) struct Collected {
 }
 
 impl DiffStore {
-    /// An empty store for `nprocs` processors of `page_size`-byte pages.
+    /// An empty store for `nprocs` processors of `page_size`-byte pages,
+    /// with a private page free-list.
     pub fn new(nprocs: usize, page_size: usize) -> Self {
+        Self::with_pool(nprocs, page_size, Arc::new(PagePool::new(page_size)))
+    }
+
+    /// An empty store drawing page boxes from `pool` (the owning
+    /// cluster's free-list).
+    pub(crate) fn with_pool(nprocs: usize, _page_size: usize, pool: Arc<PagePool>) -> Self {
         DiffStore {
-            page_size,
             per_proc: (0..nprocs).map(|_| RwLock::new(Vec::new())).collect(),
             master: RwLock::new(Master {
                 horizon: vec![0; nprocs],
                 pages: Vec::new(),
             }),
+            pool,
         }
     }
 
@@ -154,11 +165,10 @@ impl DiffStore {
     /// horizon. The caller charges the fetch to the page's manager.
     pub fn master_fetch(&self, page: u32) -> (Box<[u8]>, Vc) {
         let m = self.master.read();
-        let data = m
-            .pages
-            .get(page as usize)
-            .and_then(|s| s.clone())
-            .unwrap_or_else(|| vec![0u8; self.page_size].into_boxed_slice());
+        let data = match m.pages.get(page as usize).and_then(|s| s.as_deref()) {
+            Some(master) => self.pool.take_copy(master),
+            None => self.pool.take_zeroed(),
+        };
         (data, m.horizon.clone())
     }
 
@@ -208,13 +218,25 @@ impl DiffStore {
             if m.pages.len() <= idx {
                 m.pages.resize_with(idx + 1, || None);
             }
-            let buf = m.pages[idx]
-                .get_or_insert_with(|| vec![0u8; self.page_size].into_boxed_slice());
+            let buf = m.pages[idx].get_or_insert_with(|| self.pool.take_zeroed());
             r.payload.apply(buf);
         }
         for (h, &n) in m.horizon.iter_mut().zip(horizon) {
             *h = (*h).max(n);
         }
+    }
+
+    /// Drop every record, return every master copy to the page pool,
+    /// and zero the fold horizon, keeping the per-processor arenas'
+    /// capacity. Part of [`crate::Cluster::recycle`]; must not race
+    /// with fetches.
+    pub fn reset(&self) {
+        for lock in &self.per_proc {
+            lock.write().clear();
+        }
+        let mut m = self.master.write();
+        m.horizon.fill(0);
+        self.pool.give_all(m.pages.drain(..).flatten());
     }
 
     /// Number of retained (unfolded) records — memory-bound test hook.

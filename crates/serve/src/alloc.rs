@@ -1,0 +1,69 @@
+//! A counting global-allocator wrapper, for the reusable-scratch
+//! allocation assertions.
+//!
+//! A test (or bench) binary installs it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: serve::alloc::Counting = serve::alloc::Counting;
+//! ```
+//!
+//! and the process-wide counters here light up; binaries that do not
+//! install it read zeros everywhere, so the driver's debug-only
+//! steady-state check degrades to a no-op instead of a false failure.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOCED: AtomicU64 = AtomicU64::new(0);
+static FREED: AtomicU64 = AtomicU64::new(0);
+
+/// See module docs: `std::alloc::System` plus three relaxed counters.
+pub struct Counting;
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// are side effects only.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            ALLOCED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            ALLOCED.fetch_add(new_size as u64, Ordering::Relaxed);
+            FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+/// Is a [`Counting`] allocator live in this process (any traffic seen)?
+pub fn active() -> bool {
+    ALLOCS.load(Ordering::Relaxed) > 0
+}
+
+/// Heap allocations performed so far (count of alloc/realloc calls).
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Bytes currently outstanding: allocated minus freed. Signed — a
+/// thread may free buffers another allocated.
+pub fn net_bytes() -> i64 {
+    let a = ALLOCED.load(Ordering::Relaxed);
+    let f = FREED.load(Ordering::Relaxed);
+    a as i64 - f as i64
+}

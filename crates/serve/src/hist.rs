@@ -1,0 +1,202 @@
+//! A streaming log-bucketed latency histogram (HDR-style).
+//!
+//! Fixed memory (one `u64` per bucket), O(1) record, mergeable — each
+//! executor thread records into its own histogram and the driver folds
+//! them at the end, so the hot path never touches a shared lock. Values
+//! land in a bucket of width `2^(msb-4)`, i.e. quantiles carry at most
+//! ~6% relative error (16 sub-buckets per power of two) — plenty for
+//! p50/p95/p99 over cell latencies spanning microseconds to seconds.
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Enough octaves for any u64 nanosecond count.
+const NBUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// See module docs. Values are unitless `u64`s; the serve driver feeds
+/// nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn index_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) & (SUB - 1);
+    ((shift + 1) as u64 * SUB + sub) as usize
+}
+
+/// Lower edge of bucket `i` (the value [`index_of`] maps back from).
+fn value_of(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let shift = (i / SUB) as u32 - 1;
+    let sub = i % SUB;
+    (SUB + sub) << shift
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NBUCKETS],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[index_of(v)] += 1;
+        self.count += 1;
+        self.total += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket lower edge — the
+    /// value `X` such that at least `q` of observations are `<= X` up
+    /// to bucket resolution. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return value_of(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other` into `self` (bucket-wise; exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_value_roundtrip() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1023, 1024, 1 << 20, u64::MAX] {
+            let i = index_of(v);
+            assert!(i < NBUCKETS, "index {i} out of range for {v}");
+            let lo = value_of(i);
+            assert!(lo <= v, "bucket edge {lo} above value {v}");
+            // Next bucket's edge is above v (bucket really contains v).
+            if i + 1 < NBUCKETS {
+                assert!(value_of(i + 1) > v, "value {v} beyond bucket {i}");
+            }
+        }
+        // Edges are monotone.
+        for i in 1..NBUCKETS {
+            assert!(value_of(i) > value_of(i - 1), "edge order at {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs..1ms in ns
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "quantiles ordered");
+        // ≤ ~6.25% bucket error plus the ramp's own granularity.
+        assert!((p50 as f64 - 500_000.0).abs() < 65_000.0, "p50={p50}");
+        assert!((p95 as f64 - 950_000.0).abs() < 65_000.0, "p95={p95}");
+        assert!(p99 <= 1_000_000 && p99 as f64 > 900_000.0, "p99={p99}");
+        assert!((h.mean() - 500_500_000.0 / 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..500u64 {
+            let x = v * v + 7;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -451,6 +451,43 @@ impl PolicyReport {
         self.per_phase.iter().find(|r| r.phase == phase)
     }
 
+    /// Accumulate `other` into `self` field-wise, merging the per-phase
+    /// breakdowns by tag. Associative and commutative, so concurrent
+    /// runs (the serve driver's workers) can each fold their own jobs'
+    /// reports locally and the partial sums merge in any order into one
+    /// report — no global lock anywhere on the hot path.
+    pub fn merge(&mut self, other: &PolicyReport) {
+        self.epochs += other.epochs;
+        self.prefetch_rounds += other.prefetch_rounds;
+        self.prefetch_pages += other.prefetch_pages;
+        self.push_rounds += other.push_rounds;
+        self.push_pages += other.push_pages;
+        self.deferred_plans += other.deferred_plans;
+        self.quiesced_plans += other.quiesced_plans;
+        self.quiesced_pages += other.quiesced_pages;
+        self.subscriptions += other.subscriptions;
+        self.promotions += other.promotions;
+        self.demotions += other.demotions;
+        self.probes += other.probes;
+        for row in &other.per_phase {
+            match self.per_phase.binary_search_by_key(&row.phase, |r| r.phase) {
+                Ok(i) => {
+                    let e = &mut self.per_phase[i];
+                    e.epochs += row.epochs;
+                    e.prefetch_rounds += row.prefetch_rounds;
+                    e.prefetch_pages += row.prefetch_pages;
+                    e.push_rounds += row.push_rounds;
+                    e.push_pages += row.push_pages;
+                    e.deferred_plans += row.deferred_plans;
+                    e.quiesced_plans += row.quiesced_plans;
+                    e.quiesced_pages += row.quiesced_pages;
+                    e.subscriptions += row.subscriptions;
+                }
+                Err(i) => self.per_phase.insert(i, *row),
+            }
+        }
+    }
+
     /// Did any adaptive decision actually happen?
     pub fn is_active(&self) -> bool {
         self.promotions > 0 || self.prefetch_rounds > 0 || self.push_rounds > 0
@@ -498,6 +535,37 @@ impl NetReport {
             .iter()
             .find(|&&(k, _, _)| k == kind)
             .map_or(0, |&(_, _, b)| b)
+    }
+
+    /// Accumulate `other` into `self`: totals add, per-kind rows merge
+    /// by kind (kept in [`MsgKind::ALL`] order). Labels: a merged report
+    /// keeps its own label only while every contribution agrees —
+    /// merging reports of different scenarios produces an unlabelled
+    /// aggregate rather than mislabelling it. Associative and
+    /// commutative, so concurrent runs can be folded worker-locally and
+    /// the partials merged in any order without a global lock.
+    pub fn merge(&mut self, other: &NetReport) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        for &(k, m, b) in &other.per_kind {
+            match self.per_kind.iter_mut().find(|&&mut (k0, _, _)| k0 == k) {
+                Some(row) => {
+                    row.1 += m;
+                    row.2 += b;
+                }
+                None => {
+                    let pos = self
+                        .per_kind
+                        .iter()
+                        .position(|&(k0, _, _)| k0.index() > k.index())
+                        .unwrap_or(self.per_kind.len());
+                    self.per_kind.insert(pos, (k, m, b));
+                }
+            }
+        }
+        if self.label != other.label {
+            self.label = None;
+        }
     }
 
     /// Difference between two snapshots (for per-phase accounting).
@@ -607,6 +675,72 @@ mod tests {
         let z = PolicyReport::capture(&s);
         assert_eq!(z, PolicyReport::default());
         assert!(!z.is_active());
+    }
+
+    #[test]
+    fn net_report_merge_adds_and_orders_kinds() {
+        let s = Stats::new(1);
+        s.record(0, MsgKind::DiffRequest, 16);
+        s.record(0, MsgKind::Barrier, 8);
+        let mut a = NetReport::capture(&s);
+        a.label = Some("cell-a".into());
+        let t = Stats::new(1);
+        t.record(0, MsgKind::DiffRequest, 4);
+        t.record(0, MsgKind::AggReply, 100);
+        let mut b = NetReport::capture(&t);
+        b.label = Some("cell-a".into());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.messages, 4);
+        assert_eq!(ab.bytes, 128);
+        assert_eq!(ab.messages_per_kind(MsgKind::DiffRequest), 2);
+        assert_eq!(ab.bytes_per_kind(MsgKind::AggReply), 100);
+        // Rows stay in MsgKind::ALL order after an out-of-order insert.
+        let idx: Vec<usize> = ab.per_kind.iter().map(|&(k, _, _)| k.index()).collect();
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        // Same label: kept. Commutativity: b.merge(a) gives equal totals.
+        assert_eq!(ab.label.as_deref(), Some("cell-a"));
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!((ba.messages, ba.bytes, ba.per_kind), (ab.messages, ab.bytes, ab.per_kind));
+        // Conflicting labels merge to None.
+        let mut c = a.clone();
+        c.label = Some("cell-b".into());
+        c.merge(&b);
+        assert_eq!(c.label, None);
+    }
+
+    #[test]
+    fn policy_report_merge_adds_and_merges_phases() {
+        let s = PolicyStats::new(1);
+        s.record_epoch(0, 1);
+        s.record_prefetch(0, 1, 4);
+        s.record_promotions(0, 2);
+        let a = PolicyReport::capture(&s);
+        let t = PolicyStats::new(1);
+        t.record_epoch(0, 2);
+        t.record_push(0, 2, 3);
+        t.record_epoch(0, 1);
+        t.record_quiesced(0, 1, 2);
+        let b = PolicyReport::capture(&t);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.epochs, 3);
+        assert_eq!(ab.prefetch_pages, 4);
+        assert_eq!(ab.push_pages, 3);
+        assert_eq!(ab.promotions, 2);
+        assert_eq!(ab.per_phase.len(), 2);
+        let p1 = ab.phase(1).unwrap();
+        assert_eq!((p1.epochs, p1.prefetch_pages, p1.quiesced_pages), (2, 4, 2));
+        assert_eq!(ab.phase(2).unwrap().push_pages, 3);
+        // Commutative.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, ab);
+        // Merging a default report is the identity.
+        let mut id = ab.clone();
+        id.merge(&PolicyReport::default());
+        assert_eq!(id, ab);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use parking_lot::Mutex;
 use rsd::{Dim, Rsd};
-use sdsm_core::{validate, AccessType, Cluster, Desc, DsmConfig, RegionRef, Validator};
+use sdsm_core::{
+    validate, AccessType, Cluster, ClusterPool, Desc, DsmConfig, RegionRef, Validator,
+};
 use simnet::SimTime;
 
 use apps::harness::Capture;
@@ -99,6 +101,7 @@ pub fn run_seq(cfg: &SynthConfig, world: &SynthWorld) -> (RunReport, Vec<f64>) {
             validate_scan_s: 0.0,
             checksum,
             policy: None,
+            net: None,
         },
         x,
     )
@@ -181,22 +184,49 @@ pub fn notice_meta_probe(cfg: &SynthConfig, world: &SynthWorld) -> u64 {
     run_tmk_counted(cfg, world, TmkMode::Base, SimTime::ZERO).2
 }
 
+thread_local! {
+    /// Recycled clusters for the reusable-scratch path (one pool per
+    /// executor thread, so serving workers never contend on it). Only
+    /// [`run_tmk_prepared`] with `reuse = true` touches it; every other
+    /// entry point builds a cold cluster, exactly as before.
+    static CLUSTERS: ClusterPool = const { ClusterPool::new() };
+}
+
 fn run_tmk_counted(
     cfg: &SynthConfig,
     world: &SynthWorld,
     mode: TmkMode,
     seq_time: SimTime,
 ) -> (RunReport, Vec<f64>, u64) {
+    run_tmk_prepared(cfg, world, &plan(cfg, world), mode, seq_time, false)
+}
+
+/// The Tmk kernel against a prebuilt [`Plan`] — the shared-setup entry
+/// the serve driver uses via [`crate::Prepared`]. With `reuse`, the
+/// cluster is checked out of (and recycled back into) a thread-local
+/// [`ClusterPool`] instead of being built and dropped per run.
+pub(crate) fn run_tmk_prepared(
+    cfg: &SynthConfig,
+    world: &SynthWorld,
+    pl: &Plan,
+    mode: TmkMode,
+    seq_time: SimTime,
+    reuse: bool,
+) -> (RunReport, Vec<f64>, u64) {
     let n = cfg.n;
     let nprocs = cfg.nprocs;
-    let pl = plan(cfg, world);
     let cap_pp = pl.cap_pp;
 
-    let cl = Cluster::new(DsmConfig {
+    let dsm_cfg = DsmConfig {
         nprocs,
         page_size: cfg.page_size,
         cost: cfg.cost.clone(),
-    });
+    };
+    let cl = if reuse {
+        CLUSTERS.with(|p| p.checkout(&dsm_cfg))
+    } else {
+        Cluster::new(dsm_cfg)
+    };
     cl.net().set_label(&cfg.label());
     let x = cl.alloc::<f64>(n);
     let ilist = cl.alloc::<i32>(2 * cap_pp * nprocs);
@@ -335,6 +365,9 @@ fn run_tmk_counted(
     let final_x = final_x.into_inner();
     let checksum = final_x.iter().map(|v| v.abs()).sum();
     let notice_bytes = cl.net().notice_meta_bytes();
+    if reuse {
+        CLUSTERS.with(|p| p.checkin(cl));
+    }
     (
         cap.report(mode.system_kind(), seq_time, checksum, policy),
         final_x,
@@ -350,10 +383,23 @@ pub fn run_chaos(
     world: &SynthWorld,
     seq_time: SimTime,
 ) -> (RunReport, Vec<f64>) {
-    let n = cfg.n;
-    let nprocs = cfg.nprocs;
     let pl = plan(cfg, world);
     let tt = TTable::new(TTableKind::Replicated, &pl.part);
+    run_chaos_prepared(cfg, world, &pl, &tt, seq_time)
+}
+
+/// The CHAOS kernel against a prebuilt [`Plan`] and translation table —
+/// the shared-setup entry [`crate::Prepared`] uses (the replicated
+/// `TTable` is immutable, so every instance of a scenario shares one).
+pub(crate) fn run_chaos_prepared(
+    cfg: &SynthConfig,
+    world: &SynthWorld,
+    pl: &Plan,
+    tt: &TTable,
+    seq_time: SimTime,
+) -> (RunReport, Vec<f64>) {
+    let n = cfg.n;
+    let nprocs = cfg.nprocs;
 
     let w = ChaosWorld::new(nprocs, cfg.cost.clone());
     w.net().set_label(&cfg.label());
@@ -381,7 +427,7 @@ pub fn run_chaos(
         let t0 = cp.now();
         let mut sched = inspector(
             cp,
-            &tt,
+            tt,
             &mut cache,
             pl.flat[cur_ver][me].iter().flat_map(|&(a, b)| [a, b]),
         );
@@ -401,7 +447,7 @@ pub fn run_chaos(
                 let t0 = cp.now();
                 sched = inspector(
                     cp,
-                    &tt,
+                    tt,
                     &mut cache,
                     pl.flat[ver][me].iter().flat_map(|&(a, b)| [a, b]),
                 );

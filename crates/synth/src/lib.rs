@@ -51,9 +51,11 @@ pub use kernel::{
 pub use structure::{degrees, normalize, Structure};
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use apps::report::RunReport;
 use apps::workload::{CheckMode, Variant, Workload};
+use chaos::{TTable, TTableKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{CostModel, SimTime};
@@ -202,7 +204,8 @@ pub fn gen_world(cfg: &SynthConfig) -> SynthWorld {
 
 /// One runnable scenario: a config plus its generated world. Implements
 /// [`Workload`], so `apps::workload::run_matrix` runs and cross-checks
-/// all five variants.
+/// all five variants. Rebuilds the work plan per run; see [`Prepared`]
+/// for the shared-setup form serving workloads use.
 pub struct Scenario {
     pub cfg: SynthConfig,
     pub world: SynthWorld,
@@ -232,6 +235,100 @@ impl Workload for Scenario {
             Variant::TmkAdaptive => run_tmk(&self.cfg, &self.world, TmkMode::Adaptive, seq_time),
             Variant::TmkPush => run_tmk(&self.cfg, &self.world, TmkMode::Push, seq_time),
             Variant::Chaos => run_chaos(&self.cfg, &self.world, seq_time),
+        }
+    }
+}
+
+/// A scenario with every piece of variant-independent setup built once
+/// and shared: the generated world, the per-version owner-side work
+/// [`kernel::Plan`], and the CHAOS translation table. [`Scenario`]
+/// rebuilds all three on every `run` call; a serving workload running
+/// the same cell hundreds of times wants them behind one `Arc`.
+///
+/// `Prepared` implements [`Workload`] with output bitwise-identical to
+/// the equivalent [`Scenario`] — the shared state is immutable, and the
+/// kernels consume it read-only.
+///
+/// With [`Prepared::set_reuse`], the Tmk variants additionally check
+/// their simulated cluster out of a thread-local recycled-cluster pool
+/// (`dsm::ClusterPool`) instead of building one per run — the
+/// reusable-scratch path. Off by default: cold runs stay the reference
+/// behavior, and the serve driver asserts warm runs reproduce their
+/// message counts exactly.
+pub struct Prepared {
+    cfg: SynthConfig,
+    world: SynthWorld,
+    plan: kernel::Plan,
+    ttable: TTable,
+    reuse: AtomicBool,
+}
+
+impl Prepared {
+    /// Generate the world and precompute all shared setup for `cfg`.
+    pub fn new(cfg: SynthConfig) -> Self {
+        let world = gen_world(&cfg);
+        let plan = kernel::plan(&cfg, &world);
+        let ttable = TTable::new(TTableKind::Replicated, &plan.part);
+        Prepared {
+            cfg,
+            world,
+            plan,
+            ttable,
+            reuse: AtomicBool::new(false),
+        }
+    }
+
+    /// The scenario configuration.
+    pub fn cfg(&self) -> &SynthConfig {
+        &self.cfg
+    }
+
+    /// The generated world (initial values + lists).
+    pub fn world(&self) -> &SynthWorld {
+        &self.world
+    }
+
+    /// Enable or disable the recycled-cluster scratch path for
+    /// subsequent Tmk runs.
+    pub fn set_reuse(&self, on: bool) {
+        self.reuse.store(on, Ordering::Relaxed);
+    }
+
+    /// Is the recycled-cluster scratch path on?
+    pub fn reuse_enabled(&self) -> bool {
+        self.reuse.load(Ordering::Relaxed)
+    }
+}
+
+impl Workload for Prepared {
+    fn label(&self) -> String {
+        format!("synth {}", self.cfg.label())
+    }
+
+    fn check_mode(&self) -> CheckMode {
+        CheckMode::Bitwise
+    }
+
+    fn run(&self, v: Variant, seq_time: SimTime) -> (RunReport, Vec<f64>) {
+        let reuse = self.reuse_enabled();
+        let tmk = |mode| {
+            let (report, x, _) =
+                kernel::run_tmk_prepared(&self.cfg, &self.world, &self.plan, mode, seq_time, reuse);
+            (report, x)
+        };
+        match v {
+            Variant::Seq => run_seq(&self.cfg, &self.world),
+            Variant::TmkBase => tmk(TmkMode::Base),
+            Variant::TmkOpt => tmk(TmkMode::Optimized),
+            Variant::TmkAdaptive => tmk(TmkMode::Adaptive),
+            Variant::TmkPush => tmk(TmkMode::Push),
+            Variant::Chaos => kernel::run_chaos_prepared(
+                &self.cfg,
+                &self.world,
+                &self.plan,
+                &self.ttable,
+                seq_time,
+            ),
         }
     }
 }
@@ -319,6 +416,30 @@ pub fn scenario_grid(quick: bool) -> Vec<SynthConfig> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apps::workload::run_matrix;
+
+    #[test]
+    fn prepared_matches_scenario_cold_and_warm() {
+        let mut cfg = SynthConfig::quick(Structure::Uniform, Dynamics::PeriodicRemap { period: 3 });
+        cfg.n = 256;
+        cfg.refs = 512;
+        cfg.iters = 6;
+        let cold = run_matrix(&Scenario::new(cfg.clone()));
+        let prep = Prepared::new(cfg);
+        let shared_cold = run_matrix(&prep);
+        prep.set_reuse(true);
+        let warm = run_matrix(&prep); // cold pool: fills it
+        let warm2 = run_matrix(&prep); // actually recycled clusters
+        for m in [&shared_cold, &warm, &warm2] {
+            for (a, b) in cold.runs.iter().zip(&m.runs) {
+                assert_eq!(a.report.system, b.report.system);
+                assert_eq!(a.report.messages, b.report.messages, "{:?}", a.report.system);
+                assert_eq!(a.report.bytes, b.report.bytes, "{:?}", a.report.system);
+                assert_eq!(a.report.time, b.report.time, "{:?}", a.report.system);
+                assert_eq!(a.x, b.x, "{:?}", a.report.system);
+            }
+        }
+    }
 
     #[test]
     fn world_generation_is_deterministic_and_versioned() {

@@ -31,6 +31,8 @@ pub use fcc;
 pub use rsd;
 /// The paper's contribution: the augmented `Validate` run-time.
 pub use sdsm_core as core_rt;
+/// The scenario-matrix service (work-stealing throughput driver).
+pub use serve;
 /// The simulated cluster substrate (clocks, messages, cost model).
 pub use simnet;
 /// The synthetic irregular-workload engine (scenario matrix).

@@ -3,9 +3,13 @@
 //! The workspace builds without registry access, so this provides the
 //! subset the benches use: `Criterion::benchmark_group`, `sample_size`,
 //! `bench_function`, `Bencher::iter`, `black_box`, and the
-//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
-//! best-of-samples timing loop (no statistics, HTML reports, or baselines);
-//! each benchmark is time-capped so `cargo bench` stays fast.
+//! `criterion_group!`/`criterion_main!` macros. Measurement runs a
+//! warmup phase (so the measured batches see warm caches and a warmed
+//! allocator, not first-touch costs), then reports the **median ± MAD**
+//! of per-iteration time across timed batches — robust statistics that
+//! one preempted batch cannot skew, unlike a mean or a best-of. No HTML
+//! reports or baselines; each benchmark is time-capped so `cargo bench`
+//! stays fast.
 
 use std::time::{Duration, Instant};
 
@@ -77,38 +81,73 @@ impl Bencher {
     }
 }
 
+/// Median and median-absolute-deviation of `xs` (sorted in place).
+fn median_mad(xs: &mut [f64]) -> (f64, f64) {
+    assert!(!xs.is_empty());
+    let mid = |v: &[f64]| {
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        }
+    };
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let med = mid(xs);
+    let mut dev: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (med, mid(&dev))
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(budget: Duration, samples: usize, name: &str, mut f: F) {
-    // Calibrate: one iteration to size the batches.
+    // Calibrate: one iteration to size the warmup.
     let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
-    let total_iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    // Warmup (~1/5 of the budget): the measured batches below should
+    // see warm caches and a warmed allocator, not first-touch costs.
+    let warm_budget = budget / 5;
+    let warm_iters = (warm_budget.as_nanos() / per_iter.as_nanos()).clamp(1, 200_000) as u64;
+    let mut b = Bencher { iters: warm_iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    // Re-estimate per-iteration cost from the (warm) warmup phase.
+    let per_iter = (b.elapsed / warm_iters as u32).max(Duration::from_nanos(1));
+
+    let meas_budget = budget - warm_budget;
+    let total_iters = (meas_budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
     let batch = (total_iters / samples as u64).max(1);
 
-    let mut best = per_iter;
+    let mut per_batch_ns: Vec<f64> = Vec::with_capacity(samples);
     let mut spent = Duration::ZERO;
     for _ in 0..samples {
         let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
         f(&mut b);
-        best = best.min(b.elapsed / batch as u32);
+        per_batch_ns.push(b.elapsed.as_nanos() as f64 / batch as f64);
         spent += b.elapsed;
-        if spent > budget {
+        if spent > meas_budget && per_batch_ns.len() >= 3 {
             break;
         }
     }
-    println!("{name:<50} {:>12.1} ns/iter (best of batches)", best.as_nanos() as f64);
+    let (median, mad) = median_mad(&mut per_batch_ns);
+    println!(
+        "{name:<50} {median:>12.1} ns/iter ± {mad:.1} (median ± MAD of {} batches)",
+        per_batch_ns.len()
+    );
 
     // Machine-readable sink: append one JSON line per benchmark to the
-    // file named by CRITERION_JSON (collected into BENCH_6.json by
-    // `make bench`). Append-only so multiple bench binaries in one
-    // `cargo bench` run share the file; the collector takes the last
-    // line per name.
+    // file named by CRITERION_JSON (collected into the committed bench
+    // snapshot by `make bench`). Append-only so multiple bench binaries
+    // in one `cargo bench` run share the file; the collector takes the
+    // last line per name. `"ns"` stays the first key and `"mad_ns"`
+    // never contains the `"ns":` byte pattern, so older collectors that
+    // substring-scan for `"ns":` keep parsing these lines.
     if let Ok(path) = std::env::var("CRITERION_JSON") {
         if !path.is_empty() {
             let line = format!(
-                "{{\"name\":\"{}\",\"ns\":{:.1}}}\n",
+                "{{\"name\":\"{}\",\"ns\":{median:.1},\"mad_ns\":{mad:.1},\"batches\":{}}}\n",
                 name.replace('\\', "\\\\").replace('"', "\\\""),
-                best.as_nanos() as f64
+                per_batch_ns.len()
             );
             let _ = std::fs::OpenOptions::new()
                 .create(true)
@@ -154,5 +193,17 @@ mod tests {
         });
         g.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn median_mad_is_robust_to_one_outlier() {
+        let mut xs = vec![10.0, 11.0, 9.0, 10.0, 500.0];
+        let (med, mad) = median_mad(&mut xs);
+        assert_eq!(med, 10.0, "one preempted batch must not move the median");
+        assert_eq!(mad, 1.0);
+        let mut even = vec![1.0, 3.0];
+        assert_eq!(median_mad(&mut even), (2.0, 1.0));
+        let mut one = vec![7.0];
+        assert_eq!(median_mad(&mut one), (7.0, 0.0));
     }
 }
