@@ -1,7 +1,7 @@
 # Tier-1 verification and common entry points. CI (.github/workflows/ci.yml)
 # runs the same commands; `make tier1` is the local equivalent.
 
-.PHONY: tier1 build test clippy bench examples tables soak synth serve clean
+.PHONY: tier1 build test clippy bench examples tables soak synth serve trace clean
 
 tier1: build test
 
@@ -17,9 +17,10 @@ clippy:
 # Microbenchmarks + the committed machine-readable snapshot: the shim
 # appends one JSON line per bench to CRITERION_JSON; bench_json merges
 # those with the in-simulation message counts (plus a serve round over
-# the quick grid) into BENCH_7.json, and bench_diff then gates the
-# per-variant message totals against the committed BENCH_6.json —
-# protocol counts may only move together with golden_counts.rs.
+# the quick grid and the fixed cells' stall attribution) into
+# BENCH_8.json, and bench_diff then gates the per-variant message
+# totals against the committed BENCH_7.json — protocol counts may only
+# move together with golden_counts.rs.
 bench:
 	rm -f target/criterion.jsonl
 	CRITERION_JSON=$(CURDIR)/target/criterion.jsonl cargo bench
@@ -58,6 +59,14 @@ synth:
 serve:
 	cargo run --release -p bench --bin table_serve -- --quick
 
+# The deterministic-tracing acceptance harness: one synth cell's
+# six-variant matrix traced twice, asserting in-binary that the trace
+# JSON is byte-identical across passes, well-formed, and that every
+# processor's stall categories sum exactly to its final simulated
+# clock. Part of `make soak` and CI.
+trace:
+	cargo run --release -p bench --bin table_trace -- --quick
+
 # Nightly-style depth: high-case-count property tests (failures print a
 # PROPTEST_SEED for exact replay and a shrunk minimal input) + the
 # adaptive, scenario-matrix, and serve acceptance smokes.
@@ -68,6 +77,7 @@ soak:
 	cargo run --release -p bench --bin table_adapt -- --quick
 	cargo run --release -p bench --bin table_synth -- --quick
 	cargo run --release -p bench --bin table_serve -- --quick
+	cargo run --release -p bench --bin table_trace -- --quick
 
 clean:
 	cargo clean

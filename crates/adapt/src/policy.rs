@@ -520,6 +520,9 @@ impl ProtocolPolicy for AdaptivePolicy {
         // must not read as the plan having changed (it would break the
         // streak twice — once thinning, once restoring).
         let mut planned = Vec::new();
+        // Per-page decision records for the trace layer, in decision
+        // order (protocol-inert; the DSM emits them only when tracing).
+        let mut events: Vec<(u32, simnet::PolicyAct)> = Vec::new();
         for &page in invalidated {
             let idx = page as usize;
             // A page's first-ever invalidation consumes any cold marks
@@ -574,8 +577,10 @@ impl ProtocolPolicy for AdaptivePolicy {
                 e.promoted = now_promoted;
                 if now_promoted {
                     row.promotions += 1;
+                    events.push((page, simnet::PolicyAct::Promote));
                 } else {
                     row.demotions += 1;
+                    events.push((page, simnet::PolicyAct::Demote));
                 }
             }
 
@@ -591,6 +596,7 @@ impl ProtocolPolicy for AdaptivePolicy {
                     if e.predictions % probe_every == 0 {
                         e.probing = true;
                         row.probes += 1;
+                        events.push((page, simnet::PolicyAct::Probe));
                     } else {
                         e.prefetched = true;
                         picks.push(page);
@@ -640,6 +646,7 @@ impl ProtocolPolicy for AdaptivePolicy {
             defer,
             push: self.cfg.push,
             phase,
+            events,
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Collect the machine-readable benchmark snapshot `BENCH_7.json`.
+//! Collect the machine-readable benchmark snapshot `BENCH_8.json`.
 //!
 //! `make bench` runs `cargo bench` with `CRITERION_JSON` pointing at a
 //! JSON-lines sink (one `{"name": ..., "ns": ..., "mad_ns": ...}` per
@@ -15,7 +15,12 @@
 //! * a `serve` section: the deterministic per-variant message totals of
 //!   one round over the quick scenario grid (24 jobs, machine-
 //!   independent) plus a throughput/latency snapshot of that run
-//!   (machine-dependent, expected to drift like the wall-clock ns).
+//!   (machine-dependent, expected to drift like the wall-clock ns);
+//! * a `stall_attribution` section: where the fixed moldyn and nbf
+//!   cells' processors spend their simulated time (compute vs fault
+//!   stall vs barrier wait vs ...), from the billing `simnet` does on
+//!   every clock mutation — simulated nanoseconds, so exactly
+//!   reproducible, and conservation-checked here before writing.
 //!
 //! The output is committed so a diff of protocol counts shows up in
 //! review like a golden-file change; `bench_diff` enforces that the
@@ -53,18 +58,37 @@ fn main() {
         (Variant::TmkPush, "tmk_push"),
         (Variant::Chaos, "chaos"),
     ];
-    let mut messages: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
-    for (label, matrix) in [
+    let matrices = [
         ("moldyn_small", run_matrix(&MoldynWorkload::new(MoldynConfig::small()))),
         ("nbf_small", run_matrix(&NbfWorkload::new(NbfConfig::small()))),
         ("umesh_small", run_matrix(&UmeshWorkload::new(UmeshConfig::small()))),
-    ] {
+    ];
+    let mut messages: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    for (label, matrix) in &matrices {
         let row = variants
             .iter()
             .map(|&(v, tag)| (tag, matrix.get(v).report.messages))
             .collect();
         messages.insert(label, row);
     }
+
+    // Stall attribution of the fixed moldyn/nbf cells (adaptive build):
+    // simulated ns billed per category, conservation-checked (Σ buckets
+    // == final clock per proc) before the snapshot is written.
+    let stall_sections: Vec<(&str, String)> = matrices[..2]
+        .iter()
+        .map(|(label, matrix)| {
+            let rep = matrix
+                .get(Variant::TmkAdaptive)
+                .report
+                .net
+                .as_ref()
+                .expect("adaptive variant carries a net report");
+            trace::check_conservation(rep)
+                .unwrap_or_else(|e| panic!("{label}: stall conservation broken: {e}"));
+            (*label, trace::stall_json(rep).trim_end().to_string())
+        })
+        .collect();
 
     // The metadata-scaling probe at the sizes table_synth asserts.
     let probe = |nprocs: usize| {
@@ -88,6 +112,7 @@ fn main() {
             stop: Stop::Jobs(grid.len()),
             thread_budget: 96,
             check_allocs: false,
+            trace: None,
         },
     );
     let lat = |q: f64| out_serve.latency(q).as_secs_f64() * 1e3;
@@ -125,7 +150,7 @@ fn main() {
         .collect();
     let _ = write!(
         out,
-        "  \"serve_quick_grid\": {{\n    \"jobs\": {},\n    \"message_totals\": {{ {} }},\n    \"cells_per_sec\": {:.2},\n    \"latency_ms\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }}\n  }}\n}}\n",
+        "  \"serve_quick_grid\": {{\n    \"jobs\": {},\n    \"message_totals\": {{ {} }},\n    \"cells_per_sec\": {:.2},\n    \"latency_ms\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }}\n  }},\n",
         out_serve.jobs_done,
         serve_rows.join(", "),
         out_serve.cells_per_sec(),
@@ -133,10 +158,23 @@ fn main() {
         lat(0.95),
         lat(0.99),
     );
+    let stall_rows: Vec<String> = stall_sections
+        .iter()
+        .map(|(label, json)| format!("    \"{label}\": {json}"))
+        .collect();
+    let _ = write!(
+        out,
+        "  \"stall_attribution\": {{\n{}\n  }}\n}}\n",
+        stall_rows.join(",\n")
+    );
+    assert!(
+        trace::json_well_formed(&out),
+        "BENCH_8.json would be malformed"
+    );
 
-    std::fs::write("BENCH_7.json", &out).expect("write BENCH_7.json");
+    std::fs::write("BENCH_8.json", &out).expect("write BENCH_8.json");
     println!(
-        "wrote BENCH_7.json ({} benches, 3 apps, notice probe, {}-job serve round)",
+        "wrote BENCH_8.json ({} benches, 3 apps, notice probe, {}-job serve round, stall attribution)",
         ns.len(),
         out_serve.jobs_done
     );

@@ -7,7 +7,13 @@
 //! ```text
 //! cargo run --release -p bench --bin table_adapt            # paper scale
 //! cargo run --release -p bench --bin table_adapt -- --quick # reduced scale
+//! cargo run --release -p bench --bin table_adapt -- --quick --trace t.json
 //! ```
+//!
+//! `--trace PATH` additionally runs the reduced-scale moldyn adaptive
+//! build once more under the structured trace sink and writes a Chrome
+//! trace (faults, barriers per phase tag, policy decisions, prefetch
+//! rounds) viewable in Perfetto.
 //!
 //! The run doubles as the acceptance check for the adaptive engine: it
 //! verifies (per the `simnet` counters) that on moldyn and nbf the
@@ -20,11 +26,14 @@
 //! streak provably never achieves — their alternating barrier sites
 //! reset it every epoch).
 
+use std::sync::Arc;
+
 use apps::moldyn::{self, MoldynConfig, TmkMode};
 use apps::nbf::{self, NbfConfig};
 use apps::report::RunReport;
 use apps::umesh::{self, UmeshConfig};
 use bench::{print_group, Scale};
+use trace::{chrome_trace_json, json_well_formed, with_trace_sink, Tracer};
 
 struct Group {
     app: &'static str,
@@ -240,4 +249,43 @@ fn main() {
     println!("            push ≤ prefetch ≤ base everywhere (subscriptions counted),");
     println!("            push strictly beats prefetch on moldyn and nbf, and the");
     println!("            phase-keyed streaks quiesce plans on both  ✓");
+
+    if let Some(path) = arg_value("--trace") {
+        write_trace(&path);
+    }
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// One reduced-scale moldyn adaptive run under the structured trace
+/// sink, exported as Chrome trace JSON — the phase-tagged barriers and
+/// the policy's promote/demote/prefetch decisions, on a timeline.
+fn write_trace(path: &str) {
+    let mut cfg = MoldynConfig::paper(15);
+    cfg.n = 2048;
+    cfg.cutoff_frac = 0.2;
+    cfg.page_size = 1024;
+    let world = moldyn::gen_positions(&cfg);
+    let seq = moldyn::run_seq(&cfg, &world);
+    let tracer = Arc::new(Tracer::new(cfg.nprocs, 1 << 16));
+    let _ = with_trace_sink(tracer.clone(), || {
+        moldyn::run_adaptive(&cfg, &world, seq.report.time)
+    });
+    let trace = tracer.capture();
+    let json = chrome_trace_json(&trace);
+    assert!(json_well_formed(&json), "trace JSON malformed");
+    std::fs::write(path, &json).expect("write --trace output");
+    println!(
+        "\nwrote {path}: {} events over {} lanes from one moldyn adaptive run",
+        trace.len(),
+        cfg.nprocs
+    );
 }

@@ -12,9 +12,12 @@
 //! Flags: `--jobs N` serves exactly N jobs; `--window-secs S` serves for
 //! S seconds of wall clock; `--workers W` sets the executor count
 //! (default 4); `--json PATH` additionally writes a machine-readable
-//! report (the nightly run uploads it as an artifact). Without an
-//! explicit stop, `--quick` serves 200 jobs and the paper-scale run
-//! serves a 60-second window (the nightly soak).
+//! report including the full log-bucket latency histogram (the nightly
+//! run uploads it as an artifact); `--trace PATH` records the job
+//! lifecycle — starts, completions, deque steals, cluster recycles —
+//! on per-worker lanes and writes a Chrome trace. Without an explicit
+//! stop, `--quick` serves 200 jobs and the paper-scale run serves a
+//! 60-second window (the nightly soak).
 //!
 //! The run doubles as the serve subsystem's acceptance check: every
 //! served job re-asserts the six-way bitwise contract inside
@@ -23,10 +26,12 @@
 //! — the reusable-scratch path must be *observably* identical to fresh
 //! clusters, or the run aborts.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use serve::{serve, ServeConfig, Stop};
 use synth::scenario_grid;
+use trace::{json_well_formed, ServeTrace};
 
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -63,6 +68,13 @@ fn main() {
     );
     println!(" served warm off recycled clusters, checked against cold goldens)\n");
 
+    // Per-worker job-lifecycle lanes, only when asked for: the `None`
+    // path is the zero-overhead default the heap assertions measure.
+    let trace_path = arg_value("--trace");
+    let tracer = trace_path
+        .as_ref()
+        .map(|_| Arc::new(ServeTrace::new(workers, 1 << 14)));
+
     let cfg = ServeConfig {
         workers,
         stop,
@@ -70,9 +82,23 @@ fn main() {
         // small cells beside it.
         thread_budget: if quick { 96 } else { 288 },
         check_allocs: false,
+        trace: tracer.clone(),
     };
     let out = serve(&grid, &cfg);
     print!("{}", out.summary());
+
+    if let (Some(path), Some(tr)) = (&trace_path, &tracer) {
+        let json = tr.to_chrome_json();
+        assert!(json_well_formed(&json), "serve trace JSON malformed");
+        let (jobs, steals, recycles) = tr.totals();
+        assert_eq!(
+            jobs, out.jobs_done,
+            "trace saw {jobs} JobDone events for {} served jobs",
+            out.jobs_done
+        );
+        std::fs::write(path, &json).expect("write --trace output");
+        println!("wrote {path} ({jobs} jobs, {steals} steals, {recycles} recycles traced)");
+    }
 
     if let Some(path) = arg_value("--json") {
         let lat = |q: f64| out.latency(q).as_secs_f64() * 1e3;
@@ -86,8 +112,18 @@ fn main() {
                 )
             })
             .collect();
+        // The full log-bucket latency histogram: half-open [lo, hi) ns
+        // edges plus counts, one row per non-empty bucket. Counts sum to
+        // the job total, so downstream tooling can recompute any
+        // quantile without rerunning the service.
+        let hist_rows: Vec<String> = out
+            .hist
+            .nonzero_buckets()
+            .iter()
+            .map(|&(lo, hi, n)| format!("    [{lo}, {hi}, {n}]"))
+            .collect();
         let report = format!(
-            "{{\n  \"grid\": \"{}\",\n  \"cells\": {},\n  \"workers\": {},\n  \"jobs\": {},\n  \"wall_secs\": {:.2},\n  \"cells_per_sec\": {:.2},\n  \"latency_ms\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }},\n  \"per_variant\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"grid\": \"{}\",\n  \"cells\": {},\n  \"workers\": {},\n  \"jobs\": {},\n  \"wall_secs\": {:.2},\n  \"cells_per_sec\": {:.2},\n  \"latency_ms\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }},\n  \"latency_hist_ns\": [\n{}\n  ],\n  \"per_variant\": [\n{}\n  ]\n}}\n",
             if quick { "quick" } else { "paper" },
             out.cells,
             out.workers,
@@ -97,8 +133,12 @@ fn main() {
             lat(0.50),
             lat(0.95),
             lat(0.99),
+            hist_rows.join(",\n"),
             rows.join(",\n"),
         );
+        assert!(json_well_formed(&report), "--json report malformed");
+        let bucket_total: u64 = out.hist.nonzero_buckets().iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(bucket_total, out.jobs_done, "histogram buckets must cover every job");
         std::fs::write(&path, report).expect("write --json report");
         println!("wrote {path}");
     }

@@ -6,7 +6,12 @@
 //! ```text
 //! cargo run --release -p bench --bin table_synth            # paper scale
 //! cargo run --release -p bench --bin table_synth -- --quick # seconds scale
+//! cargo run --release -p bench --bin table_synth -- --quick --trace t.json
 //! ```
+//!
+//! `--trace PATH` re-runs the grid's first cell under the structured
+//! trace sink and writes a Chrome trace (Perfetto-viewable timeline of
+//! faults, fetches, barriers, and policy decisions per processor).
 //!
 //! The run is also the subsystem's acceptance check. Per scenario:
 //!
@@ -62,6 +67,7 @@ fn main() {
     );
 
     let grid = scenario_grid(quick);
+    let first_cell = grid.first().cloned();
     let ncells = grid.len();
     let mut static_wins = 0usize;
     for cfg in grid {
@@ -109,6 +115,31 @@ fn main() {
     if quick {
         classic_apps_through_trait();
     }
+
+    if let Some(path) = arg_value("--trace") {
+        let cfg = first_cell.expect("grid is never empty");
+        let tracer = std::sync::Arc::new(trace::Tracer::new(cfg.nprocs, 1 << 16));
+        let _ = trace::with_trace_sink(tracer.clone(), || run_matrix(&Scenario::new(cfg.clone())));
+        let t = tracer.capture();
+        let json = trace::chrome_trace_json(&t);
+        assert!(trace::json_well_formed(&json), "trace JSON malformed");
+        std::fs::write(&path, &json).expect("write --trace output");
+        println!(
+            "\nwrote {path}: {} events over {} lanes from the grid's first cell",
+            t.len(),
+            cfg.nprocs
+        );
+    }
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
 }
 
 /// The barrier-metadata scaling check: the same fixed-size workload at

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use simnet::{MsgKind, ProcId};
+use simnet::{MsgKind, ProcId, SpanTag, StallCat, TraceEvent};
 
 use crate::ttable::{TTable, TTableCache};
 use crate::world::ChaosProc;
@@ -118,6 +118,8 @@ pub fn inspector(
     let me = cp.rank();
     let nprocs = cp.nprocs();
     let cost = cp.net().cost().clone();
+    let _ins = cp.net().scope(me, StallCat::Inspector);
+    cp.net().trace(me, TraceEvent::SpanBegin { tag: SpanTag::Inspect });
 
     // Duplicate elimination — the paper's "hash table whose size is
     // proportional to the size of the data array", realized as a dense
@@ -140,7 +142,11 @@ pub fn inspector(
     cp.compute(cost.inspector_hash(total));
 
     // Translate (collective for non-replicated tables).
+    cp.net()
+        .trace(me, TraceEvent::SpanBegin { tag: SpanTag::Translate });
     let translated = ttable.lookup_batch(cp, &distinct, cache);
+    cp.net()
+        .trace(me, TraceEvent::SpanEnd { tag: SpanTag::Translate });
 
     // Receive lists in CSR form: the remote (owner, offset) pairs,
     // sorted, are already the per-owner segments (ascending offsets
@@ -186,6 +192,7 @@ pub fn inspector(
         send_starts[q + 1] += send_starts[q];
     }
 
+    cp.net().trace(me, TraceEvent::SpanEnd { tag: SpanTag::Inspect });
     CommSchedule {
         recv_idx,
         send_starts,

@@ -79,7 +79,7 @@ pub struct ChaosProc<'w> {
     me: ProcId,
 }
 
-impl ChaosProc<'_> {
+impl<'w> ChaosProc<'w> {
     #[inline]
     pub fn rank(&self) -> ProcId {
         self.me
@@ -90,7 +90,10 @@ impl ChaosProc<'_> {
         self.world.nprocs
     }
 
-    pub fn net(&self) -> &Net {
+    /// The simulated interconnect. Borrowed for the *world's* lifetime,
+    /// not this handle's, so callers can hold a clock-category scope
+    /// ([`Net::scope`]) across `&mut self` exchange calls.
+    pub fn net(&self) -> &'w Net {
         &self.world.net
     }
 
@@ -121,6 +124,15 @@ impl ChaosProc<'_> {
         for (to, bytes) in outgoing {
             assert_ne!(to, self.me, "self-sends are local copies, not messages");
             let arrival = net.push(self.me, kind, bytes.len());
+            net.trace(
+                self.me,
+                simnet::TraceEvent::Msg {
+                    kind,
+                    peer: to as u32,
+                    bytes: bytes.len() as u32,
+                    out: true,
+                },
+            );
             self.world.inboxes[to].lock().push(Deposit {
                 from: self.me,
                 arrival,
@@ -135,6 +147,15 @@ impl ChaosProc<'_> {
             net.await_until(self.me, d.arrival);
             // Receive-side handler/unpack overhead.
             net.advance(self.me, net.cost().handler());
+            net.trace(
+                self.me,
+                simnet::TraceEvent::Msg {
+                    kind,
+                    peer: d.from as u32,
+                    bytes: d.bytes.len() as u32,
+                    out: false,
+                },
+            );
         }
         // All inboxes drained before anyone deposits for the next round.
         self.world.bar.wait();

@@ -15,7 +15,7 @@
 use std::sync::{Arc, Barrier};
 
 use parking_lot::Mutex;
-use simnet::{MsgKind, SimTime};
+use simnet::{MsgKind, SimTime, StallCat, TraceEvent};
 
 use crate::cluster::Cluster;
 use crate::interval::Vc;
@@ -89,6 +89,17 @@ impl TmkProc<'_> {
     /// phase. Tags are local bookkeeping (no cross-processor agreement
     /// is needed); the rendezvous itself is unchanged.
     pub fn barrier_tagged(&mut self, phase: u32) {
+        // Everything the barrier charges to this processor's clock —
+        // the interval close, the rendezvous jump, digest work — bills
+        // as barrier wait; an eager prefetch issued at the epoch
+        // boundary re-scopes itself to PrefetchPush underneath.
+        let _bw = self.cl.net().scope(self.me, StallCat::BarrierWait);
+        if self.cl.net().tracing() {
+            let epoch = self.cl.barrier_ctl().epoch();
+            self.cl
+                .net()
+                .trace(self.me, TraceEvent::BarrierEnter { epoch, phase });
+        }
         self.close_interval();
         let cl: &Cluster = self.cl;
         let ctl = cl.barrier_ctl();
@@ -151,6 +162,19 @@ impl TmkProc<'_> {
             st.target = new_target;
             st.digest = digest.into();
             st.epoch += 1;
+            // The notice is a cluster-wide fact produced by whichever
+            // thread won the rendezvous — pin it to proc 0's lane so the
+            // trace does not depend on the host schedule. Proc 0 is
+            // parked in the barrier (or *is* the leader), so its virtual
+            // clock is stable here.
+            net.trace(
+                0,
+                TraceEvent::BarrierNotice {
+                    epoch: st.epoch,
+                    phase,
+                    bytes: total as u64,
+                },
+            );
         }
 
         // Phase B: snapshot is ready; merge notices from the shared
@@ -188,6 +212,13 @@ impl TmkProc<'_> {
                     cl.net()
                         .policy()
                         .record_quiesced(self.me, plan.phase, plan.pages.len());
+                    cl.net().trace(
+                        self.me,
+                        TraceEvent::PlanQuiesce {
+                            phase: plan.phase,
+                            pages: plan.pages.len() as u32,
+                        },
+                    );
                     self.inner.policy.note_quiesced(plan.phase, &plan.pages);
                     continue;
                 }
@@ -204,6 +235,13 @@ impl TmkProc<'_> {
                         cl.net()
                             .policy()
                             .record_quiesced(self.me, plan.phase, dead.len());
+                        cl.net().trace(
+                            self.me,
+                            TraceEvent::PlanQuiesce {
+                                phase: plan.phase,
+                                pages: dead.len() as u32,
+                            },
+                        );
                         self.inner.policy.note_quiesced(plan.phase, &dead);
                         plan.pages = live;
                     }
@@ -225,6 +263,18 @@ impl TmkProc<'_> {
             .inner
             .policy
             .epoch_end(epoch, phase, &invalidated, cl.net().policy(), self.me);
+        if cl.net().tracing() {
+            for &(page, act) in &dec.events {
+                cl.net().trace(
+                    self.me,
+                    TraceEvent::Policy {
+                        page,
+                        phase: dec.phase,
+                        act,
+                    },
+                );
+            }
+        }
         let todo: Vec<u32> = dec
             .picks
             .into_iter()
@@ -240,6 +290,13 @@ impl TmkProc<'_> {
                     "same-phase plan survived its own phase's barrier"
                 );
                 cl.net().policy().record_deferred(self.me, dec.phase);
+                cl.net().trace(
+                    self.me,
+                    TraceEvent::PlanDefer {
+                        phase: dec.phase,
+                        pages: todo.len() as u32,
+                    },
+                );
                 self.inner.deferred.push(crate::proc::DeferredPlan {
                     pages: todo,
                     phase: dec.phase,
@@ -258,6 +315,8 @@ impl TmkProc<'_> {
 
         // Phase C: nobody publishes new intervals until all have merged.
         ctl.rendezvous.wait();
+        cl.net()
+            .trace(self.me, TraceEvent::BarrierExit { epoch, phase });
     }
 
     /// Collectively zero the simulated clocks and message counters — the
@@ -267,9 +326,17 @@ impl TmkProc<'_> {
     /// [`TmkProc::reset_counters`].
     pub fn start_timed_region(&mut self) {
         self.barrier();
-        if self.rank() == 0 {
+        // Zero the clocks while every processor is parked between two
+        // bare rendezvous (no protocol traffic): a processor racing
+        // ahead into its next traced event (or clock read) mid-reset
+        // would observe pre- or post-zero time depending on the host
+        // schedule. The closing protocol barrier below is charged to
+        // the freshly zeroed counters, exactly as before.
+        let ctl = self.cl.barrier_ctl();
+        if ctl.rendezvous.wait().is_leader() {
             self.cl.net().reset();
         }
+        ctl.rendezvous.wait();
         self.barrier();
     }
 

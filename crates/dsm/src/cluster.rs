@@ -226,6 +226,13 @@ impl Cluster {
                         self.net
                             .policy()
                             .record_quiesced(rank, plan.phase, plan.pages.len());
+                        self.net.trace(
+                            rank,
+                            simnet::TraceEvent::PlanQuiesce {
+                                phase: plan.phase,
+                                pages: plan.pages.len() as u32,
+                            },
+                        );
                         p.inner.policy.note_quiesced(plan.phase, &plan.pages);
                     }
                     *self.slots[rank].lock() = Some(p.inner);

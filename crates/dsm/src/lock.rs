@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
-use simnet::{MsgKind, ProcId, SimTime};
+use simnet::{MsgKind, ProcId, SimTime, StallCat, TraceEvent};
 
 use crate::interval::Vc;
 use crate::proc::TmkProc;
@@ -72,6 +72,8 @@ impl TmkProc<'_> {
         let slot = self.cl.lock_mgr().slot(id, nprocs);
         let net = self.cl.net();
         let cost = net.cost();
+        let _lw = net.scope(me, StallCat::LockWait);
+        net.trace(me, TraceEvent::LockAcquire { lock: id });
 
         let target: Vc;
         {
@@ -103,20 +105,20 @@ impl TmkProc<'_> {
                         // Manager forwards to the holder, holder grants.
                         net.count_only(manager, MsgKind::Lock, 1, 16);
                         net.count_only(h, MsgKind::Lock, 1, grant_bytes);
-                        net.advance(h, cost.handler());
+                        net.advance_remote(h, cost.handler());
                         hops += 2;
                     }
                     Some(h) if h != me => {
                         // Holder *is* the manager: it grants directly.
                         net.count_only(h, MsgKind::Lock, 1, grant_bytes);
-                        net.advance(h, cost.handler());
+                        net.advance_remote(h, cost.handler());
                         hops += 1;
                     }
                     _ => {
                         // First acquire ever: the manager grants.
                         if manager != me {
                             net.count_only(manager, MsgKind::Lock, 1, grant_bytes);
-                            net.advance(manager, cost.handler());
+                            net.advance_remote(manager, cost.handler());
                             hops += 1;
                         }
                     }
@@ -138,6 +140,7 @@ impl TmkProc<'_> {
         // barrier-structured), so skip the invalidation bookkeeping.
         let _ = self.apply_notices(&target, false);
         self.inner.counters.lock_acquires += 1;
+        net.trace(me, TraceEvent::LockAcquired { lock: id });
     }
 
     /// Release lock `id`: close the current interval (a *release* in the
@@ -145,6 +148,7 @@ impl TmkProc<'_> {
     pub fn unlock(&mut self, id: u32) {
         let me = self.rank();
         let nprocs = self.nprocs();
+        let _lw = self.cl.net().scope(me, StallCat::LockWait);
         self.close_interval();
         let slot = self.cl.lock_mgr().slot(id, nprocs);
         let mut st = slot.st.lock();
@@ -158,5 +162,6 @@ impl TmkProc<'_> {
         st.release_vc.copy_from_slice(self.vc());
         st.release_time = self.now();
         slot.cv.notify_one();
+        self.cl.net().trace(me, TraceEvent::LockRelease { lock: id });
     }
 }

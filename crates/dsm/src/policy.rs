@@ -61,6 +61,12 @@ pub struct EpochDecision {
     /// should echo the `phase` passed to
     /// [`ProtocolPolicy::epoch_end`].
     pub phase: u32,
+    /// Per-page decision records made while forming this decision
+    /// (promotions, demotions, withheld probes), in decision order. The
+    /// protocol layer emits each as a [`simnet::TraceEvent::Policy`]
+    /// event when tracing is enabled and ignores them otherwise; they
+    /// carry no protocol meaning. Empty for non-learning policies.
+    pub events: Vec<(u32, simnet::PolicyAct)>,
 }
 
 impl EpochDecision {
@@ -77,6 +83,7 @@ impl EpochDecision {
             defer: false,
             push: false,
             phase: 0,
+            events: Vec::new(),
         }
     }
 }

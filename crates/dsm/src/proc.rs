@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use simnet::{MsgKind, ProcId, SimTime};
+use simnet::{FetchKind, MsgKind, ProcId, SimTime, StallCat, TraceEvent};
 
 use crate::cluster::Cluster;
 use crate::diff::{Diff, Payload};
@@ -356,10 +356,14 @@ impl<'c> TmkProc<'c> {
 
     #[cold]
     fn read_fault(&mut self, page: u32) {
+        let net = self.cl.net();
+        let _fs = net.scope(self.me, StallCat::FaultStall);
+        net.trace(self.me, TraceEvent::FaultBegin { page, write: false });
         self.inner.counters.read_faults += 1;
         self.inner.policy.note_miss(page);
-        self.compute(self.cl.net().cost().page_fault());
+        self.compute(net.cost().page_fault());
         self.demand_fetch(page);
+        net.trace(self.me, TraceEvent::FaultEnd { page });
     }
 
     /// Demand-service a fault on `page`. If policy-deferred plans are
@@ -410,7 +414,10 @@ impl<'c> TmkProc<'c> {
 
     #[cold]
     fn write_fault(&mut self, page: u32) {
-        let cost = self.cl.net().cost();
+        let net = self.cl.net();
+        let cost = net.cost();
+        let _fs = net.scope(self.me, StallCat::FaultStall);
+        net.trace(self.me, TraceEvent::FaultBegin { page, write: true });
         self.inner.counters.write_faults += 1;
         self.compute(cost.page_fault());
         // Validate's write-watch: the protection violation tells the
@@ -431,9 +438,11 @@ impl<'c> TmkProc<'c> {
                 self.inner.counters.twins_made += 1;
                 self.inner.dirty.push(page);
                 self.cl.net().advance(self.me, cost.twin(page_size));
+                self.cl.net().trace(self.me, TraceEvent::TwinCreate { page });
             }
             f.state = PageState::Write;
         }
+        self.cl.net().trace(self.me, TraceEvent::FaultEnd { page });
     }
 
     /// Create twins and enable write access ahead of time — `Validate`
@@ -459,6 +468,7 @@ impl<'c> TmkProc<'c> {
                 self.inner.counters.twins_made += 1;
                 self.inner.dirty.push(page);
                 self.cl.net().advance(self.me, cost.twin(page_size));
+                self.cl.net().trace(self.me, TraceEvent::TwinCreate { page });
                 f.state = PageState::Write;
             }
         }
@@ -519,6 +529,16 @@ impl<'c> TmkProc<'c> {
     }
 
     fn fetch_pages_impl(&mut self, pages: &[u32], class: FetchClass, push_phase: Option<u32>) {
+        // Attribute the whole exchange by who initiated it: demand and
+        // compiler-aggregated fetches are fault service, predicted
+        // prefetch/push rounds are the adaptive engine's data motion.
+        let _sc = self.cl.net().scope(
+            self.me,
+            match class {
+                FetchClass::Demand | FetchClass::Aggregated => StallCat::FaultStall,
+                FetchClass::Prefetch | FetchClass::Push => StallCat::PrefetchPush,
+            },
+        );
         // Phase 1: figure out what is needed, per page.
         struct Need {
             page: u32,
@@ -749,7 +769,16 @@ impl<'c> TmkProc<'c> {
                         // make simulated time depend on OS interleaving
                         // (several consumers subscribe concurrently).
                         let _arrival = net.push(self.me, MsgKind::AdaptSub, 16 + 4 * npages);
-                        net.advance(q, net.cost().handler());
+                        net.advance_remote(q, net.cost().handler());
+                        net.trace(
+                            self.me,
+                            TraceEvent::Msg {
+                                kind: MsgKind::AdaptSub,
+                                peer: q as u32,
+                                bytes: (16 + 4 * npages) as u32,
+                                out: true,
+                            },
+                        );
                     }
                     net.policy().record_subscribe(self.me, phase, newly.len());
                 }
@@ -760,6 +789,15 @@ impl<'c> TmkProc<'c> {
                 .map(|p| (p.q, MsgKind::AdaptPush, p.resp_bytes))
                 .collect();
             self.cl.net().push_round(self.me, &legs);
+            self.cl.net().trace(
+                self.me,
+                TraceEvent::Fetch {
+                    class: FetchKind::Push,
+                    pages: needs.len() as u32,
+                    peers: legs.len() as u32,
+                    bytes: legs.iter().map(|&(_, _, b)| b as u64).sum(),
+                },
+            );
         } else {
             let (kreq, kresp) = match class {
                 FetchClass::Demand => (MsgKind::DiffRequest, MsgKind::DiffReply),
@@ -784,6 +822,19 @@ impl<'c> TmkProc<'c> {
             // the aggregated classes cover a whole schedule's worth per
             // peer.
             self.cl.net().parallel_round(self.me, &legs);
+            self.cl.net().trace(
+                self.me,
+                TraceEvent::Fetch {
+                    class: match class {
+                        FetchClass::Demand => FetchKind::Demand,
+                        FetchClass::Aggregated => FetchKind::Aggregated,
+                        _ => FetchKind::Prefetch,
+                    },
+                    pages: needs.len() as u32,
+                    peers: legs.len() as u32,
+                    bytes: legs.iter().map(|&(_, _, _, _, b)| b as u64).sum(),
+                },
+            );
         }
 
         // Phase 3: apply, master copies first, then records causally.
@@ -873,6 +924,13 @@ impl<'c> TmkProc<'c> {
                 let d = Diff::create(f.twin.as_ref().unwrap(), f.data.as_ref().unwrap());
                 scan_time += cost.diff_create(self.page_size);
                 if !d.is_empty() {
+                    self.cl.net().trace(
+                        self.me,
+                        TraceEvent::DiffCreate {
+                            page,
+                            bytes: d.wire_bytes() as u32,
+                        },
+                    );
                     payloads.push((page, Payload::Diff(d)));
                     self.inner.counters.diffs_created += 1;
                 }

@@ -57,6 +57,7 @@ impl ProtocolPolicy for PrefetchAll {
             defer: self.defer,
             push: self.push,
             phase,
+            events: Vec::new(),
         }
     }
 }

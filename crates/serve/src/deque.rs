@@ -57,8 +57,16 @@ impl<T> JobPool<T> {
     /// injector, else half of the fullest peer's queue. `None` means
     /// every queue was momentarily empty.
     pub fn pop(&self, me: usize) -> Option<T> {
+        self.pop_reporting(me).map(|(job, _)| job)
+    }
+
+    /// [`JobPool::pop`] that also reports where the job came from:
+    /// `Some((victim, moved))` when the worker's own queue and the
+    /// injector were both dry and `moved` jobs were stolen from
+    /// `victim`'s deque, `None` when the job was local or injected.
+    pub fn pop_reporting(&self, me: usize) -> Option<(T, Option<(usize, usize)>)> {
         if let Some(job) = self.locals[me].lock().pop_front() {
-            return Some(job);
+            return Some((job, None));
         }
         // Refill from the injector: keep one, queue the rest locally.
         {
@@ -72,15 +80,16 @@ impl<T> JobPool<T> {
                 if !rest.is_empty() {
                     self.locals[me].lock().extend(rest);
                 }
-                return first;
+                return first.map(|job| (job, None));
             }
         }
         self.steal(me)
     }
 
     /// Steal half (rounded up) of the fullest peer's queue; returns one
-    /// job and keeps the rest locally.
-    fn steal(&self, me: usize) -> Option<T> {
+    /// job plus the steal's `(victim, moved)` provenance and keeps the
+    /// rest locally.
+    fn steal(&self, me: usize) -> Option<(T, Option<(usize, usize)>)> {
         let victim = (0..self.locals.len())
             .filter(|&q| q != me)
             .max_by_key(|&q| self.locals[q].lock().len())?;
@@ -89,13 +98,14 @@ impl<T> JobPool<T> {
             let take = v.len().div_ceil(2);
             v.drain(..take).collect()
         };
+        let moved = stolen.len();
         let mut it = stolen.into_iter();
         let first = it.next()?;
         let rest: Vec<T> = it.collect();
         if !rest.is_empty() {
             self.locals[me].lock().extend(rest);
         }
-        Some(first)
+        Some((first, Some((victim, moved))))
     }
 }
 
@@ -127,9 +137,13 @@ mod tests {
         // Worker 0 takes the whole injector batch into its local queue.
         let first = pool.pop(0).unwrap();
         assert_eq!(first, 0);
-        // Worker 1 finds the injector empty and steals from worker 0.
-        let stolen = pool.pop(1).unwrap();
+        // Worker 1 finds the injector empty and steals from worker 0 —
+        // and the reporting pop names the victim and the haul.
+        let (stolen, from) = pool.pop_reporting(1).unwrap();
         assert!(stolen > 0);
+        let (victim, moved) = from.expect("job was stolen, not local");
+        assert_eq!(victim, 0);
+        assert!(moved >= 1, "steal-half moved {moved} jobs");
         assert!(pool.queued() > 0, "steal keeps the remainder queued");
     }
 

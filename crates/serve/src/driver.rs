@@ -20,11 +20,13 @@
 //! serving adds no shared lock beyond the job queues themselves.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apps::workload::{run_matrix, Variant, WorkloadMatrix};
 use simnet::{NetReport, PolicyReport};
 use synth::{Prepared, SynthConfig};
+use trace::{ServeEvent, ServeTrace};
 
 use crate::alloc;
 use crate::budget::ThreadBudget;
@@ -58,6 +60,11 @@ pub struct ServeConfig {
     /// assertions; silently skipped otherwise). After every cell has
     /// been served twice warm, net heap growth must stay flat.
     pub check_allocs: bool,
+    /// Optional job-lifecycle trace: job start/done, deque steals, and
+    /// cluster recycles land on per-worker [`ServeTrace`] lanes. `None`
+    /// (the default) is the zero-cost path — the worker loop takes one
+    /// untaken branch per job and allocates nothing.
+    pub trace: Option<Arc<ServeTrace>>,
 }
 
 impl ServeConfig {
@@ -69,6 +76,7 @@ impl ServeConfig {
             stop: Stop::Jobs(jobs),
             thread_budget: 64,
             check_allocs: false,
+            trace: None,
         }
     }
 
@@ -79,6 +87,7 @@ impl ServeConfig {
             stop: Stop::Window(window),
             thread_budget: 64,
             check_allocs: false,
+            trace: None,
         }
     }
 }
@@ -327,6 +336,7 @@ pub fn serve(cells: &[SynthConfig], cfg: &ServeConfig) -> ServeOutcome {
     let warmup_jobs = 2 * cells.len() as u64;
     let served = AtomicU64::new(0);
     let track_allocs = cfg.check_allocs && cfg.workers == 1 && cfg!(debug_assertions);
+    let tr: Option<&ServeTrace> = cfg.trace.as_deref();
 
     let start = Instant::now();
     let mut steady_growth = None;
@@ -339,13 +349,14 @@ pub fn serve(cells: &[SynthConfig], cfg: &ServeConfig) -> ServeOutcome {
                 s.spawn(move || {
                     let mut tally = Tally::new();
                     let mut baseline: Option<i64> = None;
+                    let mut jobno: u32 = 0;
                     loop {
                         if let Some(d) = deadline {
                             if Instant::now() >= d {
                                 break;
                             }
                         }
-                        let cell = match pool.pop(me) {
+                        let (cell, stolen) = match pool.pop_reporting(me) {
                             Some(c) => c,
                             None => match deadline {
                                 // Window mode: the queue ran dry before
@@ -358,11 +369,49 @@ pub fn serve(cells: &[SynthConfig], cfg: &ServeConfig) -> ServeOutcome {
                             },
                         };
                         let prep = &preps[cell];
+                        if let Some(t) = tr {
+                            if let Some((victim, moved)) = stolen {
+                                t.record(
+                                    me,
+                                    ServeEvent::Steal {
+                                        victim: victim as u32,
+                                        jobs: moved as u32,
+                                    },
+                                );
+                            }
+                            t.record(
+                                me,
+                                ServeEvent::JobStart {
+                                    job: jobno,
+                                    cell: cell as u32,
+                                },
+                            );
+                        }
                         let _tokens = budget.acquire(prep.cfg().nprocs);
                         let t0 = Instant::now();
                         let matrix = run_matrix(prep);
                         let ns = t0.elapsed().as_nanos() as u64;
                         goldens[cell].check(&matrix.label, &matrix);
+                        if let Some(t) = tr {
+                            // The job's simulated cost: the slowest
+                            // variant's parallel time.
+                            let sim_ns = matrix
+                                .runs
+                                .iter()
+                                .map(|r| r.report.time.0)
+                                .max()
+                                .unwrap_or(0);
+                            t.record(me, ServeEvent::JobDone { job: jobno, sim_ns });
+                            // Warm jobs run off recycled clusters and
+                            // return them to the pool on completion.
+                            t.record(
+                                me,
+                                ServeEvent::Recycle {
+                                    procs: prep.cfg().nprocs as u32,
+                                },
+                            );
+                            jobno += 1;
+                        }
                         tally.hist.record(ns);
                         tally.absorb(&matrix);
                         let done = served.fetch_add(1, Ordering::Relaxed) + 1;
@@ -473,6 +522,27 @@ mod tests {
         for v in Variant::ALL {
             assert_eq!(one.totals(v).messages * 3, three.totals(v).messages);
             assert_eq!(one.totals(v).bytes * 3, three.totals(v).bytes);
+        }
+    }
+
+    #[test]
+    fn serve_trace_sees_every_job_and_recycle() {
+        let cells = [tiny(5, Dynamics::Static)];
+        let tr = Arc::new(ServeTrace::new(2, 256));
+        let mut cfg = ServeConfig::jobs(2, 6);
+        cfg.trace = Some(tr.clone());
+        let out = serve(&cells, &cfg);
+        assert_eq!(out.jobs_done, 6);
+        let (jobs, _steals, recycles) = tr.totals();
+        assert_eq!(jobs, 6, "one JobDone per served job");
+        assert_eq!(recycles, 6, "every warm job returns its clusters");
+        let json = tr.to_chrome_json();
+        assert!(json.contains("\"sim_ns\""));
+        // Tracing is an observer: totals match the untraced run.
+        let plain = serve(&cells, &ServeConfig::jobs(2, 6));
+        for v in Variant::ALL {
+            assert_eq!(out.totals(v).messages, plain.totals(v).messages);
+            assert_eq!(out.totals(v).bytes, plain.totals(v).bytes);
         }
     }
 

@@ -118,6 +118,27 @@ impl Histogram {
         self.max
     }
 
+    /// The non-empty buckets as `(lower_edge, upper_edge, count)` rows
+    /// in ascending order — the full log-bucket histogram for machine
+    /// consumption (`table_serve --json`). Edges are half-open
+    /// `[lower, upper)` in the recorded unit; the final octave's upper
+    /// edge saturates at `u64::MAX`. Row counts sum to [`Histogram::count`].
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let hi = if i + 1 < NBUCKETS {
+                    value_of(i + 1)
+                } else {
+                    u64::MAX
+                };
+                (value_of(i), hi, n)
+            })
+            .collect()
+    }
+
     /// Fold `other` into `self` (bucket-wise; exact).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -166,6 +187,33 @@ mod tests {
         assert!((p95 as f64 - 950_000.0).abs() < 65_000.0, "p95={p95}");
         assert!(p99 <= 1_000_000 && p99 as f64 > 900_000.0, "p99={p99}");
         assert!((h.mean() - 500_500_000.0 / 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_every_observation() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 3, 17, 900, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        let rows = h.nonzero_buckets();
+        assert_eq!(rows.iter().map(|&(_, _, n)| n).sum::<u64>(), h.count());
+        for &(lo, hi, n) in &rows {
+            assert!(lo < hi, "degenerate bucket [{lo},{hi})");
+            assert!(n > 0);
+        }
+        // Rows are ascending and disjoint.
+        for w in rows.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} then {:?}", w[0], w[1]);
+        }
+        // The recorded values each land inside some row.
+        for v in [0u64, 3, 17, 900, 1 << 30] {
+            assert!(
+                rows.iter().any(|&(lo, hi, _)| lo <= v && v < hi),
+                "{v} not covered"
+            );
+        }
+        // u64::MAX lands in the open-ended overflow bucket.
+        assert_eq!(rows.last().unwrap().1, u64::MAX, "max covered");
     }
 
     #[test]

@@ -134,6 +134,7 @@ proptest! {
             stop: Stop::Jobs(jobs),
             thread_budget: 64,
             check_allocs: false,
+            trace: None,
         });
         let want = fold_sequential(&cells, jobs);
 

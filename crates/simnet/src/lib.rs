@@ -24,8 +24,12 @@ mod cost;
 mod net;
 mod stats;
 mod time;
+pub mod trace;
 
 pub use cost::CostModel;
-pub use net::{Net, ProcId};
+pub use net::{CatScope, Net, ProcId};
 pub use stats::{MsgKind, NetReport, PhasePolicyRow, PolicyReport, PolicyStats, Stats};
 pub use time::SimTime;
+pub use trace::{
+    with_trace_sink, FetchKind, PolicyAct, SpanTag, StallCat, StallRow, TraceEvent, TraceSink,
+};

@@ -16,11 +16,20 @@
 //!
 //! All clock updates are commutative atomics (`fetch_add` / `fetch_max`),
 //! so simulated times are independent of OS thread interleaving.
+//!
+//! **Stall attribution** rides on the same discipline: every clock
+//! mutation also bills the identical nanoseconds to one [`StallCat`]
+//! bucket of the processor whose clock moved (the current scoped
+//! category for own-thread advances and waits, [`StallCat::BarrierWait`]
+//! for the barrier jump, [`StallCat::Handler`] for remote interrupt
+//! service), so per-processor bucket sums equal the clocks *exactly* —
+//! see [`crate::trace`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::stats::{PolicyReport, PolicyStats};
+use crate::trace::{self, StallCat, StallRow, TraceEvent, TraceSink};
 use crate::{CostModel, MsgKind, NetReport, SimTime, Stats};
 
 /// A simulated processor's rank, `0..nprocs`.
@@ -43,11 +52,29 @@ pub struct Net {
     /// scenario-matrix harnesses (`table_synth`) so a report identifies
     /// the workload it measured.
     label: Mutex<Option<String>>,
+    /// Per-processor stall-attribution buckets, flat
+    /// `[proc][StallCat]`. Every clock mutation adds its exact delta to
+    /// one bucket, so `Σ tallies[p] == clocks[p]` at all times.
+    tallies: Vec<AtomicU64>,
+    /// Per-processor *virtual* clocks: the real clock minus remote
+    /// [`StallCat::Handler`] charges. Deterministic for
+    /// barrier-structured programs — the timestamp source for traces.
+    vtimes: Vec<AtomicU64>,
+    /// Per-processor current stall category (`StallCat as u8`), scoped
+    /// by the owning thread via [`Net::scope`].
+    cats: Vec<AtomicU8>,
+    /// Event sink, adopted at construction from
+    /// [`crate::with_trace_sink`] (or set via [`Net::set_trace_sink`]).
+    sink: Option<Arc<dyn TraceSink>>,
+    /// `sink.is_some()`, cached so the disabled [`Net::trace`] path is
+    /// a single predictable branch.
+    trace_on: bool,
 }
 
 impl Net {
     pub fn new(nprocs: usize, cost: CostModel) -> Self {
         assert!(nprocs >= 1, "need at least one processor");
+        let sink = trace::pending_sink();
         Net {
             nprocs,
             cost,
@@ -56,7 +83,22 @@ impl Net {
             policy: PolicyStats::new(nprocs),
             notice_meta: AtomicU64::new(0),
             label: Mutex::new(None),
+            tallies: (0..nprocs * StallCat::COUNT)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            vtimes: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            cats: (0..nprocs).map(|_| AtomicU8::new(0)).collect(),
+            trace_on: sink.is_some(),
+            sink,
         }
+    }
+
+    /// Install (or clear) the event sink. Construction-time adoption
+    /// via [`crate::with_trace_sink`] is the usual route; this exists
+    /// for owners that build the `Net` before choosing a sink.
+    pub fn set_trace_sink(&mut self, sink: Option<Arc<dyn TraceSink>>) {
+        self.trace_on = sink.is_some();
+        self.sink = sink;
     }
 
     /// Add `bytes` of barrier notice metadata (leader-side, once per
@@ -111,16 +153,51 @@ impl Net {
         SimTime(self.clocks[p].load(Ordering::Relaxed))
     }
 
-    /// Advance `p`'s clock by modeled compute time.
+    /// Bill `dt` nanoseconds to one of `p`'s stall buckets.
+    #[inline]
+    fn bill(&self, p: ProcId, cat: StallCat, dt: u64) {
+        self.tallies[p * StallCat::COUNT + cat as usize].fetch_add(dt, Ordering::Relaxed);
+    }
+
+    /// Bill `dt` to `p`'s *current* scoped category.
+    #[inline]
+    fn bill_current(&self, p: ProcId, dt: u64) {
+        let cat = StallCat::from_u8(self.cats[p].load(Ordering::Relaxed));
+        self.bill(p, cat, dt);
+    }
+
+    /// Advance `p`'s clock by modeled compute time (own thread only —
+    /// billed to the current scoped category and to the deterministic
+    /// virtual clock).
     #[inline]
     pub fn advance(&self, p: ProcId, dt: SimTime) {
         self.clocks[p].fetch_add(dt.0, Ordering::Relaxed);
+        self.vtimes[p].fetch_add(dt.0, Ordering::Relaxed);
+        self.bill_current(p, dt.0);
+    }
+
+    /// Charge `p` remote interrupt-handler service *from another
+    /// processor's thread* (the SIGIO cost of serving a request).
+    /// Billed to [`StallCat::Handler`] and excluded from the virtual
+    /// clock, which is what keeps trace timestamps deterministic.
+    #[inline]
+    pub fn advance_remote(&self, p: ProcId, dt: SimTime) {
+        self.clocks[p].fetch_add(dt.0, Ordering::Relaxed);
+        self.bill(p, StallCat::Handler, dt.0);
     }
 
     /// `p` blocks (logically) until at least `t` — e.g. a message arrival.
+    /// The wait (if any) is billed to `p`'s current scoped category.
     #[inline]
     pub fn await_until(&self, p: ProcId, t: SimTime) {
-        self.clocks[p].fetch_max(t.0, Ordering::Relaxed);
+        let prev = self.clocks[p].fetch_max(t.0, Ordering::Relaxed);
+        if t.0 > prev {
+            self.bill_current(p, t.0 - prev);
+            // The virtual clock advances by exactly the same delta the
+            // real clock did (not fetch_max: handler charges may already
+            // have pushed the clock past `t` while vtime excludes them).
+            self.vtimes[p].fetch_add(t.0 - prev, Ordering::Relaxed);
+        }
     }
 
     /// Maximum clock over all processors (the parallel execution time).
@@ -135,10 +212,18 @@ impl Net {
     }
 
     /// Set every clock to `t` (barrier departure). Monotone by `fetch_max`
-    /// so a racing `advance` cannot move a clock backwards.
+    /// so a racing `advance` cannot move a clock backwards. Each
+    /// processor's jump is billed to [`StallCat::BarrierWait`], and the
+    /// virtual clocks re-synchronize here — the barrier departure time
+    /// is deterministic, because every charge of the closing interval
+    /// lands before the rendezvous that computes it.
     pub fn set_all_clocks(&self, t: SimTime) {
-        for c in &self.clocks {
-            c.fetch_max(t.0, Ordering::Relaxed);
+        for (p, c) in self.clocks.iter().enumerate() {
+            let prev = c.fetch_max(t.0, Ordering::Relaxed);
+            if t.0 > prev {
+                self.bill(p, StallCat::BarrierWait, t.0 - prev);
+            }
+            self.vtimes[p].fetch_max(t.0, Ordering::Relaxed);
         }
     }
 
@@ -146,9 +231,75 @@ impl Net {
         for c in &self.clocks {
             c.store(0, Ordering::Relaxed);
         }
+        for t in &self.tallies {
+            t.store(0, Ordering::Relaxed);
+        }
+        for v in &self.vtimes {
+            v.store(0, Ordering::Relaxed);
+        }
+        for c in &self.cats {
+            c.store(StallCat::Compute as u8, Ordering::Relaxed);
+        }
         self.stats.reset();
         self.policy.reset();
         self.notice_meta.store(0, Ordering::Relaxed);
+    }
+
+    // ---- stall attribution and tracing ----
+
+    /// Enter stall category `cat` on processor `p` until the returned
+    /// guard drops (categories nest; the guard restores the previous
+    /// one). Call only from `p`'s own thread.
+    #[inline]
+    pub fn scope(&self, p: ProcId, cat: StallCat) -> CatScope<'_> {
+        let prev = self.cats[p].swap(cat as u8, Ordering::Relaxed);
+        CatScope { net: self, p, prev }
+    }
+
+    /// Processor `p`'s deterministic virtual time (clock minus remote
+    /// handler charges) — the trace timestamp source.
+    #[inline]
+    pub fn vtime(&self, p: ProcId) -> SimTime {
+        SimTime(self.vtimes[p].load(Ordering::Relaxed))
+    }
+
+    /// Snapshot every processor's stall-attribution row. Exact (each
+    /// row sums to its clock) whenever the cluster is quiescent.
+    pub fn stall_rows(&self) -> Vec<StallRow> {
+        (0..self.nprocs)
+            .map(|p| {
+                let mut row = StallRow {
+                    clock: self.clocks[p].load(Ordering::Relaxed),
+                    ..Default::default()
+                };
+                for (i, c) in row.cats.iter_mut().enumerate() {
+                    *c = self.tallies[p * StallCat::COUNT + i].load(Ordering::Relaxed);
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Is an event sink installed?
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.trace_on
+    }
+
+    /// Record `ev` on processor `p`'s lane, stamped with its virtual
+    /// time. A single predictable branch when no sink is installed.
+    #[inline]
+    pub fn trace(&self, p: ProcId, ev: TraceEvent) {
+        if self.trace_on {
+            self.trace_slow(p, ev);
+        }
+    }
+
+    #[cold]
+    fn trace_slow(&self, p: ProcId, ev: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(p, self.vtime(p), ev);
+        }
     }
 
     // ---- traffic ----
@@ -175,13 +326,35 @@ impl Net {
         self.stats.record(server, kind_resp, resp_bytes);
         let rt = self.cost.round_trip(req_bytes, resp_bytes) + server_work;
         self.advance(requester, rt);
-        self.advance(server, self.cost.handler());
+        self.advance_remote(server, self.cost.handler());
+        if self.trace_on {
+            self.trace_slow(
+                requester,
+                TraceEvent::Msg {
+                    kind: kind_req,
+                    peer: server as u32,
+                    bytes: req_bytes as u32,
+                    out: true,
+                },
+            );
+            self.trace_slow(
+                requester,
+                TraceEvent::Msg {
+                    kind: kind_resp,
+                    peer: server as u32,
+                    bytes: resp_bytes as u32,
+                    out: false,
+                },
+            );
+        }
     }
 
     /// A one-way push from `from`; returns the arrival time at the
     /// destination. The receiver should fold this in via [`Net::await_until`]
     /// at its matching receive point. Charges the sender the injection
-    /// overhead (half the latency) plus per-byte cost.
+    /// overhead (half the latency) plus per-byte cost. No [`TraceEvent::Msg`]
+    /// is emitted here — the destination is unknown at this layer; the
+    /// runtimes that route pushes emit it at their send sites.
     pub fn push(&self, from: ProcId, kind: MsgKind, bytes: usize) -> SimTime {
         self.stats.record(from, kind, bytes);
         let inject = SimTime::from_us(
@@ -219,7 +392,7 @@ impl Net {
             debug_assert_ne!(requester, server);
             self.stats.record(requester, kreq, breq);
             self.stats.record(server, kresp, bresp);
-            self.advance(server, self.cost.handler());
+            self.advance_remote(server, self.cost.handler());
             bytes += breq + bresp;
         }
         self.advance(
@@ -230,6 +403,28 @@ impl Net {
                     + self.cost.per_byte_us * bytes as f64,
             ),
         );
+        if self.trace_on {
+            for &(server, kreq, breq, kresp, bresp) in legs {
+                self.trace_slow(
+                    requester,
+                    TraceEvent::Msg {
+                        kind: kreq,
+                        peer: server as u32,
+                        bytes: breq as u32,
+                        out: true,
+                    },
+                );
+                self.trace_slow(
+                    requester,
+                    TraceEvent::Msg {
+                        kind: kresp,
+                        peer: server as u32,
+                        bytes: bresp as u32,
+                        out: false,
+                    },
+                );
+            }
+        }
     }
 
     /// One *parallel* round of writer-initiated one-way pushes arriving
@@ -249,7 +444,7 @@ impl Net {
         for &(from, kind, b) in legs {
             debug_assert_ne!(from, to, "local data is not a message");
             self.stats.record(from, kind, b);
-            self.advance(from, self.cost.handler());
+            self.advance_remote(from, self.cost.handler());
             bytes += b;
         }
         self.advance(
@@ -260,16 +455,49 @@ impl Net {
                     + self.cost.per_byte_us * bytes as f64,
             ),
         );
+        if self.trace_on {
+            for &(from, kind, b) in legs {
+                self.trace_slow(
+                    to,
+                    TraceEvent::Msg {
+                        kind,
+                        peer: from as u32,
+                        bytes: b as u32,
+                        out: false,
+                    },
+                );
+            }
+        }
     }
 
+    /// Message/byte totals plus the per-processor stall-attribution
+    /// rows (unlike [`NetReport::capture`], which has no clock access
+    /// and leaves them empty).
     pub fn report(&self) -> NetReport {
         let mut rep = NetReport::capture(&self.stats);
         rep.label = self.label();
+        rep.stalls = self.stall_rows();
         rep
     }
 
     pub fn policy_report(&self) -> PolicyReport {
         PolicyReport::capture(&self.policy)
+    }
+}
+
+/// RAII guard of one processor's scoped stall category — restores the
+/// previous category on drop (see [`Net::scope`]).
+#[must_use = "dropping the scope immediately restores the previous category"]
+#[derive(Debug)]
+pub struct CatScope<'a> {
+    net: &'a Net,
+    p: ProcId,
+    prev: u8,
+}
+
+impl Drop for CatScope<'_> {
+    fn drop(&mut self) {
+        self.net.cats[self.p].store(self.prev, Ordering::Relaxed);
     }
 }
 
@@ -357,6 +585,135 @@ mod tests {
         n.reset();
         assert_eq!(n.clock_max(), SimTime::ZERO);
         assert_eq!(n.stats().total_messages(), 0);
+        for row in n.reset_probe_rows() {
+            assert_eq!(row.total(), 0);
+            assert_eq!(row.clock, 0);
+        }
+    }
+
+    impl Net {
+        fn reset_probe_rows(&self) -> Vec<StallRow> {
+            self.stall_rows()
+        }
+
+        /// Test helper: assert every processor's stall buckets sum to
+        /// its clock exactly.
+        fn assert_conserved(&self) {
+            for (p, row) in self.stall_rows().iter().enumerate() {
+                assert_eq!(
+                    row.total(),
+                    row.clock,
+                    "proc {p}: stall buckets sum to {} but clock is {}",
+                    row.total(),
+                    row.clock
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_clock_mutation_is_attributed() {
+        let n = net(3);
+        n.advance(0, SimTime(100)); // Compute (default scope)
+        {
+            let _g = n.scope(0, StallCat::FaultStall);
+            n.advance(0, SimTime(40));
+            n.await_until(0, SimTime(200)); // 60 ns wait inside the scope
+        }
+        n.advance(0, SimTime(10)); // back to Compute
+        n.advance_remote(1, SimTime(7)); // Handler, cross-thread
+        n.set_all_clocks(SimTime(300)); // BarrierWait fills the gaps
+        n.assert_conserved();
+        let rows = n.stall_rows();
+        assert_eq!(rows[0].get(StallCat::Compute), 110);
+        assert_eq!(rows[0].get(StallCat::FaultStall), 100);
+        assert_eq!(rows[0].get(StallCat::BarrierWait), 300 - 210);
+        assert_eq!(rows[1].get(StallCat::Handler), 7);
+        assert_eq!(rows[1].get(StallCat::BarrierWait), 293);
+        assert_eq!(rows[2].get(StallCat::BarrierWait), 300);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let n = net(1);
+        let outer = n.scope(0, StallCat::BarrierWait);
+        {
+            let _inner = n.scope(0, StallCat::PrefetchPush);
+            n.advance(0, SimTime(5));
+        }
+        n.advance(0, SimTime(3));
+        drop(outer);
+        n.advance(0, SimTime(2));
+        let row = &n.stall_rows()[0];
+        assert_eq!(row.get(StallCat::PrefetchPush), 5);
+        assert_eq!(row.get(StallCat::BarrierWait), 3);
+        assert_eq!(row.get(StallCat::Compute), 2);
+        n.assert_conserved();
+    }
+
+    #[test]
+    fn traffic_helpers_conserve_and_split_handler_from_vtime() {
+        let n = net(4);
+        n.request_response(0, 1, MsgKind::DiffRequest, 16, MsgKind::DiffReply, 4096, SimTime::ZERO);
+        n.parallel_round(
+            2,
+            &[
+                (1, MsgKind::AggRequest, 8, MsgKind::AggReply, 64),
+                (3, MsgKind::AggRequest, 8, MsgKind::AggReply, 64),
+            ],
+        );
+        n.push_round(3, &[(0, MsgKind::AdaptPush, 128)]);
+        let arrival = n.push(0, MsgKind::Gather, 256);
+        n.await_until(1, arrival);
+        n.assert_conserved();
+        // The served side's handler charges are excluded from vtime...
+        assert_eq!(
+            n.vtime(1).as_ns() + n.stall_rows()[1].get(StallCat::Handler),
+            n.clock(1).as_ns()
+        );
+        // ...and a barrier re-synchronizes vtime with the clock.
+        n.set_all_clocks(n.clock_max());
+        for p in 0..4 {
+            assert_eq!(n.vtime(p), n.clock(p), "proc {p} resynced");
+        }
+        n.assert_conserved();
+    }
+
+    #[test]
+    fn trace_events_reach_an_installed_sink_with_vtime_stamps() {
+        use crate::trace::{with_trace_sink, TraceSink};
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Debug, Default)]
+        struct Rec(StdMutex<Vec<(ProcId, u64, TraceEvent)>>);
+        impl TraceSink for Rec {
+            fn record(&self, p: ProcId, t: SimTime, ev: TraceEvent) {
+                self.0.lock().unwrap().push((p, t.as_ns(), ev));
+            }
+        }
+
+        let sink = Arc::new(Rec::default());
+        let n = with_trace_sink(sink.clone(), || net(2));
+        assert!(n.tracing());
+        n.advance(0, SimTime(50));
+        n.trace(0, TraceEvent::FaultBegin { page: 3, write: true });
+        n.request_response(0, 1, MsgKind::DiffRequest, 16, MsgKind::DiffReply, 512, SimTime::ZERO);
+        let got = sink.0.lock().unwrap();
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[0].1, 50, "stamped with the virtual clock");
+        assert_eq!(got[0].2, TraceEvent::FaultBegin { page: 3, write: true });
+        // The request/response emitted both legs on the requester lane.
+        assert_eq!(got.len(), 3);
+        assert!(matches!(got[1].2, TraceEvent::Msg { out: true, peer: 1, .. }));
+        assert!(matches!(got[2].2, TraceEvent::Msg { out: false, peer: 1, .. }));
+    }
+
+    #[test]
+    fn untraced_net_ignores_trace_calls() {
+        let n = net(1);
+        assert!(!n.tracing());
+        n.trace(0, TraceEvent::FaultEnd { page: 1 }); // must be a no-op
+        assert_eq!(n.clock(0), SimTime::ZERO);
     }
 }
 

@@ -503,6 +503,10 @@ pub struct NetReport {
     /// Scenario label of the cluster the snapshot came from (set via
     /// `Net::set_label` by scenario-matrix harnesses), `None` elsewhere.
     pub label: Option<String>,
+    /// Per-proc stall-attribution rows (one per rank, indexed by
+    /// `ProcId`), filled by [`crate::Net::report`]; empty when the
+    /// snapshot was assembled from bare [`Stats`] counters.
+    pub stalls: Vec<crate::trace::StallRow>,
 }
 
 impl NetReport {
@@ -516,6 +520,7 @@ impl NetReport {
                 .filter(|&(_, m, b)| m > 0 || b > 0)
                 .collect(),
             label: None,
+            stalls: Vec::new(),
         }
     }
 
@@ -566,6 +571,16 @@ impl NetReport {
         if self.label != other.label {
             self.label = None;
         }
+        // Stall rows merge rank-wise (element-wise bucket adds), extending
+        // to the longer cluster — commutative and associative like the
+        // per-kind rows, so worker-local partial folds stay order-free.
+        if self.stalls.len() < other.stalls.len() {
+            self.stalls
+                .resize(other.stalls.len(), crate::trace::StallRow::default());
+        }
+        for (row, o) in self.stalls.iter_mut().zip(&other.stalls) {
+            row.merge(o);
+        }
     }
 
     /// Difference between two snapshots (for per-phase accounting).
@@ -587,6 +602,15 @@ impl NetReport {
             bytes: self.bytes - earlier.bytes,
             per_kind,
             label: self.label.clone(),
+            stalls: self
+                .stalls
+                .iter()
+                .enumerate()
+                .map(|(p, row)| match earlier.stalls.get(p) {
+                    Some(e) => row.delta(e),
+                    None => *row,
+                })
+                .collect(),
         }
     }
 }

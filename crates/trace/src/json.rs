@@ -1,0 +1,245 @@
+//! A minimal JSON well-formedness checker.
+//!
+//! The exporters in this crate write JSON by hand (the workspace
+//! vendors no serde), so CI needs an independent check that the output
+//! actually parses. This is a strict RFC 8259 recognizer — structure,
+//! string escapes, and number grammar — that keeps nothing in memory
+//! but a recursion-depth counter.
+
+/// Does `s` consist of exactly one well-formed JSON value (plus
+/// surrounding whitespace)?
+pub fn json_well_formed(s: &str) -> bool {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+        depth: 0,
+    };
+    p.ws();
+    p.value() && {
+        p.ws();
+        p.i == p.b.len()
+    }
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn value(&mut self) -> bool {
+        if self.depth >= MAX_DEPTH {
+            return false;
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> bool {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn object(&mut self) -> bool {
+        self.depth += 1;
+        self.i += 1; // '{'
+        self.ws();
+        if self.eat(b'}') {
+            self.depth -= 1;
+            return true;
+        }
+        loop {
+            self.ws();
+            if !self.string() {
+                return false;
+            }
+            self.ws();
+            if !self.eat(b':') {
+                return false;
+            }
+            self.ws();
+            if !self.value() {
+                return false;
+            }
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                self.depth -= 1;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    fn array(&mut self) -> bool {
+        self.depth += 1;
+        self.i += 1; // '['
+        self.ws();
+        if self.eat(b']') {
+            self.depth -= 1;
+            return true;
+        }
+        loop {
+            self.ws();
+            if !self.value() {
+                return false;
+            }
+            self.ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                self.depth -= 1;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return true,
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.i += 1,
+                    Some(b'u') => {
+                        self.i += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                _ => return false,
+                            }
+                        }
+                    }
+                    _ => return false,
+                },
+                0x00..=0x1f => return false, // raw control character
+                _ => {}
+            }
+        }
+        false // unterminated
+    }
+
+    fn number(&mut self) -> bool {
+        self.eat(b'-');
+        // Integer part: a single 0 or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(b'1'..=b'9') => self.digits(),
+            _ => return false,
+        }
+        if self.eat(b'.') {
+            match self.peek() {
+                Some(b'0'..=b'9') => self.digits(),
+                _ => return false,
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            match self.peek() {
+                Some(b'0'..=b'9') => self.digits(),
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            r#"{"a":[1,2,{"b":"x\nyé"}],"c":true}"#,
+            "  [1, 2, 3]  ",
+            r#"{"ts":1.234,"s":"t"}"#,
+        ] {
+            assert!(json_well_formed(ok), "should accept {ok:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"ctrl\u{1}\"",
+            "[1] []",
+            "{'a':1}",
+            "nul",
+        ] {
+            assert!(!json_well_formed(bad), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn bounds_recursion_depth() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(!json_well_formed(&deep));
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(json_well_formed(&ok));
+    }
+}

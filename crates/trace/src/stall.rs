@@ -1,0 +1,114 @@
+//! The stall-attribution report.
+//!
+//! `simnet` bills every clock mutation to exactly one [`StallCat`]
+//! bucket, so attribution is an accounting identity, not a sampler:
+//! for every processor, the bucket sum equals the final simulated
+//! clock to the nanosecond. [`check_conservation`] verifies that
+//! identity on a captured [`NetReport`]; [`stall_json`] renders the
+//! breakdown (per processor and cluster totals) as JSON.
+
+use std::fmt::Write as _;
+
+use simnet::{NetReport, StallCat, StallRow};
+
+/// Verify the conservation law on every row of `rep.stalls`: the
+/// per-category nanoseconds must sum *exactly* to the processor's
+/// captured clock. Returns the first violation as an error message.
+///
+/// An empty `stalls` vector is an error too — callers asking for
+/// attribution on a report that never captured any (for example one
+/// assembled from bare `Stats`) should hear about it rather than
+/// vacuously pass.
+pub fn check_conservation(rep: &NetReport) -> Result<(), String> {
+    if rep.stalls.is_empty() {
+        return Err("report carries no stall rows".to_string());
+    }
+    for (p, row) in rep.stalls.iter().enumerate() {
+        let total = row.total();
+        if total != row.clock {
+            return Err(format!(
+                "proc {p}: categories sum to {total} ns but clock is {} ns (off by {})",
+                row.clock,
+                row.clock.abs_diff(total)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Render the stall breakdown of `rep` as a JSON document:
+/// `{"procs":[{"proc":0,"clock_ns":…,"compute":…,…},…],"total":{…}}`.
+/// Row order and key order are fixed, so equal reports render to
+/// byte-identical strings.
+pub fn stall_json(rep: &NetReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\"procs\":[\n");
+    let mut total = StallRow::default();
+    for (p, row) in rep.stalls.iter().enumerate() {
+        if p > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "{{\"proc\":{p},");
+        row_fields(&mut out, row);
+        out.push('}');
+        total.merge(row);
+    }
+    out.push_str("\n],\"total\":{");
+    row_fields(&mut out, &total);
+    out.push_str("}}\n");
+    out
+}
+
+fn row_fields(out: &mut String, row: &StallRow) {
+    let _ = write!(out, "\"clock_ns\":{}", row.clock);
+    for cat in StallCat::ALL {
+        let _ = write!(out, ",\"{}\":{}", cat.name(), row.get(cat));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json_well_formed;
+
+    fn report(rows: Vec<StallRow>) -> NetReport {
+        NetReport {
+            messages: 0,
+            bytes: 0,
+            per_kind: Vec::new(),
+            label: None,
+            stalls: rows,
+        }
+    }
+
+    fn row(compute: u64, barrier: u64) -> StallRow {
+        let mut r = StallRow::default();
+        r.cats[StallCat::Compute as usize] = compute;
+        r.cats[StallCat::BarrierWait as usize] = barrier;
+        r.clock = compute + barrier;
+        r
+    }
+
+    #[test]
+    fn conservation_holds_and_violations_are_reported() {
+        let good = report(vec![row(70, 30), row(100, 0)]);
+        assert_eq!(check_conservation(&good), Ok(()));
+
+        let mut bad = good.clone();
+        bad.stalls[1].clock += 5;
+        let err = check_conservation(&bad).unwrap_err();
+        assert!(err.contains("proc 1"), "{err}");
+        assert!(err.contains("off by 5"), "{err}");
+
+        assert!(check_conservation(&report(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn json_render_is_well_formed_and_totals_fold() {
+        let rep = report(vec![row(70, 30), row(40, 10)]);
+        let json = stall_json(&rep);
+        assert!(json_well_formed(&json), "malformed:\n{json}");
+        assert!(json.contains("\"total\":{\"clock_ns\":150,\"compute\":110,"));
+        assert_eq!(json, stall_json(&rep.clone()), "deterministic render");
+    }
+}

@@ -37,3 +37,5 @@ pub use serve;
 pub use simnet;
 /// The synthetic irregular-workload engine (scenario matrix).
 pub use synth;
+/// Deterministic simulated-time tracing + stall attribution.
+pub use trace;
