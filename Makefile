@@ -1,7 +1,7 @@
 # Tier-1 verification and common entry points. CI (.github/workflows/ci.yml)
 # runs the same commands; `make tier1` is the local equivalent.
 
-.PHONY: tier1 build test clippy bench examples tables soak synth serve trace clean
+.PHONY: tier1 build test clippy bench examples tables soak synth churn serve trace clean
 
 tier1: build test
 
@@ -18,8 +18,8 @@ clippy:
 # appends one JSON line per bench to CRITERION_JSON; bench_json merges
 # those with the in-simulation message counts (plus a serve round over
 # the quick grid and the fixed cells' stall attribution) into
-# BENCH_8.json, and bench_diff then gates the per-variant message
-# totals against the committed BENCH_7.json — protocol counts may only
+# BENCH_9.json, and bench_diff then gates the per-variant message
+# totals against the committed BENCH_8.json — protocol counts may only
 # move together with golden_counts.rs.
 bench:
 	rm -f target/criterion.jsonl
@@ -52,7 +52,15 @@ tables:
 synth:
 	cargo run --release -p bench --bin table_synth
 
-# The throughput service at quick scale: 200 jobs over the 24-cell grid
+# The churn harness at paper scale: the grid's six regime-break /
+# rebalance cells plus the lossy-link section, each bounded by an
+# in-binary assertion (probe budget, bitwise-under-loss, stall
+# conservation with the Retry category). The --quick form is part of
+# `make soak` and CI; nightly runs this full-scale form.
+churn:
+	cargo run --release -p bench --bin table_churn
+
+# The throughput service at quick scale: 200 jobs over the 30-cell grid
 # on a work-stealing pool, every job bitwise-checked against cold
 # goldens (~20 s here). Drop --quick for the nightly 60 s window at
 # paper scale.
@@ -76,6 +84,7 @@ soak:
 	PROPTEST_CASES=256 cargo test -q -p serve
 	cargo run --release -p bench --bin table_adapt -- --quick
 	cargo run --release -p bench --bin table_synth -- --quick
+	cargo run --release -p bench --bin table_churn -- --quick
 	cargo run --release -p bench --bin table_serve -- --quick
 	cargo run --release -p bench --bin table_trace -- --quick
 

@@ -86,7 +86,7 @@ mod history;
 mod policy;
 
 pub use history::{EpochLog, EpochRow, PageHistory};
-pub use policy::{AdaptConfig, AdaptivePolicy, PageMode};
+pub use policy::{probe_budget, AdaptConfig, AdaptivePolicy, PageMode};
 
 pub use dsm::{EpochDecision, ProtocolPolicy, StaticPolicy};
 pub use simnet::{PolicyReport, PolicyStats};

@@ -111,6 +111,15 @@ pub struct AdaptConfig {
     /// honest signal — its prefetches mask every would-be miss), at
     /// exactly base-TreadMarks cost during the probe itself.
     pub probe_every: u64,
+    /// Consecutive *clean* probes — withheld predictions whose window
+    /// then closed without a demand miss — before the predictor is
+    /// fully reset. This is the break-detection demotion knob: 1 (the
+    /// default) demotes on the first contradicting probe, the fast
+    /// retreat an unannounced mid-run regime break demands; larger
+    /// values tolerate isolated quiet windows before declaring the
+    /// pattern dead. Any probe that *does* demand-fault clears the
+    /// streak. Range 1–8.
+    pub demote_after: u32,
     /// Retained rows of the per-epoch decision log (diagnostics only).
     pub log_window: usize,
     /// Per-(page, phase) gap-history depth. The longest recognizable
@@ -147,6 +156,7 @@ impl Default for AdaptConfig {
         AdaptConfig {
             promote_after: 1,
             probe_every: 8,
+            demote_after: 1,
             log_window: 64,
             history_window: 16,
             quiesce_after: 2,
@@ -163,6 +173,31 @@ impl AdaptConfig {
             ..Default::default()
         }
     }
+}
+
+/// Worst-case extra messages the adaptive engine can spend, over plain
+/// demand paging, on plans a mid-run regime break turned stale — the
+/// falsifiable bound the churn test suite asserts.
+///
+/// The argument: a broken plan's prefetches *mask* the misses that
+/// would expose it, so the only honest death signal is a probe, and the
+/// probe cadence guarantees one within [`AdaptConfig::probe_every`]
+/// predictions (with [`AdaptConfig::demote_after`] `= 1` the first
+/// clean probe demotes). Until then each stale promoted page wastes at
+/// most one prefetch exchange per epoch, and one wasted page-exchange
+/// costs at most 2 messages (a request/reply pull; a push costs 1).
+/// A run of `epochs` epochs cannot waste more epochs than it has, so
+/// each of the `pages` ever-promoted pages wastes at most
+/// `min(probe_every, epochs)` exchanges:
+///
+/// `budget = 2 × pages × min(probe_every, epochs)`
+///
+/// The bound is deliberately loose (it ignores that probes themselves
+/// cost base price, that re-promotion needs three live needs, and that
+/// quiesced plans die free) — loose enough to be stable across cost
+/// models, tight enough to fail if demotion ever stops working.
+pub fn probe_budget(probe_every: u64, pages: u64, epochs: u64) -> u64 {
+    2 * pages * probe_every.min(epochs)
 }
 
 /// Which way a page's data currently moves.
@@ -218,6 +253,8 @@ struct PageEntry {
     gaps: Vec<u32>,
     /// Predictions issued (drives the probe cadence).
     predictions: u64,
+    /// Consecutive clean probes (see [`AdaptConfig::demote_after`]).
+    clean_probes: u32,
     /// Currently promoted? (tracked to count mode flips)
     promoted: bool,
 }
@@ -234,6 +271,7 @@ impl PageEntry {
             last_need: 0,
             gaps: Vec::new(),
             predictions: 0,
+            clean_probes: 0,
             promoted: false,
         }
     }
@@ -316,6 +354,7 @@ impl AdaptivePolicy {
     pub fn new(cfg: AdaptConfig) -> Self {
         assert!((1..=8).contains(&cfg.promote_after), "promote_after: 1–8");
         assert!(cfg.probe_every >= 2, "probe_every: at least 2");
+        assert!((1..=8).contains(&cfg.demote_after), "demote_after: 1–8");
         assert!(
             (4..=64).contains(&cfg.history_window),
             "history_window: 4–64"
@@ -513,6 +552,7 @@ impl ProtocolPolicy for AdaptivePolicy {
 
         let promote_after = self.cfg.promote_after;
         let probe_every = self.cfg.probe_every;
+        let demote_after = self.cfg.demote_after;
         let history_window = self.cfg.history_window;
         let mut picks = Vec::new();
         // The picks plus any probe-withheld pages: the quiesce streak
@@ -558,12 +598,35 @@ impl ProtocolPolicy for AdaptivePolicy {
                     e.gaps.push(g);
                 }
                 e.last_need = t;
+                if e.missed {
+                    // Only a real demand miss is evidence of life — a
+                    // prefetch-covered window proves nothing (the
+                    // prefetch masks every would-be miss), so it leaves
+                    // the clean-probe streak alone.
+                    e.clean_probes = 0;
+                }
             } else if was_probe {
-                // Clean probe: the pattern dissolved. Full reset — the
-                // page must re-earn promotion from live misses.
-                e.gaps.clear();
-                e.last_need = 0;
-                e.predictions = 0;
+                // Clean probe: the withheld prefetch was contradicted.
+                // After `demote_after` consecutive clean probes the
+                // pattern is declared dead: full reset — the page must
+                // re-earn promotion from live misses.
+                e.clean_probes += 1;
+                if e.clean_probes >= demote_after {
+                    e.gaps.clear();
+                    e.last_need = 0;
+                    e.predictions = 0;
+                    e.clean_probes = 0;
+                } else if e.last_need > 0 {
+                    // Tolerated: the withheld window stands in as a
+                    // virtual need so the cadence stays on schedule and
+                    // the *next* probe gets to decide.
+                    let g = (t - e.last_need).min(u32::MAX as u64) as u32;
+                    if e.gaps.len() == history_window {
+                        e.gaps.remove(0);
+                    }
+                    e.gaps.push(g);
+                    e.last_need = t;
+                }
             }
             e.probing = false;
             e.missed = false;
@@ -796,6 +859,72 @@ mod tests {
         for _ in 0..8 {
             assert!(drive(&mut p, &stats, &[9]).is_empty());
         }
+    }
+
+    #[test]
+    fn demote_after_tolerates_isolated_clean_probes() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig {
+            promote_after: 1,
+            probe_every: 3,
+            demote_after: 2,
+            ..Default::default()
+        });
+        // Promote page 9 (gap 1), then let the page go quiet.
+        for _ in 0..3 {
+            p.note_miss(9);
+            drive(&mut p, &stats, &[9]);
+        }
+        // Predictions 2, 3 = prefetch, probe. One clean probe is below
+        // the demote threshold, so the prediction stream continues...
+        assert_eq!(drive(&mut p, &stats, &[9]), vec![9]);
+        assert!(drive(&mut p, &stats, &[9]).is_empty()); // probe 1
+        assert_eq!(drive(&mut p, &stats, &[9]), vec![9], "one clean probe tolerated");
+        // ...until the second consecutive clean probe resets it.
+        assert_eq!(drive(&mut p, &stats, &[9]), vec![9]);
+        assert!(drive(&mut p, &stats, &[9]).is_empty()); // probe 2
+        drive(&mut p, &stats, &[9]); // clean again → reset
+        assert_eq!(p.page_mode(9), PageMode::Demand);
+        for _ in 0..6 {
+            assert!(drive(&mut p, &stats, &[9]).is_empty());
+        }
+    }
+
+    #[test]
+    fn probe_that_faults_clears_the_clean_streak() {
+        let stats = PolicyStats::new(1);
+        let mut p = AdaptivePolicy::new(AdaptConfig {
+            promote_after: 1,
+            probe_every: 2,
+            demote_after: 2,
+            ..Default::default()
+        });
+        for _ in 0..3 {
+            p.note_miss(4);
+            drive(&mut p, &stats, &[4]);
+        }
+        // Every second prediction probes; the page stays live, so each
+        // probe demand-faults and the clean streak never reaches 2.
+        for round in 0..6 {
+            let picks = drive(&mut p, &stats, &[4]);
+            if picks.is_empty() {
+                p.note_miss(4); // the probe window's real miss
+            }
+            assert_eq!(
+                p.page_mode(4),
+                PageMode::Prefetch,
+                "round {round}: a live pattern must survive its probes"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_budget_formula() {
+        // Bounded by the probe cadence...
+        assert_eq!(probe_budget(8, 3, 100), 2 * 3 * 8);
+        // ...or by the run length, whichever is shorter.
+        assert_eq!(probe_budget(8, 3, 5), 2 * 3 * 5);
+        assert_eq!(probe_budget(2, 0, 10), 0);
     }
 
     #[test]

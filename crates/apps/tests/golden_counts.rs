@@ -36,6 +36,18 @@
 //! sparse regime is covered by the `nprocs ∈ {16, 64}` properties in
 //! `synth/tests/properties.rs` and the `table_synth` scale cells.
 //!
+//! PR 9 opened the churn axis (mid-run regime breaks, partition
+//! rebalances, lossy links) and the expected stance here is **no row
+//! changes at all** — asserted first, before anything churn-specific:
+//! the break detector's [`adapt::AdaptConfig::demote_after`] defaults
+//! to 1, which by construction reproduces the previous
+//! first-clean-probe demotion exactly (tolerated clean probes only
+//! exist at ≥ 2); the loss model is opt-in per run via
+//! `simnet::with_loss` and no app harness opts in; and the rebalance
+//! machinery only engages on `Dynamics::Rebalance` scenarios, which no
+//! classic app uses. A diff in any row below means one of those
+//! defaults leaked into the steady-state path.
+//!
 //! If a *protocol* change legitimately shifts these numbers, update the
 //! table below in the same commit and say why in its message.
 

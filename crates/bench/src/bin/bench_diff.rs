@@ -2,7 +2,7 @@
 //! snapshots — the golden-count regression gate for `make bench` / CI.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_diff              # BENCH_7.json vs BENCH_8.json
+//! cargo run --release -p bench --bin bench_diff              # BENCH_8.json vs BENCH_9.json
 //! cargo run --release -p bench --bin bench_diff -- OLD NEW   # explicit files
 //! ```
 //!
@@ -77,7 +77,7 @@ fn parse_totals(text: &str) -> Totals {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (old_path, new_path) = match args.as_slice() {
-        [] => ("BENCH_7.json".to_string(), "BENCH_8.json".to_string()),
+        [] => ("BENCH_8.json".to_string(), "BENCH_9.json".to_string()),
         [old, new] => (old.clone(), new.clone()),
         _ => {
             eprintln!("usage: bench_diff [OLD.json NEW.json]");

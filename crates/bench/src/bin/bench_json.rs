@@ -1,4 +1,4 @@
-//! Collect the machine-readable benchmark snapshot `BENCH_8.json`.
+//! Collect the machine-readable benchmark snapshot `BENCH_9.json`.
 //!
 //! `make bench` runs `cargo bench` with `CRITERION_JSON` pointing at a
 //! JSON-lines sink (one `{"name": ..., "ns": ..., "mad_ns": ...}` per
@@ -9,11 +9,14 @@
 //!   if a bench ran twice);
 //! * the per-variant **message totals** of the three classic apps at
 //!   their small sizes (the numbers `golden_counts.rs` pins — counted
-//!   in-simulation, so they are machine-independent);
+//!   in-simulation, so they are machine-independent) plus the quick
+//!   grid's six **churn cells** (regime breaks, rebalances), so a drift
+//!   in what a mid-run break costs is gated exactly like a drift in the
+//!   steady-state counts;
 //! * the barrier notice-metadata probe at 16 and 64 processors (the
 //!   scaling figure `table_synth` asserts);
 //! * a `serve` section: the deterministic per-variant message totals of
-//!   one round over the quick scenario grid (24 jobs, machine-
+//!   one round over the quick scenario grid (one job per cell, machine-
 //!   independent) plus a throughput/latency snapshot of that run
 //!   (machine-dependent, expected to drift like the wall-clock ns);
 //! * a `stall_attribution` section: where the fixed moldyn and nbf
@@ -35,7 +38,7 @@ use apps::nbf::NbfConfig;
 use apps::umesh::UmeshConfig;
 use apps::workload::{run_matrix, MoldynWorkload, NbfWorkload, UmeshWorkload, Variant};
 use serve::{serve, ServeConfig, Stop};
-use synth::{notice_meta_probe, scenario_grid, Dynamics, Structure, SynthConfig};
+use synth::{notice_meta_probe, scenario_grid, Dynamics, Scenario, Structure, SynthConfig};
 
 fn main() {
     let sink = std::env::var("CRITERION_JSON")
@@ -63,8 +66,20 @@ fn main() {
         ("nbf_small", run_matrix(&NbfWorkload::new(NbfConfig::small()))),
         ("umesh_small", run_matrix(&UmeshWorkload::new(UmeshConfig::small()))),
     ];
-    let mut messages: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut messages: BTreeMap<String, Vec<(&str, u64)>> = BTreeMap::new();
     for (label, matrix) in &matrices {
+        let row = variants
+            .iter()
+            .map(|&(v, tag)| (tag, matrix.get(v).report.messages))
+            .collect();
+        messages.insert(label.to_string(), row);
+    }
+    // The churn cells of the quick grid: what a mid-run regime break,
+    // rebalance, or multi-periodic shift costs each variant. Counted
+    // in-simulation like the app rows, so drifts are protocol changes.
+    for cfg in scenario_grid(true).into_iter().filter(|c| c.dynamics.is_churn()) {
+        let label = cfg.label();
+        let matrix = run_matrix(&Scenario::new(cfg));
         let row = variants
             .iter()
             .map(|&(v, tag)| (tag, matrix.get(v).report.messages))
@@ -101,7 +116,7 @@ fn main() {
     };
     let (nb16, nb64) = (probe(16), probe(64));
 
-    // One serve round over the quick grid: 24 jobs, one per cell. The
+    // One serve round over the quick grid: one job per cell. The
     // message totals are pure simulation counts (deterministic); the
     // throughput and percentiles are wall-clock (drift expected).
     let grid = scenario_grid(true);
@@ -169,12 +184,12 @@ fn main() {
     );
     assert!(
         trace::json_well_formed(&out),
-        "BENCH_8.json would be malformed"
+        "BENCH_9.json would be malformed"
     );
 
-    std::fs::write("BENCH_8.json", &out).expect("write BENCH_8.json");
+    std::fs::write("BENCH_9.json", &out).expect("write BENCH_9.json");
     println!(
-        "wrote BENCH_8.json ({} benches, 3 apps, notice probe, {}-job serve round, stall attribution)",
+        "wrote BENCH_9.json ({} benches, 3 apps, notice probe, {}-job serve round, stall attribution)",
         ns.len(),
         out_serve.jobs_done
     );

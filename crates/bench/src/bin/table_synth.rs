@@ -72,6 +72,12 @@ fn main() {
     let mut static_wins = 0usize;
     for cfg in grid {
         let is_static = cfg.dynamics == Dynamics::Static;
+        // On the churn cells (unannounced mid-run regime breaks and
+        // partition rebalances) a learned plan is *allowed* to be
+        // wrong for a bounded while — the steady-state bars relax to
+        // the probe-budget bound. `table_churn` asserts the churn
+        // properties in depth; here the cells just ride the grid.
+        let churn_budget = cfg.dynamics.is_churn().then(|| bench::churn_budget(&cfg));
         let scenario = Scenario::new(cfg);
         let m = run_matrix(&scenario); // asserts 6-way bitwise agreement
         print_matrix_row(&m);
@@ -80,19 +86,22 @@ fn main() {
         let adaptive = &m.get(Variant::TmkAdaptive).report;
         let push = &m.get(Variant::TmkPush).report;
         let chaos = &m.get(Variant::Chaos).report;
+        let slack = churn_budget.unwrap_or(0);
         assert!(
-            adaptive.messages <= base.messages,
-            "{}: adaptive sent MORE messages than plain Tmk ({} > {})",
+            adaptive.messages <= base.messages + slack,
+            "{}: adaptive sent MORE messages than plain Tmk allows ({} > {} + {})",
             m.label,
             adaptive.messages,
-            base.messages
+            base.messages,
+            slack
         );
         assert!(
-            push.messages <= adaptive.messages,
-            "{}: push sent MORE messages than pull-mode adaptive ({} > {})",
+            push.messages <= adaptive.messages + slack,
+            "{}: push sent MORE messages than pull-mode adaptive allows ({} > {} + {})",
             m.label,
             push.messages,
-            adaptive.messages
+            adaptive.messages,
+            slack
         );
         if is_static {
             assert!(
@@ -108,7 +117,8 @@ fn main() {
         }
     }
     println!("\n{ncells}-cell grid: all six variants bitwise-identical per scenario,");
-    println!("push ≤ adaptive ≤ plain Tmk messages everywhere, CHAOS won all {static_wins} static cells  ✓");
+    println!("push ≤ adaptive ≤ plain Tmk messages everywhere (probe-budget slack on");
+    println!("churn cells), CHAOS won all {static_wins} static cells  ✓");
 
     notice_scaling_probe();
 

@@ -42,6 +42,18 @@ impl Scale {
     }
 }
 
+/// The probe-budget message slack a churn cell is granted over the
+/// steady-state `adaptive ≤ base` bar: every processor can hold a stale
+/// plan on at most every shared value page, and each stale plan wastes
+/// at most `min(probe_every, iters)` exchanges of ≤ 2 messages before
+/// the probe cadence demotes it (`adapt::probe_budget`). `table_synth`
+/// relaxes its per-cell bars by exactly this on churn cells, and
+/// `table_churn` asserts the bound cell by cell.
+pub fn churn_budget(cfg: &synth::SynthConfig) -> u64 {
+    let pages = ((cfg.n * 8).div_ceil(cfg.page_size) * cfg.nprocs) as u64;
+    adapt::probe_budget(cfg.adapt.probe_every, pages, cfg.iters as u64)
+}
+
 /// One Table-1 cell group: the three systems at one update interval.
 pub struct MoldynRows {
     pub update_interval: usize,

@@ -202,6 +202,35 @@ pub fn inspector(
     }
 }
 
+/// Re-run the inspector because the *partition* moved under the
+/// schedule — a mid-run rebalance re-cut data ownership, so the old
+/// [`CommSchedule`] (and every cached translation) went stale with no
+/// list change of its own. CHAOS must detect this and pay inspection
+/// again; this wrapper makes that payment auditable: the whole
+/// collective sits inside a `Reinspect` trace span on every lane, and
+/// rank 0 bills it once on the shared re-inspection counter
+/// ([`simnet::Net::reinspections`]) so tests can assert "billed exactly
+/// once" against the span count.
+pub fn reinspect(
+    cp: &mut ChaosProc,
+    ttable: &TTable,
+    cache: &mut TTableCache,
+    accesses: impl Iterator<Item = u32>,
+) -> CommSchedule {
+    let me = cp.rank();
+    cp.net()
+        .trace(me, TraceEvent::SpanBegin { tag: SpanTag::Reinspect });
+    if me == 0 {
+        cp.net().add_reinspection();
+    }
+    // Translations cached against the old partition are wrong now.
+    *cache = TTableCache::new();
+    let sched = inspector(cp, ttable, cache, accesses);
+    cp.net()
+        .trace(me, TraceEvent::SpanEnd { tag: SpanTag::Reinspect });
+    sched
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

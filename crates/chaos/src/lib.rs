@@ -33,7 +33,7 @@ mod ttable;
 mod world;
 
 pub use executor::{gather, scatter_add, Ghosted};
-pub use inspector::{inspector, CommSchedule, Loc};
+pub use inspector::{inspector, reinspect, CommSchedule, Loc};
 pub use partition::{
     assign_iterations_almost_owner, block_partition, cyclic_partition, rcb_partition, Partition,
 };

@@ -27,7 +27,7 @@ mod time;
 pub mod trace;
 
 pub use cost::CostModel;
-pub use net::{CatScope, Net, ProcId};
+pub use net::{with_loss, CatScope, Net, ProcId};
 pub use stats::{MsgKind, NetReport, PhasePolicyRow, PolicyReport, PolicyStats, Stats};
 pub use time::SimTime;
 pub use trace::{

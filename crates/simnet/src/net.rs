@@ -25,7 +25,8 @@
 //! service), so per-processor bucket sums equal the clocks *exactly* —
 //! see [`crate::trace`].
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::stats::{PolicyReport, PolicyStats};
@@ -69,12 +70,64 @@ pub struct Net {
     /// `sink.is_some()`, cached so the disabled [`Net::trace`] path is
     /// a single predictable branch.
     trace_on: bool,
+    /// Opt-in lossy-link model: drop probability in per-mille (0 = the
+    /// model is off and every traffic helper takes its loss-free path
+    /// untouched). Set via [`Net::set_loss`] or adopted at construction
+    /// from [`with_loss`].
+    loss_pm: AtomicU32,
+    /// Seed of the deterministic drop stream.
+    loss_seed: AtomicU64,
+    /// Per-processor draw counters: a drop decision is a pure function
+    /// of (seed, calling proc, that proc's draw index), never of
+    /// arrival order, so lossy runs are deterministic across thread
+    /// schedules just like loss-free ones.
+    loss_ctr: Vec<AtomicU64>,
+    /// Collective re-inspection passes (CHAOS re-paying its inspector
+    /// after a partition rebalance invalidated the amortized schedule).
+    /// Counted once per collective by the rank-0 caller.
+    reinspections: AtomicU64,
+}
+
+thread_local! {
+    /// The loss setting the next [`Net::new`] on this thread adopts —
+    /// set by [`with_loss`] so harnesses can make a run lossy without
+    /// plumbing the knob through every workload constructor.
+    static PENDING_LOSS: Cell<Option<(u64, u32)>> = const { Cell::new(None) };
+}
+
+/// Run `f` with `(seed, per_mille)` as the pending loss model: every
+/// cluster *constructed on this thread* inside `f` starts with that
+/// lossy-link setting (mirror of [`crate::with_trace_sink`]). The
+/// previous pending setting is restored on exit, even on panic.
+pub fn with_loss<R>(seed: u64, per_mille: u32, f: impl FnOnce() -> R) -> R {
+    let prev = PENDING_LOSS.with(|c| c.replace(Some((seed, per_mille))));
+    struct Restore(Option<(u64, u32)>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            PENDING_LOSS.with(|c| c.set(prev));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// SplitMix64-style mixer for the drop stream (self-contained so the
+/// loss model shares no state with the workload RNGs).
+#[inline]
+fn loss_mix(seed: u64, k: u64) -> u64 {
+    let mut z = seed.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Net {
     pub fn new(nprocs: usize, cost: CostModel) -> Self {
         assert!(nprocs >= 1, "need at least one processor");
         let sink = trace::pending_sink();
+        let (loss_seed, loss_pm) = PENDING_LOSS.with(|c| c.get()).unwrap_or((0, 0));
+        assert!(loss_pm <= 1000, "loss probability is per-mille (0..=1000)");
         Net {
             nprocs,
             cost,
@@ -90,7 +143,77 @@ impl Net {
             cats: (0..nprocs).map(|_| AtomicU8::new(0)).collect(),
             trace_on: sink.is_some(),
             sink,
+            loss_pm: AtomicU32::new(loss_pm),
+            loss_seed: AtomicU64::new(loss_seed),
+            loss_ctr: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            reinspections: AtomicU64::new(0),
         }
+    }
+
+    /// Switch the lossy-link model on (`per_mille` in 1..=1000) or off
+    /// (`per_mille == 0`). Drops are deterministic per `seed`: every
+    /// message attempt draws from the calling processor's own stream,
+    /// a dropped message is retried once (the retry always lands), and
+    /// the retry is billed as a duplicate message + bytes on the
+    /// original sender plus a timeout/resend wait under
+    /// [`StallCat::Retry`] on the caller — so `check_conservation`
+    /// still holds and delivered payloads are never perturbed.
+    pub fn set_loss(&self, seed: u64, per_mille: u32) {
+        assert!(per_mille <= 1000, "loss probability is per-mille (0..=1000)");
+        self.loss_seed.store(seed, Ordering::Relaxed);
+        self.loss_pm.store(per_mille, Ordering::Relaxed);
+    }
+
+    /// The current loss setting `(seed, per_mille)`; `per_mille == 0`
+    /// means the model is off.
+    pub fn loss(&self) -> (u64, u32) {
+        (
+            self.loss_seed.load(Ordering::Relaxed),
+            self.loss_pm.load(Ordering::Relaxed),
+        )
+    }
+
+    #[inline]
+    fn loss_on(&self) -> bool {
+        self.loss_pm.load(Ordering::Relaxed) != 0
+    }
+
+    /// Deterministic drop decision for the next message attempt made
+    /// from processor `caller`'s thread. Only called when the model is
+    /// on, so loss-free runs never touch the draw counters.
+    #[inline]
+    fn loss_dropped(&self, caller: ProcId) -> bool {
+        let k = self.loss_ctr[caller].fetch_add(1, Ordering::Relaxed);
+        let seed = self.loss_seed.load(Ordering::Relaxed);
+        let pm = self.loss_pm.load(Ordering::Relaxed);
+        loss_mix(seed ^ ((caller as u64 + 1) << 32), k) % 1000 < u64::from(pm)
+    }
+
+    /// Bill one dropped message of `bytes` payload: the original
+    /// sender `from` re-sends it (duplicate message + bytes in
+    /// [`Stats`]), and `caller` — the side whose thread is executing
+    /// the exchange — waits out the timeout + retransmission, billed
+    /// to [`StallCat::Retry`] on both the real and virtual clock.
+    fn bill_retry(&self, caller: ProcId, from: ProcId, kind: MsgKind, bytes: usize) {
+        self.stats.record(from, kind, bytes);
+        let dt = SimTime::from_us(
+            2.0 * self.cost.msg_latency_us + self.cost.per_byte_us * bytes as f64,
+        );
+        self.clocks[caller].fetch_add(dt.0, Ordering::Relaxed);
+        self.vtimes[caller].fetch_add(dt.0, Ordering::Relaxed);
+        self.bill(caller, StallCat::Retry, dt.0);
+    }
+
+    /// Count one collective re-inspection pass (called by rank 0 of
+    /// the collective, once per stale-schedule event).
+    #[inline]
+    pub fn add_reinspection(&self) {
+        self.reinspections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Collective re-inspection passes since the last reset.
+    pub fn reinspections(&self) -> u64 {
+        self.reinspections.load(Ordering::Relaxed)
     }
 
     /// Install (or clear) the event sink. Construction-time adoption
@@ -243,6 +366,13 @@ impl Net {
         self.stats.reset();
         self.policy.reset();
         self.notice_meta.store(0, Ordering::Relaxed);
+        // The loss *setting* survives (like the label: the scenario does
+        // not change when counters are zeroed) but the draw streams
+        // restart, so a timed region is deterministic on its own.
+        for c in &self.loss_ctr {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.reinspections.store(0, Ordering::Relaxed);
     }
 
     // ---- stall attribution and tracing ----
@@ -327,6 +457,14 @@ impl Net {
         let rt = self.cost.round_trip(req_bytes, resp_bytes) + server_work;
         self.advance(requester, rt);
         self.advance_remote(server, self.cost.handler());
+        if self.loss_on() {
+            if self.loss_dropped(requester) {
+                self.bill_retry(requester, requester, kind_req, req_bytes);
+            }
+            if self.loss_dropped(requester) {
+                self.bill_retry(requester, server, kind_resp, resp_bytes);
+            }
+        }
         if self.trace_on {
             self.trace_slow(
                 requester,
@@ -361,6 +499,11 @@ impl Net {
             0.5 * self.cost.msg_latency_us + self.cost.per_byte_us * bytes as f64,
         );
         self.advance(from, inject);
+        if self.loss_on() && self.loss_dropped(from) {
+            // The drop delays the sender's injection point, so the
+            // arrival computed below already includes the resend.
+            self.bill_retry(from, from, kind, bytes);
+        }
         self.clock(from) + SimTime::from_us(0.5 * self.cost.msg_latency_us)
     }
 
@@ -403,6 +546,16 @@ impl Net {
                     + self.cost.per_byte_us * bytes as f64,
             ),
         );
+        if self.loss_on() {
+            for &(server, kreq, breq, kresp, bresp) in legs {
+                if self.loss_dropped(requester) {
+                    self.bill_retry(requester, requester, kreq, breq);
+                }
+                if self.loss_dropped(requester) {
+                    self.bill_retry(requester, server, kresp, bresp);
+                }
+            }
+        }
         if self.trace_on {
             for &(server, kreq, breq, kresp, bresp) in legs {
                 self.trace_slow(
@@ -455,6 +608,13 @@ impl Net {
                     + self.cost.per_byte_us * bytes as f64,
             ),
         );
+        if self.loss_on() {
+            for &(from, kind, b) in legs {
+                if self.loss_dropped(to) {
+                    self.bill_retry(to, from, kind, b);
+                }
+            }
+        }
         if self.trace_on {
             for &(from, kind, b) in legs {
                 self.trace_slow(
@@ -598,7 +758,7 @@ mod tests {
 
         /// Test helper: assert every processor's stall buckets sum to
         /// its clock exactly.
-        fn assert_conserved(&self) {
+        pub(super) fn assert_conserved(&self) {
             for (p, row) in self.stall_rows().iter().enumerate() {
                 assert_eq!(
                     row.total(),
@@ -771,6 +931,34 @@ mod parallel_round_tests {
     }
 
     #[test]
+    fn lossy_push_round_still_counts_fewer_messages_than_lossy_pull() {
+        // Half the droppable messages means push cannot degrade past
+        // request/reply under the same loss stream shape.
+        let pull = Net::new(3, CostModel::default());
+        pull.set_loss(7, 500);
+        let push = Net::new(3, CostModel::default());
+        push.set_loss(7, 500);
+        for _ in 0..50 {
+            pull.parallel_round(
+                0,
+                &[
+                    (1, MsgKind::AdaptRequest, 24, MsgKind::AdaptReply, 4096),
+                    (2, MsgKind::AdaptRequest, 24, MsgKind::AdaptReply, 4096),
+                ],
+            );
+            push.push_round(
+                0,
+                &[(1, MsgKind::AdaptPush, 4096), (2, MsgKind::AdaptPush, 4096)],
+            );
+        }
+        assert!(pull.stats().total_messages() > 200, "pull retries happened");
+        assert!(push.stats().total_messages() > 100, "push retries happened");
+        assert!(push.stats().total_messages() < pull.stats().total_messages());
+        pull.assert_conserved();
+        push.assert_conserved();
+    }
+
+    #[test]
     fn push_round_counts_half_the_messages_of_a_parallel_round() {
         let pull = Net::new(3, CostModel::default());
         pull.parallel_round(
@@ -799,5 +987,125 @@ mod parallel_round_tests {
         // Empty rounds stay free.
         push.push_round(0, &[]);
         assert_eq!(push.stats().total_messages(), 2);
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+
+    /// A fixed traffic pattern exercising every droppable primitive.
+    fn drive(n: &Net) {
+        let np = n.nprocs();
+        for _ in 0..4 {
+            for p in 0..np {
+                let q = (p + 1) % np;
+                n.request_response(
+                    p,
+                    q,
+                    MsgKind::DiffRequest,
+                    16,
+                    MsgKind::DiffReply,
+                    4096,
+                    SimTime::ZERO,
+                );
+            }
+            n.parallel_round(
+                0,
+                &[(1, MsgKind::AggRequest, 8, MsgKind::AggReply, 512)],
+            );
+            n.push_round(1, &[(0, MsgKind::AdaptPush, 256)]);
+            let arrival = n.push(0, MsgKind::Gather, 128);
+            n.await_until(1, arrival);
+            n.set_all_clocks(n.clock_max());
+        }
+    }
+
+    fn fingerprint(n: &Net) -> (u64, u64, Vec<StallRow>) {
+        (
+            n.stats().total_messages(),
+            n.stats().total_bytes(),
+            n.stall_rows(),
+        )
+    }
+
+    #[test]
+    fn retry_billing_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let n = Net::new(4, CostModel::default());
+            n.set_loss(seed, 250);
+            drive(&n);
+            fingerprint(&n)
+        };
+        assert_eq!(run(42), run(42), "same seed, same bills");
+        assert_ne!(run(42), run(43), "the seed actually steers the drops");
+    }
+
+    #[test]
+    fn retry_conservation_holds_across_cluster_sizes() {
+        for np in [4usize, 8, 64] {
+            let n = Net::new(np, CostModel::default());
+            n.set_loss(9, 300);
+            drive(&n);
+            n.assert_conserved();
+            let retry: u64 = n
+                .stall_rows()
+                .iter()
+                .map(|r| r.get(StallCat::Retry))
+                .sum();
+            assert!(retry > 0, "p{np}: no retries billed at 30% loss");
+        }
+    }
+
+    #[test]
+    fn zero_loss_is_byte_identical_to_the_no_loss_path() {
+        let bare = Net::new(4, CostModel::default());
+        drive(&bare);
+        let zeroed = Net::new(4, CostModel::default());
+        zeroed.set_loss(12345, 0);
+        drive(&zeroed);
+        assert_eq!(fingerprint(&bare), fingerprint(&zeroed));
+        for p in 0..4 {
+            assert_eq!(bare.clock(p), zeroed.clock(p));
+            assert_eq!(bare.vtime(p), zeroed.vtime(p));
+        }
+        assert_eq!(
+            bare.stall_rows()
+                .iter()
+                .map(|r| r.get(StallCat::Retry))
+                .sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn with_loss_scopes_the_pending_setting() {
+        let n = with_loss(77, 125, || Net::new(2, CostModel::default()));
+        assert_eq!(n.loss(), (77, 125));
+        let bare = Net::new(2, CostModel::default());
+        assert_eq!(bare.loss(), (0, 0), "restored outside the scope");
+    }
+
+    #[test]
+    fn reset_restarts_the_drop_stream_but_keeps_the_setting() {
+        let n = Net::new(2, CostModel::default());
+        n.set_loss(5, 400);
+        drive(&n);
+        let first = fingerprint(&n);
+        n.reset();
+        assert_eq!(n.loss(), (5, 400));
+        assert_eq!(n.reinspections(), 0);
+        drive(&n);
+        assert_eq!(fingerprint(&n), first, "replay after reset is identical");
+    }
+
+    #[test]
+    fn reinspection_counter_counts_and_resets() {
+        let n = Net::new(2, CostModel::default());
+        n.add_reinspection();
+        n.add_reinspection();
+        assert_eq!(n.reinspections(), 2);
+        n.reset();
+        assert_eq!(n.reinspections(), 0);
     }
 }

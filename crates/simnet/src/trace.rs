@@ -66,11 +66,15 @@ pub enum StallCat {
     /// request* (the TreadMarks SIGIO handler cost). Kept separate so
     /// the remaining categories are deterministic per processor.
     Handler = 7,
+    /// Lossy-link retransmission: the timeout + resend penalty a
+    /// processor pays when the opt-in loss model ([`crate::Net::set_loss`])
+    /// drops one of its messages. Zero on every loss-free run.
+    Retry = 8,
 }
 
 impl StallCat {
     /// Number of categories (array dimension of [`StallRow::cats`]).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every category, in `repr` order.
     pub const ALL: [StallCat; StallCat::COUNT] = [
@@ -82,6 +86,7 @@ impl StallCat {
         StallCat::Inspector,
         StallCat::Exchange,
         StallCat::Handler,
+        StallCat::Retry,
     ];
 
     /// Stable snake_case name (used by the JSON reports).
@@ -95,12 +100,19 @@ impl StallCat {
             StallCat::Inspector => "inspector",
             StallCat::Exchange => "exchange",
             StallCat::Handler => "handler",
+            StallCat::Retry => "retry",
         }
     }
 
     #[inline]
     pub(crate) fn from_u8(v: u8) -> StallCat {
-        Self::ALL[v as usize & (Self::COUNT - 1)]
+        // COUNT is not a power of two, so no mask trick: decode by
+        // table lookup, falling back to the default category for any
+        // byte that never came from a valid `StallCat as u8`.
+        Self::ALL
+            .get(v as usize)
+            .copied()
+            .unwrap_or(StallCat::Compute)
     }
 }
 
@@ -204,6 +216,9 @@ pub enum SpanTag {
     Gather,
     /// Executor scatter-add (ghost contributions return to owners).
     Scatter,
+    /// A mid-run re-inspection: the amortized schedule went stale (a
+    /// partition rebalance) and the inspector pass is paid again.
+    Reinspect,
 }
 
 impl SpanTag {
@@ -213,6 +228,7 @@ impl SpanTag {
             SpanTag::Translate => "translate",
             SpanTag::Gather => "gather",
             SpanTag::Scatter => "scatter",
+            SpanTag::Reinspect => "reinspect",
         }
     }
 }

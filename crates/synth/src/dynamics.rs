@@ -34,6 +34,33 @@ pub enum Dynamics {
     /// quiesce streak provably never fires; the kernel tags its
     /// barriers per parity, and the phase-keyed engine locks both.
     Alternating,
+    /// A **regime break**: the run follows `from` strictly before
+    /// iteration `at`, then switches to `to` (with a salted seed, so
+    /// the list changes at the break even when both sides name the
+    /// same regime) — at an iteration no learner was told about. This
+    /// is the churn axis the adaptive engine's probe budget bounds.
+    /// Sides must be plain regimes (no nesting, no [`Dynamics::Rebalance`],
+    /// and no [`Dynamics::Alternating`] — parity phase tagging is a
+    /// whole-run property).
+    RegimeShift {
+        /// First iteration governed by `to`.
+        at: u32,
+        /// Regime in force for iterations `0..at`.
+        from: Box<Dynamics>,
+        /// Regime in force from iteration `at` on.
+        to: Box<Dynamics>,
+    },
+    /// A mid-run **partition rebalance**: the list itself is static,
+    /// but at iteration `at` every element's owner is re-cut (the
+    /// block partition rotates by one processor). The list versions
+    /// never change, so CHAOS's amortized `Partition`/`CommSchedule`
+    /// goes stale silently — it must detect that, migrate owned data,
+    /// and re-pay inspection; the Tmk variants just write/fetch their
+    /// new sections through the DSM.
+    Rebalance {
+        /// First iteration under the re-cut partition.
+        at: u32,
+    },
 }
 
 impl Dynamics {
@@ -45,6 +72,10 @@ impl Dynamics {
             Dynamics::Drift { per_mille } => format!("drift{per_mille}"),
             Dynamics::MultiPeriodic { p1, p2 } => format!("multi{p1}x{p2}"),
             Dynamics::Alternating => "alt2".into(),
+            Dynamics::RegimeShift { at, from, to } => {
+                format!("shift{at}:{}>{}", from.tag(), to.tag())
+            }
+            Dynamics::Rebalance { at } => format!("rebal{at}"),
         }
     }
 
@@ -52,12 +83,26 @@ impl Dynamics {
     /// Iterations are 0-based; iteration 0 always has version
     /// `self.version(0)` built untimed during initialization.
     pub fn version(&self, iter: usize) -> u64 {
-        match *self {
+        match self {
             Dynamics::Static => 0,
             Dynamics::PeriodicRemap { period } => (iter / period) as u64,
             Dynamics::Drift { .. } => iter as u64,
-            Dynamics::MultiPeriodic { p1, p2 } => (((iter / p1) as u64) << 32) | (iter / p2) as u64,
+            Dynamics::MultiPeriodic { p1, p2 } => {
+                (((iter / p1) as u64) << 32) | (iter / p2) as u64
+            }
             Dynamics::Alternating => (iter % 2) as u64,
+            // The high bit separates the two sides' version spaces, so
+            // the break is a version change even when `to` restarts its
+            // own numbering at 0 (side versions stay below 2^63: packed
+            // iteration counters, never full-width hashes).
+            Dynamics::RegimeShift { at, from, to } => {
+                if iter < *at as usize {
+                    from.version(iter)
+                } else {
+                    (1 << 63) | to.version(iter)
+                }
+            }
+            Dynamics::Rebalance { .. } => 0,
         }
     }
 
@@ -65,6 +110,60 @@ impl Dynamics {
     /// `iter - 1`? Iteration 0 is the untimed initial build.
     pub fn remaps_at(&self, iter: usize) -> bool {
         iter > 0 && self.version(iter) != self.version(iter - 1)
+    }
+
+    /// The partition epoch in force at `iter`: 0 until a
+    /// [`Dynamics::Rebalance`] re-cut fires, 1 after. Every other
+    /// regime keeps a single partition for the whole run.
+    pub fn partition_epoch(&self, iter: usize) -> usize {
+        match self {
+            Dynamics::Rebalance { at } => usize::from(iter >= *at as usize),
+            _ => 0,
+        }
+    }
+
+    /// Number of distinct partition epochs a run of `iters` iterations
+    /// sees (2 iff a rebalance actually fires inside the run).
+    pub fn partition_epochs(&self, iters: usize) -> usize {
+        match self {
+            Dynamics::Rebalance { at } if (*at as usize) < iters => 2,
+            _ => 1,
+        }
+    }
+
+    /// Does the partition re-cut at (the start of) `iter`?
+    pub fn rebalances_at(&self, iter: usize) -> bool {
+        iter > 0 && self.partition_epoch(iter) != self.partition_epoch(iter - 1)
+    }
+
+    /// Is this one of the churn regimes (a mid-run break no learner
+    /// was told about)? Steady-state acceptance bars (adaptive ≤ base
+    /// per cell) relax to the probe-budget bound exactly here.
+    pub fn is_churn(&self) -> bool {
+        matches!(
+            self,
+            Dynamics::RegimeShift { .. } | Dynamics::Rebalance { .. }
+        )
+    }
+
+    /// Panic on regimes the kernel cannot schedule: `RegimeShift`
+    /// sides must be plain (nesting would need recursive version
+    /// salting, and `Alternating` drives whole-run parity phase tags).
+    pub fn validate(&self) {
+        if let Dynamics::RegimeShift { from, to, .. } = self {
+            for side in [from.as_ref(), to.as_ref()] {
+                assert!(
+                    !matches!(
+                        side,
+                        Dynamics::RegimeShift { .. }
+                            | Dynamics::Rebalance { .. }
+                            | Dynamics::Alternating
+                    ),
+                    "RegimeShift sides must be plain regimes, got {}",
+                    side.tag()
+                );
+            }
+        }
     }
 }
 
@@ -89,7 +188,7 @@ pub fn raw_for_iter(
     seed: u64,
     iter: usize,
 ) -> Vec<(u32, u32)> {
-    match *dynamics {
+    match dynamics {
         Dynamics::Static => structure.gen_raw(n, refs, seed),
         Dynamics::PeriodicRemap { period } => {
             structure.gen_raw(n, refs, mix(seed, (iter / period) as u64))
@@ -97,7 +196,7 @@ pub fn raw_for_iter(
         Dynamics::Drift { per_mille } => {
             let mut raw = structure.gen_raw(n, refs, seed);
             for round in 1..=iter {
-                drift_round(structure, &mut raw, n, seed, round, per_mille);
+                drift_round(structure, &mut raw, n, seed, round, *per_mille);
             }
             raw
         }
@@ -115,6 +214,17 @@ pub fn raw_for_iter(
         Dynamics::Alternating => {
             structure.gen_raw(n, refs, mix(seed ^ 0xA172, (iter % 2) as u64))
         }
+        Dynamics::RegimeShift { at, from, to } => {
+            if iter < *at as usize {
+                raw_for_iter(structure, from, n, refs, seed, iter)
+            } else {
+                // The salted seed makes the break a real list change
+                // even for `from == to` (e.g. static → static), and
+                // keeps the post-break regime blind to pre-break state.
+                raw_for_iter(structure, to, n, refs, mix(seed, 0x5117_F00D), iter)
+            }
+        }
+        Dynamics::Rebalance { .. } => structure.gen_raw(n, refs, seed),
     }
 }
 
@@ -228,10 +338,86 @@ mod tests {
             Dynamics::Drift { per_mille: 10 },
             Dynamics::MultiPeriodic { p1: 3, p2: 5 },
             Dynamics::Alternating,
+            Dynamics::RegimeShift {
+                at: 4,
+                from: Box::new(Dynamics::Static),
+                to: Box::new(Dynamics::PeriodicRemap { period: 2 }),
+            },
+            Dynamics::Rebalance { at: 4 },
         ] {
             for it in 0..8 {
                 assert!(!normalize(&raw_for_iter(&S, &d, 128, 400, 9, it)).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn regime_shift_breaks_exactly_once_even_static_to_static() {
+        let d = Dynamics::RegimeShift {
+            at: 5,
+            from: Box::new(Dynamics::Static),
+            to: Box::new(Dynamics::Static),
+        };
+        d.validate();
+        assert_eq!(d.tag(), "shift5:static>static");
+        let remaps: Vec<usize> = (1..10).filter(|&i| d.remaps_at(i)).collect();
+        assert_eq!(remaps, vec![5], "one break, at the shift point");
+        // The break is a real list change: the to-side seed is salted.
+        let pre = raw_for_iter(&S, &d, 256, 512, 1, 4);
+        let post = raw_for_iter(&S, &d, 256, 512, 1, 5);
+        assert_ne!(pre, post);
+        assert_eq!(pre, raw_for_iter(&S, &d, 256, 512, 1, 0));
+        assert_eq!(post, raw_for_iter(&S, &d, 256, 512, 1, 9));
+        // No partition churn on this axis.
+        assert_eq!(d.partition_epochs(10), 1);
+        assert!(d.is_churn());
+    }
+
+    #[test]
+    fn regime_shift_delegates_version_schedules_to_both_sides() {
+        let d = Dynamics::RegimeShift {
+            at: 5,
+            from: Box::new(Dynamics::PeriodicRemap { period: 2 }),
+            to: Box::new(Dynamics::PeriodicRemap { period: 3 }),
+        };
+        let remaps: Vec<usize> = (1..12).filter(|&i| d.remaps_at(i)).collect();
+        // From-side remaps at 2, 4; the break at 5; to-side at 6, 9.
+        assert_eq!(remaps, vec![2, 4, 5, 6, 9]);
+        // Side version spaces never collide (high bit separates them).
+        for pre in 0..5 {
+            for post in 5..12 {
+                assert_ne!(d.version(pre), d.version(post));
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_keeps_the_list_but_recuts_the_partition() {
+        let d = Dynamics::Rebalance { at: 4 };
+        assert_eq!(d.tag(), "rebal4");
+        assert!((1..10).all(|i| !d.remaps_at(i)), "the list is static");
+        assert_eq!(
+            raw_for_iter(&S, &d, 256, 512, 1, 0),
+            raw_for_iter(&S, &d, 256, 512, 1, 9)
+        );
+        let epochs: Vec<usize> = (0..8).map(|i| d.partition_epoch(i)).collect();
+        assert_eq!(epochs, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let recut: Vec<usize> = (1..8).filter(|&i| d.rebalances_at(i)).collect();
+        assert_eq!(recut, vec![4]);
+        assert_eq!(d.partition_epochs(10), 2);
+        assert_eq!(d.partition_epochs(4), 1, "break past the run is inert");
+        assert!(d.is_churn());
+        assert!(!Dynamics::Static.is_churn());
+    }
+
+    #[test]
+    #[should_panic(expected = "plain regimes")]
+    fn nested_regime_shift_is_rejected() {
+        Dynamics::RegimeShift {
+            at: 3,
+            from: Box::new(Dynamics::Alternating),
+            to: Box::new(Dynamics::Static),
+        }
+        .validate();
     }
 }

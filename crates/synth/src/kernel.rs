@@ -15,12 +15,14 @@
 //! **bitwise** on every scenario — the contract `table_synth` asserts
 //! across the whole grid.
 
+use std::collections::HashMap;
+
 use parking_lot::Mutex;
 use rsd::{Dim, Rsd};
 use sdsm_core::{
     validate, AccessType, Cluster, ClusterPool, Desc, DsmConfig, RegionRef, Validator,
 };
-use simnet::SimTime;
+use simnet::{MsgKind, SimTime};
 
 use apps::harness::Capture;
 use apps::report::{RunReport, SystemKind};
@@ -107,31 +109,97 @@ pub fn run_seq(cfg: &SynthConfig, world: &SynthWorld) -> (RunReport, Vec<f64>) {
     )
 }
 
-/// Per-version, per-processor owner-side work plan, precomputed once
-/// (untimed setup) and shared by the Tmk and CHAOS builds.
+/// Per-schedule-version, per-processor owner-side work plan,
+/// precomputed once (untimed setup) and shared by the Tmk and CHAOS
+/// builds.
+///
+/// A *schedule version* (`sv`) is one distinct (partition epoch, list
+/// version) pair, enumerated in first-use order. For every regime
+/// except [`Dynamics::Rebalance`] there is exactly one partition, so
+/// schedule versions coincide with list versions and the plan is the
+/// classic per-list one. A rebalance re-cuts the partition mid-run
+/// without touching the list, producing a second schedule version over
+/// the *same* list — the stale-schedule case CHAOS must detect and
+/// re-inspect its way out of.
 pub(crate) struct Plan {
-    pub part: Partition,
-    /// `flat[v][q]`: proc `q`'s owned incident pairs under version `v`,
-    /// concatenated in global list order.
+    /// Distinct data partitions, in epoch order. All ascending-
+    /// contiguous (identity remap), so `range_of` speaks original
+    /// element ids — the kernels index the shared array with it.
+    pub parts: Vec<Partition>,
+    /// Per iteration: its schedule version.
+    pub sv_of_iter: Vec<usize>,
+    /// Per schedule version: index into [`Plan::parts`].
+    pub sv_part: Vec<usize>,
+    /// `flat[sv][q]`: proc `q`'s owned incident pairs under schedule
+    /// version `sv`, concatenated in global list order.
     pub flat: Vec<Vec<Vec<(u32, u32)>>>,
-    /// `deg[v][q][li]`: incident count of `q`'s `li`-th owned element.
+    /// `deg[sv][q][li]`: incident count of `q`'s `li`-th owned element.
     pub deg: Vec<Vec<Vec<usize>>>,
     /// Capacity of one processor's shared-list section, in pairs.
     pub cap_pp: usize,
 }
 
+/// The re-cut partition a [`Dynamics::Rebalance`] switches to: every
+/// interior block boundary slides forward by half a block, so roughly
+/// half of each processor's elements change owner while ownership stays
+/// ascending-contiguous (identity remap — the kernels' indexing
+/// contract, see [`Plan::parts`]).
+fn rebalanced_partition(n: usize, nprocs: usize) -> Partition {
+    let base = block_partition(n, nprocs);
+    let shift = ((n / nprocs) / 2).max(1);
+    let mut starts = base.starts.clone();
+    for (s, &b) in starts[1..nprocs].iter_mut().zip(&base.starts[1..nprocs]) {
+        *s = (b + shift).min(n);
+    }
+    for p in 1..=nprocs {
+        starts[p] = starts[p].max(starts[p - 1]);
+    }
+    let mut owner = vec![0usize; n];
+    for p in 0..nprocs {
+        owner[starts[p]..starts[p + 1]].fill(p);
+    }
+    Partition::from_owners(owner, nprocs)
+}
+
 pub(crate) fn plan(cfg: &SynthConfig, world: &SynthWorld) -> Plan {
     let n = cfg.n;
     let nprocs = cfg.nprocs;
-    let part = block_partition(n, nprocs);
-    let mut flat = Vec::with_capacity(world.lists.len());
-    let mut deg = Vec::with_capacity(world.lists.len());
+    let mut parts = vec![block_partition(n, nprocs)];
+    if cfg.dynamics.partition_epochs(cfg.iters) == 2 {
+        parts.push(rebalanced_partition(n, nprocs));
+    }
+
+    // Schedule versions: distinct (partition epoch, list version)
+    // pairs in first-use order.
+    let mut sv_of_iter = Vec::with_capacity(cfg.iters);
+    let mut sv_part: Vec<usize> = Vec::new();
+    let mut sv_list: Vec<usize> = Vec::new();
+    let mut seen: HashMap<(usize, usize), usize> = HashMap::new();
+    for it in 0..cfg.iters {
+        let pe = cfg.dynamics.partition_epoch(it);
+        let lv = world.version_of_iter[it];
+        let sv = *seen.entry((pe, lv)).or_insert_with(|| {
+            sv_part.push(pe);
+            sv_list.push(lv);
+            sv_part.len() - 1
+        });
+        sv_of_iter.push(sv);
+    }
+
+    let mut incidents: Vec<Vec<Vec<(u32, u32)>>> = Vec::with_capacity(world.lists.len());
     for list in &world.lists {
         let mut incident: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
         for &(a, b) in list {
             incident[a as usize].push((a, b));
             incident[b as usize].push((a, b));
         }
+        incidents.push(incident);
+    }
+    let mut flat = Vec::with_capacity(sv_part.len());
+    let mut deg = Vec::with_capacity(sv_part.len());
+    for sv in 0..sv_part.len() {
+        let part = &parts[sv_part[sv]];
+        let incident = &incidents[sv_list[sv]];
         let mut vflat = Vec::with_capacity(nprocs);
         let mut vdeg = Vec::with_capacity(nprocs);
         for q in 0..nprocs {
@@ -155,7 +223,9 @@ pub(crate) fn plan(cfg: &SynthConfig, world: &SynthWorld) -> Plan {
         .unwrap_or(0)
         + 1;
     Plan {
-        part,
+        parts,
+        sv_of_iter,
+        sv_part,
         flat,
         deg,
         cap_pp,
@@ -254,7 +324,8 @@ pub(crate) fn run_tmk_prepared(
             p.set_policy(Box::new(adapt::AdaptivePolicy::new(knobs)));
         }
         let me = p.rank();
-        let my = pl.part.range_of(me);
+        let mut cur_sv = pl.sv_of_iter[0];
+        let mut my = pl.parts[pl.sv_part[cur_sv]].range_of(me);
         let my_start = me * cap_pp;
         let mut v = if mode == TmkMode::Optimized {
             Validator::incremental()
@@ -277,8 +348,7 @@ pub(crate) fn run_tmk_prepared(
         for i in my.clone() {
             p.write(&x, i, world.x0[i]);
         }
-        let mut cur_ver = world.version_of_iter[0];
-        write_section(p, &pl.flat[cur_ver][me]);
+        write_section(p, &pl.flat[cur_sv][me]);
         // The init barrier covers iteration 0's reads, i.e. it stands
         // where the end-of-iteration barrier of a (virtual) iteration
         // −1 would: same site, so that phase's event axis starts here.
@@ -287,16 +357,23 @@ pub(crate) fn run_tmk_prepared(
         p.reset_counters();
 
         for it in 0..cfg.iters {
-            let ver = world.version_of_iter[it];
-            if ver != cur_ver {
+            let sv = pl.sv_of_iter[it];
+            if sv != cur_sv {
                 // Rebuild: regenerate (balanced candidate scan) and
                 // rewrite this processor's section of the shared list.
-                write_section(p, &pl.flat[ver][me]);
+                // A partition re-cut (rebalance) lands here too: the
+                // owned ranges move, but the DSM keeps the value array
+                // coherent, so only the local views change hands.
+                write_section(p, &pl.flat[sv][me]);
                 p.compute(work::t(REMAP_US, cfg.refs / nprocs));
                 p.barrier_tagged(site(PHASE_REMAP, it));
-                cur_ver = ver;
+                if pl.sv_part[sv] != pl.sv_part[cur_sv] {
+                    my = pl.parts[pl.sv_part[sv]].range_of(me);
+                    acc = vec![0.0f64; my.len()];
+                }
+                cur_sv = sv;
             }
-            let my_flat = pl.flat[ver][me].len();
+            let my_flat = pl.flat[sv][me].len();
             if mode == TmkMode::Optimized && my_flat > 0 {
                 validate(
                     p,
@@ -328,7 +405,7 @@ pub(crate) fn run_tmk_prepared(
             acc.iter_mut().for_each(|a| *a = 0.0);
             let mut k = my_start;
             for (li, i) in my.clone().enumerate() {
-                for _ in 0..pl.deg[ver][me][li] {
+                for _ in 0..pl.deg[sv][me][li] {
                     let a = p.read(&ilist, 2 * k) as u32 - 1;
                     let b = p.read(&ilist, 2 * k + 1) as u32 - 1;
                     let flux = (p.read(&x, a as usize) - p.read(&x, b as usize)) * world.kappa;
@@ -384,18 +461,23 @@ pub fn run_chaos(
     seq_time: SimTime,
 ) -> (RunReport, Vec<f64>) {
     let pl = plan(cfg, world);
-    let tt = TTable::new(TTableKind::Replicated, &pl.part);
-    run_chaos_prepared(cfg, world, &pl, &tt, seq_time)
+    let tts: Vec<TTable> = pl
+        .parts
+        .iter()
+        .map(|part| TTable::new(TTableKind::Replicated, part))
+        .collect();
+    run_chaos_prepared(cfg, world, &pl, &tts, seq_time)
 }
 
-/// The CHAOS kernel against a prebuilt [`Plan`] and translation table —
-/// the shared-setup entry [`crate::Prepared`] uses (the replicated
-/// `TTable` is immutable, so every instance of a scenario shares one).
+/// The CHAOS kernel against a prebuilt [`Plan`] and its translation
+/// tables (one per partition epoch) — the shared-setup entry
+/// [`crate::Prepared`] uses (the replicated `TTable`s are immutable, so
+/// every instance of a scenario shares them).
 pub(crate) fn run_chaos_prepared(
     cfg: &SynthConfig,
     world: &SynthWorld,
     pl: &Plan,
-    tt: &TTable,
+    tts: &[TTable],
     seq_time: SimTime,
 ) -> (RunReport, Vec<f64>) {
     let n = cfg.n;
@@ -408,11 +490,13 @@ pub(crate) fn run_chaos_prepared(
 
     w.run(|cp| {
         let me = cp.rank();
-        let my = pl.part.range_of(me);
+        let mut cur_sv = pl.sv_of_iter[0];
+        let mut pe = pl.sv_part[cur_sv];
+        let mut my = pl.parts[pe].range_of(me);
         let mut cache = TTableCache::new();
         let mut x_own: Vec<f64> = world.x0[my.clone()].to_vec();
 
-        let resolve = |sec: &[(u32, u32)], sched: &chaos::CommSchedule| {
+        let resolve = |sec: &[(u32, u32)], sched: &chaos::CommSchedule, tt: &TTable| {
             sec.iter()
                 .map(|&(a, b)| {
                     let (oa, fa) = tt.translate_free(a);
@@ -423,39 +507,92 @@ pub(crate) fn run_chaos_prepared(
         };
 
         // --- untimed: the inspector for the initial list ---
-        let mut cur_ver = world.version_of_iter[0];
         let t0 = cp.now();
         let mut sched = inspector(
             cp,
-            tt,
+            &tts[pe],
             &mut cache,
-            pl.flat[cur_ver][me].iter().flat_map(|&(a, b)| [a, b]),
+            pl.flat[cur_sv][me].iter().flat_map(|&(a, b)| [a, b]),
         );
         cap.set_untimed_inspector(me, (cp.now() - t0).as_secs_f64());
-        let mut locs = resolve(&pl.flat[cur_ver][me], &sched);
+        let mut locs = resolve(&pl.flat[cur_sv][me], &sched, &tts[pe]);
 
         cp.start_timed_region();
         let mut insp_in_region = 0.0f64;
 
         for it in 0..cfg.iters {
-            let ver = world.version_of_iter[it];
-            if ver != cur_ver {
-                // The list changed: regenerate (balanced candidate scan)
-                // and re-run the inspector — CHAOS pays this inside the
-                // timed region on every dynamic scenario.
+            let sv = pl.sv_of_iter[it];
+            if sv != cur_sv {
+                // The schedule went stale: either the list changed, or
+                // (rebalance) the partition was re-cut under an
+                // unchanged list. Either way CHAOS regenerates
+                // (balanced candidate scan) and pays inspection inside
+                // the timed region.
                 cp.compute(work::t(REMAP_US, cfg.refs / nprocs));
-                let t0 = cp.now();
-                sched = inspector(
-                    cp,
-                    tt,
-                    &mut cache,
-                    pl.flat[ver][me].iter().flat_map(|&(a, b)| [a, b]),
-                );
-                insp_in_region += (cp.now() - t0).as_secs_f64();
-                locs = resolve(&pl.flat[ver][me], &sched);
-                cur_ver = ver;
+                let new_pe = pl.sv_part[sv];
+                if new_pe != pe {
+                    // Partition re-cut: first migrate owned values to
+                    // their new homes (bulk exchange, ascending global
+                    // element id per pair — deterministic, and the f64
+                    // payloads move verbatim, so results stay bitwise).
+                    let old_part = &pl.parts[pe];
+                    let new_part = &pl.parts[new_pe];
+                    let new_my = new_part.range_of(me);
+                    let out: Vec<(usize, Vec<f64>)> = (0..nprocs)
+                        .filter(|&q| q != me)
+                        .map(|q| {
+                            let vals: Vec<f64> = my
+                                .clone()
+                                .filter(|&e| new_part.owner[e] == q)
+                                .map(|e| x_own[e - my.start])
+                                .collect();
+                            (q, vals)
+                        })
+                        .filter(|(_, vals)| !vals.is_empty())
+                        .collect();
+                    let incoming = cp.exchange_f64(MsgKind::Scatter, out);
+                    let mut new_x = vec![0.0f64; new_my.len()];
+                    for e in new_my.clone() {
+                        if old_part.owner[e] == me {
+                            new_x[e - new_my.start] = x_own[e - my.start];
+                        }
+                    }
+                    for (from, vals) in incoming {
+                        let mut vi = 0;
+                        for e in new_my.clone() {
+                            if old_part.owner[e] == from {
+                                new_x[e - new_my.start] = vals[vi];
+                                vi += 1;
+                            }
+                        }
+                        debug_assert_eq!(vi, vals.len());
+                    }
+                    x_own = new_x;
+                    my = new_my;
+                    // Then pay inspection again, auditable as such.
+                    let t0 = cp.now();
+                    sched = chaos::reinspect(
+                        cp,
+                        &tts[new_pe],
+                        &mut cache,
+                        pl.flat[sv][me].iter().flat_map(|&(a, b)| [a, b]),
+                    );
+                    insp_in_region += (cp.now() - t0).as_secs_f64();
+                    pe = new_pe;
+                } else {
+                    let t0 = cp.now();
+                    sched = inspector(
+                        cp,
+                        &tts[pe],
+                        &mut cache,
+                        pl.flat[sv][me].iter().flat_map(|&(a, b)| [a, b]),
+                    );
+                    insp_in_region += (cp.now() - t0).as_secs_f64();
+                }
+                locs = resolve(&pl.flat[sv][me], &sched, &tts[pe]);
+                cur_sv = sv;
             }
-            let my_flat = pl.flat[ver][me].len();
+            let my_flat = pl.flat[sv][me].len();
 
             let mut xg = Ghosted::new(x_own.clone(), &sched);
             gather(cp, &sched, &mut xg);
@@ -463,9 +600,9 @@ pub(crate) fn run_chaos_prepared(
             let mut acc = vec![0.0f64; my.len()];
             let mut k = 0usize;
             for (li, i) in my.clone().enumerate() {
-                for _ in 0..pl.deg[ver][me][li] {
+                for _ in 0..pl.deg[sv][me][li] {
                     let (la, lb) = locs[k];
-                    let (a, _) = pl.flat[ver][me][k];
+                    let (a, _) = pl.flat[sv][me][k];
                     let flux = (xg.get(la) - xg.get(lb)) * world.kappa;
                     accumulate(&mut acc[li], i as u32, a, flux);
                     k += 1;
@@ -483,9 +620,12 @@ pub(crate) fn run_chaos_prepared(
         finals.lock().push((me, x_own));
     });
 
+    // Assemble under the partition the run *ended* on — after a
+    // rebalance each processor's final block is its re-cut range.
+    let last_part = &pl.parts[pl.sv_part[pl.sv_of_iter[cfg.iters - 1]]];
     let mut final_x = vec![0.0f64; n];
     for (me, block) in finals.into_inner() {
-        final_x[pl.part.range_of(me)].copy_from_slice(&block);
+        final_x[last_part.range_of(me)].copy_from_slice(&block);
     }
     let checksum = final_x.iter().map(|v| v.abs()).sum();
     (

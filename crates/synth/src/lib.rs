@@ -148,6 +148,7 @@ pub struct SynthWorld {
 
 pub fn gen_world(cfg: &SynthConfig) -> SynthWorld {
     assert!(cfg.iters >= 1, "need at least one iteration");
+    cfg.dynamics.validate();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x005E_ED0F_1A17);
     let x0: Vec<f64> = (0..cfg.n).map(|_| rng.gen_range(0.0..100.0)).collect();
 
@@ -259,7 +260,7 @@ pub struct Prepared {
     cfg: SynthConfig,
     world: SynthWorld,
     plan: kernel::Plan,
-    ttable: TTable,
+    ttables: Vec<TTable>,
     reuse: AtomicBool,
 }
 
@@ -268,12 +269,16 @@ impl Prepared {
     pub fn new(cfg: SynthConfig) -> Self {
         let world = gen_world(&cfg);
         let plan = kernel::plan(&cfg, &world);
-        let ttable = TTable::new(TTableKind::Replicated, &plan.part);
+        let ttables = plan
+            .parts
+            .iter()
+            .map(|part| TTable::new(TTableKind::Replicated, part))
+            .collect();
         Prepared {
             cfg,
             world,
             plan,
-            ttable,
+            ttables,
             reuse: AtomicBool::new(false),
         }
     }
@@ -326,7 +331,7 @@ impl Workload for Prepared {
                 &self.cfg,
                 &self.world,
                 &self.plan,
-                &self.ttable,
+                &self.ttables,
                 seq_time,
             ),
         }
@@ -334,11 +339,12 @@ impl Workload for Prepared {
 }
 
 /// The scenario grid `table_synth` sweeps: structure × dynamics ×
-/// nprocs. The quick grid is 24 cells (3 structures × 6 dynamics at 4
-/// processors, the 3 static cells again at 8 processors, and the same
-/// 3 again at 64 processors — the sparse-metadata regime); the full
-/// grid is the same shape at paper scale with the scale cells at 256
-/// processors.
+/// nprocs. The quick grid is 30 cells (3 structures × 6 dynamics at 4
+/// processors, the 3 static cells again at 8 processors, the same 3
+/// again at 64 processors — the sparse-metadata regime — and 6 churn
+/// cells: regime breaks and partition rebalances at half the run); the
+/// full grid is the same shape at paper scale with the scale cells at
+/// 256 processors.
 pub fn scenario_grid(quick: bool) -> Vec<SynthConfig> {
     // Banded width = two pages' worth of elements, so each neighbor
     // exchange spans ≥ 2 pages and aggregation has something to merge
@@ -406,6 +412,47 @@ pub fn scenario_grid(quick: bool) -> Vec<SynthConfig> {
         }
         grid.push(cfg);
     }
+    // The churn cells: mid-run regime breaks and a partition rebalance
+    // at half the run, unannounced — the axis where a learned predictor
+    // can be *wrong* and CHAOS's amortized schedule goes stale. The
+    // steady-state acceptance bars (adaptive ≤ base) relax to the
+    // probe-budget bound exactly on these cells; `table_churn` asserts
+    // that bound plus six-way bitwise agreement per cell.
+    let brk = (if quick { 10usize } else { 20 } / 2) as u32;
+    let shift = |from: Dynamics, to: Dynamics| Dynamics::RegimeShift {
+        at: brk,
+        from: Box::new(from),
+        to: Box::new(to),
+    };
+    let churn: [(Structure, Dynamics); 6] = [
+        (
+            Structure::Uniform,
+            shift(Dynamics::Static, Dynamics::PeriodicRemap { period: 3 }),
+        ),
+        (
+            Structure::PowerLaw { alpha: 2.0 },
+            shift(Dynamics::PeriodicRemap { period: 3 }, Dynamics::Static),
+        ),
+        (
+            Structure::Banded { width: 2 * page_elems },
+            shift(Dynamics::Static, Dynamics::Static),
+        ),
+        (
+            Structure::Uniform,
+            shift(
+                Dynamics::MultiPeriodic { p1: 3, p2: 5 },
+                Dynamics::PeriodicRemap { period: 2 },
+            ),
+        ),
+        (Structure::Uniform, Dynamics::Rebalance { at: brk }),
+        (
+            Structure::Banded { width: 2 * page_elems },
+            Dynamics::Rebalance { at: brk },
+        ),
+    ];
+    for (s, d) in churn {
+        grid.push(make(&s, &d));
+    }
     // Distinct seeds per cell so no two scenarios share geometry.
     for (k, cfg) in grid.iter_mut().enumerate() {
         cfg.seed = cfg.seed.wrapping_add(1000 * k as u64);
@@ -438,6 +485,46 @@ mod tests {
                 assert_eq!(a.report.time, b.report.time, "{:?}", a.report.system);
                 assert_eq!(a.x, b.x, "{:?}", a.report.system);
             }
+        }
+    }
+
+    #[test]
+    fn churn_cells_stay_bitwise_across_all_variants() {
+        // run_matrix cross-checks all six variants bitwise; a mid-run
+        // regime break and a partition rebalance must not perturb
+        // results (they may only perturb cost).
+        for d in [
+            Dynamics::RegimeShift {
+                at: 3,
+                from: Box::new(Dynamics::Static),
+                to: Box::new(Dynamics::PeriodicRemap { period: 2 }),
+            },
+            Dynamics::Rebalance { at: 3 },
+        ] {
+            let mut cfg = SynthConfig::quick(Structure::Uniform, d);
+            cfg.n = 512;
+            cfg.refs = 1024;
+            cfg.iters = 6;
+            let m = run_matrix(&Scenario::new(cfg));
+            assert_eq!(m.runs.len(), 6);
+        }
+    }
+
+    #[test]
+    fn prepared_matches_scenario_on_a_rebalance_cell() {
+        // The shared-setup path carries one translation table per
+        // partition epoch; it must reproduce the per-run-build path
+        // exactly on the cell that actually has two epochs.
+        let mut cfg = SynthConfig::quick(Structure::Uniform, Dynamics::Rebalance { at: 3 });
+        cfg.n = 512;
+        cfg.refs = 1024;
+        cfg.iters = 6;
+        let cold = run_matrix(&Scenario::new(cfg.clone()));
+        let shared = run_matrix(&Prepared::new(cfg));
+        for (a, b) in cold.runs.iter().zip(&shared.runs) {
+            assert_eq!(a.report.messages, b.report.messages, "{:?}", a.report.system);
+            assert_eq!(a.report.time, b.report.time, "{:?}", a.report.system);
+            assert_eq!(a.x, b.x, "{:?}", a.report.system);
         }
     }
 
@@ -518,6 +605,18 @@ mod tests {
                     pages,
                     c.nprocs
                 );
+            }
+            // The churn cells: breaks/rebalances fire strictly inside
+            // the run, so every cell actually exercises its churn.
+            let churn: Vec<_> = grid.iter().filter(|c| c.dynamics.is_churn()).collect();
+            assert_eq!(churn.len(), 6, "six churn cells per tier");
+            for c in &churn {
+                c.dynamics.validate();
+                let at = match &c.dynamics {
+                    Dynamics::RegimeShift { at, .. } | Dynamics::Rebalance { at } => *at as usize,
+                    _ => unreachable!(),
+                };
+                assert!(at > 0 && at < c.iters, "{}: break outside the run", c.label());
             }
             let mut labels: Vec<String> = grid.iter().map(|c| c.label()).collect();
             labels.sort();
