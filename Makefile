@@ -16,11 +16,12 @@ clippy:
 
 # Microbenchmarks + the committed machine-readable snapshot: the shim
 # appends one JSON line per bench to CRITERION_JSON; bench_json merges
-# those with the in-simulation message counts (plus a serve round over
-# the quick grid and the fixed cells' stall attribution) into
-# BENCH_9.json, and bench_diff then gates the per-variant message
-# totals against the committed BENCH_8.json — protocol counts may only
-# move together with golden_counts.rs.
+# those with the in-simulation message counts (plus three serve rounds
+# over the quick grid — median cells/sec + MAD — and the fixed cells'
+# stall attribution) into BENCH_10.json, and bench_diff then gates the
+# per-variant message totals (exact) and the serve throughput
+# (one-sided, MAD-banded) against the committed BENCH_9.json —
+# protocol counts may only move together with golden_counts.rs.
 bench:
 	rm -f target/criterion.jsonl
 	CRITERION_JSON=$(CURDIR)/target/criterion.jsonl cargo bench

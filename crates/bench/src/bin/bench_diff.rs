@@ -2,7 +2,7 @@
 //! snapshots — the golden-count regression gate for `make bench` / CI.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_diff              # BENCH_8.json vs BENCH_9.json
+//! cargo run --release -p bench --bin bench_diff              # BENCH_9.json vs BENCH_10.json
 //! cargo run --release -p bench --bin bench_diff -- OLD NEW   # explicit files
 //! ```
 //!
@@ -13,8 +13,16 @@
 //! exits non-zero when the totals moved, so an accidental protocol
 //! regression cannot hide inside a benchmark refresh.
 //!
-//! Wall-clock sections (`benches_ns`, `cells_per_sec`, percentiles) are
-//! machine-dependent and deliberately ignored.
+//! One wall-clock number is additionally gated, one-sided:
+//! `serve_quick_grid.cells_per_sec` (the end-to-end throughput the
+//! parallel hot paths exist to serve) must not fall below the old
+//! snapshot's median by more than a noise band — the larger of 6× the
+//! old snapshot's recorded MAD and half the old median, so the gate
+//! survives three-round jitter *and* a CI host slower than the machine
+//! that committed the snapshot, while an actual hot-path regression
+//! (serialized inspector, lost bitmap planner) still trips it.
+//! Speedups always pass. Every other wall-clock section (`benches_ns`,
+//! percentiles) stays machine-dependent and deliberately ignored.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -74,10 +82,45 @@ fn parse_totals(text: &str) -> Totals {
     totals
 }
 
+/// Scrape one top-level-ish numeric field (first occurrence) from a
+/// snapshot. Returns `None` when the key is absent — older snapshots
+/// predate `cells_per_sec_mad`, and the gate degrades gracefully.
+fn parse_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The one-sided throughput gate (see module docs). Returns an error
+/// line when the new snapshot's serve throughput regressed beyond the
+/// noise band, `Ok(None)` when either snapshot lacks the field.
+fn check_cells_per_sec(old_text: &str, new_text: &str) -> Result<Option<String>, String> {
+    let (Some(was), Some(now)) = (
+        parse_number(old_text, "cells_per_sec"),
+        parse_number(new_text, "cells_per_sec"),
+    ) else {
+        return Ok(None);
+    };
+    let mad = parse_number(old_text, "cells_per_sec_mad").unwrap_or(0.0);
+    let band = (6.0 * mad).max(0.5 * was);
+    if now + band < was {
+        return Err(format!(
+            "cells_per_sec regressed: {was:.2} -> {now:.2} (allowed noise band {band:.2})"
+        ));
+    }
+    Ok(Some(format!(
+        "cells_per_sec {was:.2} -> {now:.2} within band {band:.2}"
+    )))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (old_path, new_path) = match args.as_slice() {
-        [] => ("BENCH_8.json".to_string(), "BENCH_9.json".to_string()),
+        [] => ("BENCH_9.json".to_string(), "BENCH_10.json".to_string()),
         [old, new] => (old.clone(), new.clone()),
         _ => {
             eprintln!("usage: bench_diff [OLD.json NEW.json]");
@@ -122,6 +165,15 @@ fn main() -> ExitCode {
                 );
                 drift += 1;
             }
+        }
+    }
+
+    match check_cells_per_sec(&old_text, &new_text) {
+        Ok(Some(line)) => println!("bench_diff: {line}  ✓"),
+        Ok(None) => println!("bench_diff: no cells_per_sec in both snapshots; throughput gate skipped"),
+        Err(e) => {
+            println!("bench_diff: {e}");
+            drift += 1;
         }
     }
 

@@ -1,4 +1,4 @@
-//! Collect the machine-readable benchmark snapshot `BENCH_9.json`.
+//! Collect the machine-readable benchmark snapshot `BENCH_10.json`.
 //!
 //! `make bench` runs `cargo bench` with `CRITERION_JSON` pointing at a
 //! JSON-lines sink (one `{"name": ..., "ns": ..., "mad_ns": ...}` per
@@ -17,8 +17,10 @@
 //!   scaling figure `table_synth` asserts);
 //! * a `serve` section: the deterministic per-variant message totals of
 //!   one round over the quick scenario grid (one job per cell, machine-
-//!   independent) plus a throughput/latency snapshot of that run
-//!   (machine-dependent, expected to drift like the wall-clock ns);
+//!   independent) plus a throughput/latency snapshot (machine-dependent;
+//!   `cells_per_sec` is the median of three rounds and carries its MAD so
+//!   `bench_diff` can gate throughput against a noise band rather than a
+//!   point sample);
 //! * a `stall_attribution` section: where the fixed moldyn and nbf
 //!   cells' processors spend their simulated time (compute vs fault
 //!   stall vs barrier wait vs ...), from the billing `simnet` does on
@@ -116,20 +118,33 @@ fn main() {
     };
     let (nb16, nb64) = (probe(16), probe(64));
 
-    // One serve round over the quick grid: one job per cell. The
-    // message totals are pure simulation counts (deterministic); the
-    // throughput and percentiles are wall-clock (drift expected).
+    // Serve rounds over the quick grid: one job per cell, three times.
+    // The message totals are pure simulation counts (identical every
+    // round); throughput and percentiles are wall-clock, so the
+    // snapshot records the median cells/sec of the three rounds plus
+    // its MAD — the noise band `bench_diff`'s throughput gate scales.
     let grid = scenario_grid(true);
-    let out_serve = serve(
-        &grid,
-        &ServeConfig {
-            workers: 4,
-            stop: Stop::Jobs(grid.len()),
-            thread_budget: 96,
-            check_allocs: false,
-            trace: None,
-        },
-    );
+    let rounds: Vec<_> = (0..3)
+        .map(|_| {
+            serve(
+                &grid,
+                &ServeConfig {
+                    workers: 4,
+                    stop: Stop::Jobs(grid.len()),
+                    thread_budget: 96,
+                    check_allocs: false,
+                    trace: None,
+                },
+            )
+        })
+        .collect();
+    let mut rates: Vec<f64> = rounds.iter().map(|r| r.cells_per_sec()).collect();
+    rates.sort_by(f64::total_cmp);
+    let cps_median = rates[1];
+    let mut devs: Vec<f64> = rates.iter().map(|r| (r - cps_median).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    let cps_mad = devs[1];
+    let out_serve = &rounds[0];
     let lat = |q: f64| out_serve.latency(q).as_secs_f64() * 1e3;
 
     let mut out = String::from("{\n  \"benches_ns\": {\n");
@@ -165,10 +180,9 @@ fn main() {
         .collect();
     let _ = write!(
         out,
-        "  \"serve_quick_grid\": {{\n    \"jobs\": {},\n    \"message_totals\": {{ {} }},\n    \"cells_per_sec\": {:.2},\n    \"latency_ms\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }}\n  }},\n",
+        "  \"serve_quick_grid\": {{\n    \"jobs\": {},\n    \"message_totals\": {{ {} }},\n    \"cells_per_sec\": {cps_median:.2},\n    \"cells_per_sec_mad\": {cps_mad:.2},\n    \"latency_ms\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }}\n  }},\n",
         out_serve.jobs_done,
         serve_rows.join(", "),
-        out_serve.cells_per_sec(),
         lat(0.50),
         lat(0.95),
         lat(0.99),
@@ -184,12 +198,12 @@ fn main() {
     );
     assert!(
         trace::json_well_formed(&out),
-        "BENCH_9.json would be malformed"
+        "BENCH_10.json would be malformed"
     );
 
-    std::fs::write("BENCH_9.json", &out).expect("write BENCH_9.json");
+    std::fs::write("BENCH_10.json", &out).expect("write BENCH_10.json");
     println!(
-        "wrote BENCH_9.json ({} benches, 3 apps, notice probe, {}-job serve round, stall attribution)",
+        "wrote BENCH_10.json ({} benches, 3 apps, notice probe, 3×{}-job serve rounds, stall attribution)",
         ns.len(),
         out_serve.jobs_done
     );

@@ -12,8 +12,7 @@
 //! lookup, plus translation-table traffic — is exactly what the paper's
 //! comparison hinges on.
 
-use std::collections::HashMap;
-
+use rayon::prelude::*;
 use simnet::{MsgKind, ProcId, SpanTag, StallCat, TraceEvent};
 
 use crate::ttable::{TTable, TTableCache};
@@ -36,13 +35,18 @@ pub enum Loc {
 /// backing array), not `Vec<Vec<u32>>`: a 256-processor schedule with a
 /// handful of actual neighbors used to carry 256 heap allocations per
 /// direction; now it carries two.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommSchedule {
     /// Backing array of receive lists: local offsets (at the owner) of
     /// the elements we receive, ascending per owner, concatenated in
     /// owner order. [`CommSchedule::ghost_starts`] is its CSR offsets
     /// array — the ghost area and the receive lists correspond slot for
-    /// slot by construction.
+    /// slot by construction, which also makes `recv_idx` the whole
+    /// ghost directory: a remote element's ghost slot is its position
+    /// here, recovered by binary search within its owner's segment
+    /// (each segment is sorted). The former `ghost_of: HashMap` stored
+    /// the same mapping a second time — one extra allocation per
+    /// inspection and a latent iteration-order hazard.
     recv_idx: Vec<u32>,
     /// CSR offsets into [`CommSchedule::send_idx`]: peer `q`'s segment
     /// is `send_idx[send_starts[q]..send_starts[q+1]]`.
@@ -51,8 +55,6 @@ pub struct CommSchedule {
     /// elements we send to each peer in a gather (and
     /// receive-and-accumulate in a scatter).
     send_idx: Vec<u32>,
-    /// Ghost slot of a remote element, keyed by `(owner << 32) | offset`.
-    ghost_of: HashMap<u64, u32>,
     /// Start of each peer's segment in the ghost area — also the CSR
     /// offsets of [`CommSchedule::recv_idx`].
     pub ghost_starts: Vec<u32>,
@@ -60,7 +62,7 @@ pub struct CommSchedule {
 
 impl CommSchedule {
     pub fn ghost_count(&self) -> usize {
-        self.ghost_of.len()
+        self.recv_idx.len()
     }
 
     /// Local offsets (at `q`) of the elements we receive from `q`,
@@ -82,13 +84,21 @@ impl CommSchedule {
         }
     }
 
-    /// Resolve a `(owner, offset)` pair to a local location.
+    /// Resolve a `(owner, offset)` pair to a local location: binary
+    /// search within the owner's (sorted) receive segment; the ghost
+    /// slot is the hit's global position in [`CommSchedule::recv_idx`].
     #[inline]
     pub fn locate(&self, me: ProcId, owner: ProcId, off: u32) -> Loc {
         if owner == me {
-            Loc::Own(off)
-        } else {
-            Loc::Ghost(self.ghost_of[&key(owner, off)])
+            return Loc::Own(off);
+        }
+        let (a, b) = match self.ghost_starts.get(owner..=owner + 1) {
+            Some(&[a, b]) => (a as usize, b as usize),
+            _ => panic!("locate: peer {owner} not in schedule"),
+        };
+        match self.recv_idx[a..b].binary_search(&off) {
+            Ok(pos) => Loc::Ghost((a + pos) as u32),
+            Err(_) => panic!("locate: ({owner}, {off}) not in schedule"),
         }
     }
 
@@ -98,9 +108,101 @@ impl CommSchedule {
     }
 }
 
-#[inline]
-fn key(owner: ProcId, off: u32) -> u64 {
-    ((owner as u64) << 32) | off as u64
+/// Below this many accesses a sharded dedup cannot recoup its scoped
+/// worker spawns; the streaming single-pass loop runs instead (the two
+/// are bitwise-identical — see [`dedup_first_seen`]).
+const PAR_DEDUP_MIN: usize = 16 * 1024;
+
+/// The streaming single-pass dedup: one bitmap test-and-set per
+/// access. Also the allowance-1 code path of [`dedup_first_seen`] —
+/// it consumes the iterator directly, so the sequential case never
+/// materializes the access stream.
+fn dedup_streaming(accesses: impl Iterator<Item = u32>, words: usize) -> (usize, Vec<u32>) {
+    let mut seen = vec![0u64; words];
+    let mut distinct = Vec::new();
+    let mut total = 0usize;
+    for e in accesses {
+        total += 1;
+        let (word, bit) = ((e / 64) as usize, e % 64);
+        if seen[word] & (1 << bit) == 0 {
+            seen[word] |= 1 << bit;
+            distinct.push(e);
+        }
+    }
+    (total, distinct)
+}
+
+/// Duplicate elimination with deterministic first-seen order — the
+/// paper's "hash table whose size is proportional to the size of the
+/// data array", realized as a dense bitmap over element ids. Returns
+/// `(total accesses, first-seen distinct list)`.
+///
+/// With a thread allowance above 1 and enough accesses, the stream is
+/// cut into chunks, each chunk deduplicates into its own disjoint
+/// `seen` shard (bitmap + first-seen list) on a scoped worker, and the
+/// shards are merged through the global bitmap **in fixed chunk
+/// order** — a chunk's survivor enters `distinct` iff no earlier chunk
+/// saw it, which reproduces the sequential first-seen order exactly,
+/// bit for bit, at any thread count.
+fn dedup_first_seen(accesses: impl Iterator<Item = u32>, words: usize) -> (usize, Vec<u32>) {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 {
+        return dedup_streaming(accesses, words);
+    }
+    let accesses: Vec<u32> = accesses.collect();
+    if accesses.len() < PAR_DEDUP_MIN {
+        return dedup_streaming(accesses.into_iter(), words);
+    }
+    let total = accesses.len();
+    let chunk = total.div_ceil(threads);
+    let shards: Vec<(Vec<u64>, Vec<u32>)> = accesses
+        .par_chunks(chunk)
+        .map(|c| {
+            let mut local = vec![0u64; words];
+            let mut firsts = Vec::new();
+            for &e in c {
+                let (word, bit) = ((e / 64) as usize, e % 64);
+                if local[word] & (1 << bit) == 0 {
+                    local[word] |= 1 << bit;
+                    firsts.push(e);
+                }
+            }
+            (local, firsts)
+        })
+        .collect();
+    let mut seen = vec![0u64; words];
+    let mut distinct = Vec::new();
+    for (_, firsts) in &shards {
+        for &e in firsts {
+            let (word, bit) = ((e / 64) as usize, e % 64);
+            if seen[word] & (1 << bit) == 0 {
+                seen[word] |= 1 << bit;
+                distinct.push(e);
+            }
+        }
+    }
+    (total, distinct)
+}
+
+/// Fold the schedule-exchange replies into the send-list CSR.
+///
+/// Accumulates with `+=`, not assignment: the exchange contract sorts
+/// `incoming` by sender but does **not** promise each sender appears
+/// once — a peer that deposited two messages in the superstep yields
+/// two adjacent entries, and the former `send_starts[from + 1] =
+/// wants.len()` silently dropped all but the last one.
+fn build_send_csr(nprocs: usize, incoming: &[(ProcId, Vec<u32>)]) -> (Vec<u32>, Vec<u32>) {
+    debug_assert!(incoming.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by sender");
+    let mut send_starts = vec![0u32; nprocs + 1];
+    let mut send_idx = Vec::with_capacity(incoming.iter().map(|(_, w)| w.len()).sum());
+    for (from, wants) in incoming {
+        send_starts[from + 1] += wants.len() as u32;
+        send_idx.extend_from_slice(wants);
+    }
+    for q in 0..nprocs {
+        send_starts[q + 1] += send_starts[q];
+    }
+    (send_starts, send_idx)
 }
 
 /// Run the inspector (collective): bitmap-dedup `accesses` (original
@@ -121,24 +223,13 @@ pub fn inspector(
     let _ins = cp.net().scope(me, StallCat::Inspector);
     cp.net().trace(me, TraceEvent::SpanBegin { tag: SpanTag::Inspect });
 
-    // Duplicate elimination — the paper's "hash table whose size is
-    // proportional to the size of the data array", realized as a dense
-    // bitmap over element ids. One O(1) test-and-set per access replaces
-    // the former hash-map insert plus O(d log d) sort of the distinct
-    // set (the known-slow path: ~8.8 ms per 64k refs). First-seen order
-    // is deterministic, and every downstream consumer (the per-owner
-    // receive lists) re-sorts anyway.
-    let mut seen = vec![0u64; ttable.len().div_ceil(64)];
-    let mut distinct: Vec<u32> = Vec::new();
-    let mut total = 0usize;
-    for e in accesses {
-        total += 1;
-        let (word, bit) = ((e / 64) as usize, e % 64);
-        if seen[word] & (1 << bit) == 0 {
-            seen[word] |= 1 << bit;
-            distinct.push(e);
-        }
-    }
+    // Duplicate elimination (see `dedup_first_seen`): one O(1) bitmap
+    // test-and-set per access, sharded over scoped workers when the
+    // thread allowance permits. The simulated cost is a function of the
+    // access count alone, so host-side sharding cannot move a clock.
+    cp.net().trace(me, TraceEvent::SpanBegin { tag: SpanTag::Dedup });
+    let (total, distinct) = dedup_first_seen(accesses, ttable.len().div_ceil(64));
+    cp.net().trace(me, TraceEvent::SpanEnd { tag: SpanTag::Dedup });
     cp.compute(cost.inspector_hash(total));
 
     // Translate (collective for non-replicated tables).
@@ -150,21 +241,19 @@ pub fn inspector(
 
     // Receive lists in CSR form: the remote (owner, offset) pairs,
     // sorted, are already the per-owner segments (ascending offsets
-    // within each owner) laid out back to back.
+    // within each owner) laid out back to back. The sorted vector is
+    // also the ghost directory (slot = position), so nothing else is
+    // built. Values in a sorted `Copy` sequence have one possible
+    // layout, so the parallel sort is bitwise-deterministic too.
     let mut remote: Vec<(ProcId, u32)> = translated
         .into_iter()
         .filter(|&(owner, _)| owner != me)
         .collect();
-    remote.sort_unstable();
+    remote.par_sort_unstable();
     remote.dedup();
     let recv_idx: Vec<u32> = remote.iter().map(|&(_, off)| off).collect();
-
-    // Ghost directory: a remote element's ghost slot is its rank in the
-    // sorted receive order.
-    let mut ghost_of = HashMap::new();
     let mut ghost_starts = vec![0u32; nprocs + 1];
-    for (slot, &(owner, off)) in remote.iter().enumerate() {
-        ghost_of.insert(key(owner, off), slot as u32);
+    for &(owner, _) in &remote {
         ghost_starts[owner + 1] += 1;
     }
     for q in 0..nprocs {
@@ -181,23 +270,16 @@ pub fn inspector(
         })
         .collect();
     let mut incoming = cp.exchange_u32(MsgKind::Schedule, out);
-    incoming.sort_unstable_by_key(|&(from, _)| from);
-    let mut send_starts = vec![0u32; nprocs + 1];
-    let mut send_idx = Vec::new();
-    for (from, wants) in incoming {
-        send_starts[from + 1] = wants.len() as u32;
-        send_idx.extend_from_slice(&wants);
-    }
-    for q in 0..nprocs {
-        send_starts[q + 1] += send_starts[q];
-    }
+    // Stable: a duplicated sender's messages must keep arrival order so
+    // `build_send_csr` concatenates its segment deterministically.
+    incoming.sort_by_key(|&(from, _)| from);
+    let (send_starts, send_idx) = build_send_csr(nprocs, &incoming);
 
     cp.net().trace(me, TraceEvent::SpanEnd { tag: SpanTag::Inspect });
     CommSchedule {
         recv_idx,
         send_starts,
         send_idx,
-        ghost_of,
         ghost_starts,
     }
 }
@@ -281,6 +363,60 @@ mod tests {
     #[test]
     fn inspector_deterministic() {
         assert_eq!(run_inspector(), run_inspector());
+    }
+
+    #[test]
+    fn send_csr_accumulates_duplicate_senders() {
+        // Regression: the exchange sorts by sender but a sender may
+        // appear twice; the old `send_starts[from + 1] = wants.len()`
+        // assignment kept only the last message (starts [0,1,1,2],
+        // idx [1,2,3,7] — a corrupt CSR).
+        let incoming: Vec<(ProcId, Vec<u32>)> =
+            vec![(0, vec![1, 2]), (0, vec![3]), (2, vec![7])];
+        let (starts, idx) = build_send_csr(3, &incoming);
+        assert_eq!(starts, [0, 3, 3, 4]);
+        assert_eq!(idx, [1, 2, 3, 7]);
+    }
+
+    #[test]
+    fn dedup_sharded_matches_streaming() {
+        // A stream long enough to trip PAR_DEDUP_MIN, dense in dups and
+        // adversarial about order (descending tail so chunk-local first
+        // positions differ from global ones).
+        let n = PAR_DEDUP_MIN + 1000;
+        let accesses: Vec<u32> = (0..n)
+            .map(|i| ((i * 7919 + i / 3) % 4096) as u32)
+            .chain((0..4096).rev())
+            .collect();
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seq = pool1.install(|| dedup_first_seen(accesses.iter().copied(), 64));
+        assert_eq!(seq.0, accesses.len(), "every access counted, dups included");
+        for threads in [2, 4, 64] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par = pool.install(|| dedup_first_seen(accesses.iter().copied(), 64));
+            assert_eq!(par, seq, "first-seen order must survive {threads} shards");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schedule")]
+    fn locate_rejects_unscheduled_element() {
+        let w = ChaosWorld::new(2, CostModel::default());
+        let part = block_partition(8, 2);
+        let tt = TTable::new(TTableKind::Replicated, &part);
+        let sched = std::sync::Mutex::new(CommSchedule::default());
+        w.run(|cp| {
+            let mut cache = TTableCache::new();
+            let s = inspector(cp, &tt, &mut cache, [4u32].iter().copied());
+            if cp.rank() == 0 {
+                *sched.lock().unwrap() = s;
+            }
+        });
+        // Rank 0 scheduled q1's offset 0 (element 4), never offset 3.
+        sched.into_inner().unwrap().locate(0, 1, 3);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::collections::HashSet;
 
+use rayon::prelude::*;
 use simnet::{MsgKind, ProcId};
 
 use crate::partition::Partition;
@@ -118,6 +119,28 @@ impl TTable {
         ((e as usize) / self.block).min(self.nprocs - 1)
     }
 
+    /// The pure local map `id → (owner, offset)` every table kind ends
+    /// a lookup batch with. Sharded over scoped workers when the thread
+    /// allowance permits; chunks are collected in order, so the output
+    /// equals the sequential map exactly. (Simulated lookup costs are
+    /// charged by the caller — host-side sharding moves no clock.)
+    fn translate_all(&self, ids: &[u32]) -> Vec<(ProcId, u32)> {
+        const PAR_MIN: usize = 16 * 1024;
+        let one = |&e: &u32| {
+            let (o, off) = self.entries[e as usize];
+            (o as ProcId, off)
+        };
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || ids.len() < PAR_MIN {
+            return ids.iter().map(one).collect();
+        }
+        let shards: Vec<Vec<(ProcId, u32)>> = ids
+            .par_chunks(ids.len().div_ceil(threads))
+            .map(|c| c.iter().map(one).collect())
+            .collect();
+        shards.concat()
+    }
+
     /// Translate a batch of (deduplicated) element ids, charging lookup
     /// costs and — for non-replicated tables — the remote-lookup traffic.
     ///
@@ -137,12 +160,7 @@ impl TTable {
                 // (Non-replicated kinds are collective: every processor
                 // must call lookup_batch in the same superstep.)
                 cp.compute(cost.translate(ids.len()));
-                ids.iter()
-                    .map(|&e| {
-                        let (o, off) = self.entries[e as usize];
-                        (o as ProcId, off)
-                    })
-                    .collect()
+                self.translate_all(ids)
             }
             TTableKind::Distributed => {
                 // Superstep 1 — requests: group remote ids by storing
@@ -168,12 +186,7 @@ impl TTable {
                     .collect();
                 cp.exchange(MsgKind::Translate, replies);
                 cp.compute(cost.translate(ids.len()));
-                ids.iter()
-                    .map(|&e| {
-                        let (o, off) = self.entries[e as usize];
-                        (o as ProcId, off)
-                    })
-                    .collect()
+                self.translate_all(ids)
             }
             TTableKind::Paged { entries_per_page } => {
                 // Superstep 1 — page requests for uncached table pages,
@@ -195,12 +208,7 @@ impl TTable {
                     .collect();
                 cp.exchange(MsgKind::Translate, replies);
                 cp.compute(cost.translate(ids.len()));
-                ids.iter()
-                    .map(|&e| {
-                        let (o, off) = self.entries[e as usize];
-                        (o as ProcId, off)
-                    })
-                    .collect()
+                self.translate_all(ids)
             }
         }
     }

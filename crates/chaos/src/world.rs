@@ -54,10 +54,22 @@ impl ChaosWorld {
     }
 
     /// Run the SPMD body on every processor (one OS thread each).
+    ///
+    /// The caller's thread allowance (see `vendor/rayon`) is divided
+    /// evenly among the processor threads, so intra-processor
+    /// parallelism (the sharded inspector) is self-limiting: a
+    /// 64-processor cell on an 8-thread allowance leaves every
+    /// processor with exactly its one thread, and a `serve` job never
+    /// exceeds the tokens it holds from the shared `ThreadBudget`.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(&mut ChaosProc) + Sync,
     {
+        let share = rayon::ThreadPoolBuilder::new()
+            .num_threads((rayon::current_num_threads() / self.nprocs).max(1))
+            .build()
+            .expect("shim pools cannot fail to build");
+        let share = &share;
         std::thread::scope(|s| {
             for rank in 0..self.nprocs {
                 let f = &f;
@@ -66,7 +78,7 @@ impl ChaosWorld {
                         world: self,
                         me: rank,
                     };
-                    f(&mut cp);
+                    share.install(|| f(&mut cp));
                 });
             }
         });

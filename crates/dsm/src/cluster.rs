@@ -194,11 +194,23 @@ impl Cluster {
     /// Run the SPMD body `f` on every simulated processor (one OS thread
     /// each). May be called repeatedly; processor protocol state persists
     /// across calls.
+    ///
+    /// The caller's thread allowance (see `vendor/rayon`) is divided
+    /// evenly among the processor threads, mirroring
+    /// `chaos::ChaosWorld::run`: intra-processor parallelism (the
+    /// sharded `PageSet::finish` bitmap fill) only engages when the
+    /// allowance exceeds the processor count, so a `serve` job never
+    /// uses more OS threads than the tokens it holds.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(&mut TmkProc) + Sync,
     {
         let npages = self.heap_pages();
+        let share = rayon::ThreadPoolBuilder::new()
+            .num_threads((rayon::current_num_threads() / self.cfg.nprocs).max(1))
+            .build()
+            .expect("shim pools cannot fail to build");
+        let share = &share;
         std::thread::scope(|s| {
             for rank in 0..self.cfg.nprocs {
                 let f = &f;
@@ -215,7 +227,7 @@ impl Cluster {
                         page_size: self.cfg.page_size,
                         inner,
                     };
-                    f(&mut p);
+                    share.install(|| f(&mut p));
                     // Batched fetches deferred near the body's end that
                     // nothing triggered are the quiesce win: the
                     // exchanges the eager policy would have wasted on an

@@ -6,6 +6,8 @@
 //! set is built by `Read_indices` folding each indirection target into a
 //! [`PageSet`].
 
+use rayon::prelude::*;
+
 /// An ordered, duplicate-free set of page numbers.
 ///
 /// Page sets in this system are small (hundreds of pages) and are built
@@ -82,6 +84,15 @@ impl PageSet {
     /// Criterion `rsd/pageset_build_10k` (10k inserts over 700 pages):
     /// 105.8 µs sort-based → 31.8 µs bitmap (~10.6 → ~3.2 ns/insert,
     /// the remainder being the `insert` calls themselves).
+    ///
+    /// The bitmap/sort decision keys on the *distinct* count, not the
+    /// insert count: a heavily-duplicated wide-range set (say two pages
+    /// a megapage apart, referenced 100k times) used to satisfy
+    /// `range <= 64 * inserts` and drain a multi-megabit bitmap for a
+    /// handful of survivors. [`PageSet::estimate_distinct`] bounds the
+    /// survivor count with a coarse occupancy probe first, and all
+    /// threshold arithmetic saturates so a full-`u32` range cannot wrap
+    /// on 32-bit hosts.
     pub fn finish(&mut self) {
         if !self.pages.is_sorted() {
             let (mut min, mut max) = (u32::MAX, 0u32);
@@ -89,23 +100,11 @@ impl PageSet {
                 min = min.min(p);
                 max = max.max(p);
             }
-            let range = (max - min) as usize + 1;
-            if range <= 64 * self.pages.len() {
-                let mut bits = vec![0u64; range.div_ceil(64)];
-                for &p in &self.pages {
-                    let i = (p - min) as usize;
-                    bits[i >> 6] |= 1 << (i & 63);
-                }
-                self.pages.clear();
-                for (w, &word) in bits.iter().enumerate() {
-                    let mut word = word;
-                    while word != 0 {
-                        self.pages.push(min + (w as u32) * 64 + word.trailing_zeros());
-                        word &= word - 1;
-                    }
-                }
+            let range = ((max - min) as usize).saturating_add(1);
+            if bitmap_worthwhile(range, self.estimate_distinct(min, range)) {
+                self.bitmap_canonicalize(min, range);
             } else {
-                self.pages.sort_unstable();
+                self.pages.par_sort_unstable();
                 self.pages.dedup();
             }
         } else {
@@ -113,6 +112,86 @@ impl PageSet {
         }
         self.sorted = true;
         self.last = self.pages.last().map_or(-1, |&p| p as i64);
+    }
+
+    /// Upper-bound the distinct count for the bitmap/sort decision.
+    ///
+    /// Compact ranges (bitmap ≤ 2 KiB) skip the probe — the insert
+    /// count is bound enough there, and the probe would cost more than
+    /// the worst-case drain it guards against. Wider ranges take one
+    /// extra O(n) pass over a *coarse* bitmap (buckets of `1 << shift`
+    /// pages, at most 2 KiB again): `occupied << shift` bounds the
+    /// distinct count because a bucket holds at most `1 << shift`
+    /// values, so a duplicate-heavy stream over a huge range is caught
+    /// before `finish` commits to a huge fine-grained bitmap.
+    fn estimate_distinct(&self, min: u32, range: usize) -> usize {
+        const COARSE_BITS: usize = 16 * 1024;
+        if range <= COARSE_BITS {
+            return self.pages.len();
+        }
+        let mut shift = 1u32;
+        while (range >> shift) >= COARSE_BITS {
+            shift += 1;
+        }
+        let mut coarse = vec![0u64; ((range - 1) >> shift).div_ceil(64) + 1];
+        for &p in &self.pages {
+            let i = ((p - min) as usize) >> shift;
+            coarse[i >> 6] |= 1 << (i & 63);
+        }
+        let occupied: usize = coarse.iter().map(|w| w.count_ones() as usize).sum();
+        self.pages.len().min(occupied.saturating_mul(1 << shift))
+    }
+
+    /// The dense-bitmap radix pass of [`PageSet::finish`]: set one bit
+    /// per insert, then drain set bits in ascending order.
+    ///
+    /// With a thread allowance above 1 and enough inserts, the fill is
+    /// sharded: each chunk of the insert stream ORs into its own local
+    /// bitmap on a scoped worker and the shards are OR-merged. A bitmap
+    /// is insensitive to fill order and the drain walks words low to
+    /// high, so the result is bitwise-identical to the sequential fill
+    /// at any thread count.
+    fn bitmap_canonicalize(&mut self, min: u32, range: usize) {
+        const PAR_FILL_MIN: usize = 64 * 1024;
+        let words = range.div_ceil(64);
+        let threads = rayon::current_num_threads();
+        let bits = if threads <= 1 || self.pages.len() < PAR_FILL_MIN {
+            let mut bits = vec![0u64; words];
+            for &p in &self.pages {
+                let i = (p - min) as usize;
+                bits[i >> 6] |= 1 << (i & 63);
+            }
+            bits
+        } else {
+            let chunk = self.pages.len().div_ceil(threads);
+            let shards: Vec<Vec<u64>> = self
+                .pages
+                .par_chunks(chunk)
+                .map(|c| {
+                    let mut local = vec![0u64; words];
+                    for &p in c {
+                        let i = (p - min) as usize;
+                        local[i >> 6] |= 1 << (i & 63);
+                    }
+                    local
+                })
+                .collect();
+            let mut bits = vec![0u64; words];
+            for shard in shards {
+                for (b, s) in bits.iter_mut().zip(shard) {
+                    *b |= s;
+                }
+            }
+            bits
+        };
+        self.pages.clear();
+        for (w, &word) in bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                self.pages.push(min + (w as u32) * 64 + word.trailing_zeros());
+                word &= word - 1;
+            }
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -166,6 +245,14 @@ impl PageSet {
             sorted: true,
         }
     }
+}
+
+/// Bitmap pays off when the value range is at most 64 bits of bitmap
+/// per *distinct* page — i.e. the drain touches no more words than a
+/// comparison sort would touch elements. Saturating: `est_distinct` can
+/// legitimately be huge and the product must not wrap on 32-bit hosts.
+fn bitmap_worthwhile(range: usize, est_distinct: usize) -> bool {
+    range <= 64usize.saturating_mul(est_distinct)
 }
 
 impl FromIterator<u32> for PageSet {
@@ -301,6 +388,73 @@ mod tests {
         reference.sort_unstable();
         assert_eq!(sparse.as_slice(), &reference[..]);
         assert!(sparse.contains(3_000_000));
+    }
+
+    #[test]
+    fn duplicated_wide_range_takes_sort_path() {
+        // Regression: 100k inserts alternating between two pages a
+        // megapage apart. The old threshold compared the range against
+        // 64 × the *insert* count (6.4M ≥ 1M → bitmap), draining a
+        // ~15.6k-word bitmap for two survivors. The distinct-aware
+        // planner must reject the bitmap here and still canonicalize.
+        let mut s = PageSet::new();
+        for _ in 0..50_000 {
+            s.insert(0);
+            s.insert(1_000_000);
+        }
+        let range = 1_000_001usize;
+        assert!(
+            !bitmap_worthwhile(range, s.estimate_distinct(0, range)),
+            "two coarse buckets over a megapage range must not plan a bitmap"
+        );
+        s.finish();
+        assert_eq!(s.as_slice(), &[0, 1_000_000]);
+    }
+
+    #[test]
+    fn threshold_saturates_at_full_u32_range() {
+        // u32::MAX range with a big estimate: 64 × est would overflow a
+        // 32-bit usize; saturating math must answer, not wrap. Also the
+        // end-to-end set: extremes plus a dense low cluster.
+        assert!(bitmap_worthwhile(u32::MAX as usize, usize::MAX / 32));
+        assert!(!bitmap_worthwhile(usize::MAX, 1));
+        let mut s = PageSet::new();
+        s.insert(u32::MAX);
+        for p in (0..1000u32).rev() {
+            s.insert(p);
+        }
+        s.insert(u32::MAX);
+        s.finish();
+        assert_eq!(s.len(), 1001);
+        assert_eq!(s.as_slice()[1000], u32::MAX);
+        assert!(s.contains(999));
+    }
+
+    #[test]
+    fn sharded_bitmap_fill_matches_sequential() {
+        // Enough inserts to trip PAR_FILL_MIN, compact range → bitmap
+        // path; the sharded fill must be bitwise-identical at any
+        // thread count.
+        let pages: Vec<u32> = (0..70_000u32)
+            .map(|k| k.wrapping_mul(2654435761) % 3000)
+            .collect();
+        let build = || {
+            let mut s = PageSet::new();
+            for &p in &pages {
+                s.insert(p);
+            }
+            s.finish();
+            s
+        };
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seq = pool1.install(build);
+        for threads in [2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            assert_eq!(pool.install(build), seq);
+        }
     }
 
     #[test]

@@ -149,3 +149,48 @@ proptest! {
         prop_assert_eq!(conc.dims[0], Dim::new(lo, bind + len, stride));
     }
 }
+
+proptest! {
+    /// `PageSet` canonicalization is a pure function of the insert
+    /// stream: the result is bitwise-identical at any thread allowance
+    /// (sharded bitmap fill, parallel sort path) and equals the
+    /// `BTreeSet` oracle. `reps`/`wide` steer the stream across the
+    /// planner's regimes — compact bitmap, sparse sort, and (at 800
+    /// repetitions) past the sharded-fill threshold.
+    #[test]
+    fn pageset_build_is_thread_count_invariant(
+        base in proptest::collection::vec(0u32..5_000, 1..200),
+        reps in prop::sample::select(vec![1usize, 1, 2, 800]),
+        wide in prop::sample::select(vec![false, true]),
+    ) {
+        let stream: Vec<u32> = std::iter::repeat_n(&base, reps)
+            .flatten()
+            .map(|&p| if wide { p.wrapping_mul(50_000) } else { p })
+            .collect();
+        let build = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut s = PageSet::new();
+                for &p in &stream {
+                    s.insert(p);
+                }
+                s.finish();
+                s
+            })
+        };
+        let seq = build(1);
+        for threads in [4usize, 64] {
+            prop_assert_eq!(seq.as_slice(), build(threads).as_slice());
+        }
+        let oracle: Vec<u32> = stream
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeSet<u32>>()
+            .into_iter()
+            .collect();
+        prop_assert_eq!(seq.as_slice(), &oracle[..]);
+    }
+}

@@ -48,12 +48,32 @@ impl ThreadBudget {
         BudgetGuard { budget: self, n }
     }
 
+    /// Take up to `n` tokens without blocking — whatever is free right
+    /// now, possibly zero. Spare tokens widen a job's thread allowance
+    /// (intra-cell parallelism) opportunistically; a job must never
+    /// *wait* for spares it can run without, so there is no blocking
+    /// variant.
+    pub fn try_acquire_up_to(&self, n: usize) -> BudgetGuard<'_> {
+        let mut free = self.free.lock();
+        let take = n.min(*free);
+        *free -= take;
+        BudgetGuard {
+            budget: self,
+            n: take,
+        }
+    }
+
     /// Tokens currently free (diagnostic snapshot).
     pub fn available(&self) -> usize {
         *self.free.lock()
     }
 
     fn release(&self, n: usize) {
+        // Empty guards (a `try_acquire_up_to` that found nothing free)
+        // must not wake every waiting worker for no token.
+        if n == 0 {
+            return;
+        }
         let mut free = self.free.lock();
         *free += n;
         debug_assert!(*free <= self.capacity, "over-release");
@@ -96,6 +116,20 @@ mod tests {
         drop(g);
         let g = b.acquire(64);
         assert_eq!((g.tokens(), b.available()), (8, 0));
+        drop(g);
+        assert_eq!(b.available(), 8);
+    }
+
+    #[test]
+    fn try_acquire_takes_what_is_free_never_blocks() {
+        let b = ThreadBudget::new(8);
+        let g = b.acquire(6);
+        let spare = b.try_acquire_up_to(4);
+        assert_eq!((spare.tokens(), b.available()), (2, 0));
+        let none = b.try_acquire_up_to(3);
+        assert_eq!(none.tokens(), 0, "empty budget yields an empty guard");
+        drop(spare);
+        drop(none);
         drop(g);
         assert_eq!(b.available(), 8);
     }

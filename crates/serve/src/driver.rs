@@ -387,9 +387,26 @@ pub fn serve(cells: &[SynthConfig], cfg: &ServeConfig) -> ServeOutcome {
                                 },
                             );
                         }
-                        let _tokens = budget.acquire(prep.cfg().nprocs);
+                        let nprocs = prep.cfg().nprocs;
+                        let _tokens = budget.acquire(nprocs);
+                        // Spare tokens (never waited for) widen this
+                        // job's thread allowance: the cluster `run`s
+                        // divide `nprocs + spares` across `nprocs`
+                        // processor threads, so intra-cell parallelism
+                        // engages exactly when the service is
+                        // under-subscribed and idle tokens exist. One
+                        // token ≙ one OS thread either way — the
+                        // budget's cap on true thread count holds.
+                        let spare = budget.try_acquire_up_to(
+                            nprocs.saturating_mul(rayon::current_num_threads().saturating_sub(1)),
+                        );
+                        let pool = rayon::ThreadPoolBuilder::new()
+                            .num_threads(nprocs + spare.tokens())
+                            .build()
+                            .expect("shim pools cannot fail to build");
                         let t0 = Instant::now();
-                        let matrix = run_matrix(prep);
+                        let matrix = pool.install(|| run_matrix(prep));
+                        drop(spare);
                         let ns = t0.elapsed().as_nanos() as u64;
                         goldens[cell].check(&matrix.label, &matrix);
                         if let Some(t) = tr {

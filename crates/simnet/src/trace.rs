@@ -210,6 +210,11 @@ impl FetchKind {
 pub enum SpanTag {
     /// The whole inspector pass.
     Inspect,
+    /// The duplicate-elimination pass inside it (the section the
+    /// inspector may run on sharded worker threads; the span is one
+    /// event pair per inspection regardless of the thread count, so
+    /// traces stay byte-identical across `RAYON_SHIM_THREADS`).
+    Dedup,
     /// The global→(owner, offset) translation batch inside it.
     Translate,
     /// Executor gather (owners push referenced elements).
@@ -225,6 +230,7 @@ impl SpanTag {
     pub fn name(self) -> &'static str {
         match self {
             SpanTag::Inspect => "inspect",
+            SpanTag::Dedup => "dedup",
             SpanTag::Translate => "translate",
             SpanTag::Gather => "gather",
             SpanTag::Scatter => "scatter",

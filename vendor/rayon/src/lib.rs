@@ -1,0 +1,466 @@
+//! Offline API-compatible shim of the small `rayon` surface this
+//! workspace uses (no registry access in this environment — same
+//! discipline as the `parking_lot`/`rand`/`proptest`/`criterion` shims:
+//! exactly the API the workspace calls, backed by std).
+//!
+//! Unlike real rayon there is no persistent worker pool: parallel
+//! combinators run on **scoped threads** (`std::thread::scope`), so
+//! closures may borrow from the caller and every combinator joins its
+//! workers before returning. What a "pool" configures here is a
+//! *thread allowance* — an upper bound on the OS threads a combinator
+//! may use — carried in a thread-local so nested parallelism divides
+//! rather than multiplies.
+//!
+//! # Determinism contract
+//!
+//! Every combinator is **deterministic by construction**: results are
+//! produced in the same order as the sequential equivalent regardless
+//! of the allowance, and an allowance of 1 *is* the sequential code
+//! path. The workspace's bitwise-reproducibility tests
+//! (`RAYON_SHIM_THREADS=1` vs default, and the parallel ≡ sequential
+//! proptests in `chaos`/`rsd`) lean on this.
+//!
+//! # Thread allowance resolution
+//!
+//! 1. An enclosing [`ThreadPool::install`] sets the allowance for the
+//!    calling thread for the closure's duration.
+//! 2. Otherwise the process-wide default applies: the
+//!    `RAYON_SHIM_THREADS` environment variable (clamped to ≥ 1) if
+//!    set, else `std::thread::available_parallelism()`.
+//!
+//! Threads spawned *by* a combinator run their tasks with an allowance
+//! of 1 unless the combinator itself subdivides (as [`join`] does), so
+//! a parallel section never recursively oversubscribes the host.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// The calling thread's allowance override (see module docs);
+    /// `None` means "use the process-wide default".
+    static ALLOWANCE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Parse a `RAYON_SHIM_THREADS`-style override. `None`/unparsable/zero
+/// fall back to `fallback` (the host parallelism).
+fn resolve_threads(env: Option<&str>, fallback: usize) -> usize {
+    env.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| fallback.max(1))
+}
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        resolve_threads(std::env::var("RAYON_SHIM_THREADS").ok().as_deref(), host)
+    })
+}
+
+/// The calling thread's current thread allowance (≥ 1). Inside
+/// [`ThreadPool::install`] this is the pool's configured size; outside,
+/// the process-wide default (env override or host parallelism).
+pub fn current_num_threads() -> usize {
+    ALLOWANCE.with(|a| a.get()).unwrap_or_else(default_threads)
+}
+
+/// Run `f` with the calling thread's allowance set to `n` (≥ 1),
+/// restoring the previous allowance afterwards — panic-safe.
+fn with_allowance<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ALLOWANCE.with(|a| a.set(self.0));
+        }
+    }
+    let prev = ALLOWANCE.with(|a| a.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Builder of a [`ThreadPool`] (API shape of rayon's).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Building a pool cannot fail in the shim; the type exists so call
+/// sites keep rayon's `build()?` / `.expect(...)` shape.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("shim thread pools cannot fail to build")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the pool's thread allowance. `0` (rayon's "default") and
+    /// unset both mean the process-wide default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(n) if n >= 1 => n,
+            _ => default_threads(),
+        };
+        Ok(ThreadPool { threads: n })
+    }
+}
+
+/// A thread *allowance*, not a set of live workers (see module docs).
+/// Cheap to build and to share (`Sync`); holds no OS resources.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The allowance combinators see inside [`ThreadPool::install`].
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` on the calling thread with this pool's allowance
+    /// installed (rayon runs `op` on a pool worker; the shim's
+    /// equivalent is allowance scoping — same observable results).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        with_allowance(self.threads, op)
+    }
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, and return
+/// `(ra, rb)` — always in that order. With an allowance of 1 both run
+/// sequentially on the calling thread (`a` first, exactly the
+/// sequential program). Otherwise `b` runs on a scoped thread and the
+/// allowance is split between the halves.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let n = current_num_threads();
+    if n <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let (na, nb) = (n - n / 2, (n / 2).max(1));
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || with_allowance(nb, oper_b));
+        let ra = with_allowance(na, oper_a);
+        let rb = hb
+            .join()
+            .unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+pub mod slice {
+    //! The chunked-slice subset of `rayon::slice`.
+
+    use super::{current_num_threads, with_allowance};
+
+    /// `[T]::par_chunks` — parallel counterpart of `chunks`.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParChunks {
+                slice: self,
+                size: chunk_size,
+            }
+        }
+    }
+
+    /// `[T]::par_sort_unstable` — parallel counterpart of
+    /// `sort_unstable`.
+    ///
+    /// Shim divergence: bounded by `T: Copy` (the merge step copies
+    /// through a temporary; the workspace only sorts `Copy` key
+    /// tuples). The output is the fully sorted slice — bitwise
+    /// identical to `sort_unstable` at any allowance for types whose
+    /// `Ord` equality implies identity (every derived `Ord` here).
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord + Copy;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord + Copy,
+        {
+            par_sort(self, current_num_threads());
+        }
+    }
+
+    /// Below this length the scoped-thread spawn (tens of µs) dwarfs
+    /// the sort itself; recursion bottoms out on `sort_unstable`.
+    const SORT_SEQ_CUTOFF: usize = 8 * 1024;
+
+    fn par_sort<T: Ord + Copy + Send>(v: &mut [T], threads: usize) {
+        if threads <= 1 || v.len() <= SORT_SEQ_CUTOFF {
+            v.sort_unstable();
+            return;
+        }
+        let mid = v.len() / 2;
+        {
+            let (a, b) = v.split_at_mut(mid);
+            let (ta, tb) = (threads - threads / 2, (threads / 2).max(1));
+            std::thread::scope(|s| {
+                let h = s.spawn(move || par_sort(b, tb));
+                par_sort(a, ta);
+                h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+            });
+        }
+        // Merge the sorted halves through a temporary.
+        let mut tmp = Vec::with_capacity(v.len());
+        let (mut i, mut j) = (0, mid);
+        while i < mid && j < v.len() {
+            if v[j] < v[i] {
+                tmp.push(v[j]);
+                j += 1;
+            } else {
+                tmp.push(v[i]);
+                i += 1;
+            }
+        }
+        tmp.extend_from_slice(&v[i..mid]);
+        tmp.extend_from_slice(&v[j..]);
+        v.copy_from_slice(&tmp);
+    }
+
+    /// Lazy parallel chunk iterator; combinators consume it.
+    #[derive(Debug)]
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Map each chunk through `f`. Consume with
+        /// [`MapChunks::collect`].
+        pub fn map<R, F>(self, f: F) -> MapChunks<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a [T]) -> R + Sync,
+        {
+            MapChunks {
+                slice: self.slice,
+                size: self.size,
+                f,
+            }
+        }
+    }
+
+    /// The mapped form of [`ParChunks`].
+    #[derive(Debug)]
+    pub struct MapChunks<'a, T, F> {
+        slice: &'a [T],
+        size: usize,
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> MapChunks<'a, T, F> {
+        /// Run the map — chunks spread over at most the current
+        /// allowance in scoped threads — and collect the results **in
+        /// chunk order** (each worker takes a contiguous block of
+        /// chunks; blocks are concatenated in worker order).
+        pub fn collect<R, C>(self) -> C
+        where
+            R: Send,
+            F: Fn(&'a [T]) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            let nchunks = self.slice.len().div_ceil(self.size);
+            let workers = current_num_threads().min(nchunks);
+            if workers <= 1 {
+                return self.slice.chunks(self.size).map(&self.f).collect();
+            }
+            let per = nchunks.div_ceil(workers);
+            let (slice, size, f) = (self.slice, self.size, &self.f);
+            let mut blocks: Vec<Vec<R>> = Vec::with_capacity(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let lo = w * per;
+                        let hi = ((w + 1) * per).min(nchunks);
+                        s.spawn(move || {
+                            with_allowance(1, || {
+                                (lo..hi)
+                                    .map(|c| {
+                                        let a = c * size;
+                                        let b = (a + size).min(slice.len());
+                                        f(&slice[a..b])
+                                    })
+                                    .collect::<Vec<R>>()
+                            })
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    blocks.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+                }
+            });
+            blocks.into_iter().flatten().collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, like `rayon::prelude::*`.
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn resolve_threads_parses_and_falls_back() {
+        assert_eq!(resolve_threads(Some("6"), 2), 6);
+        assert_eq!(resolve_threads(Some(" 3 "), 2), 3);
+        assert_eq!(resolve_threads(Some("0"), 2), 2, "zero means default");
+        assert_eq!(resolve_threads(Some("nope"), 2), 2);
+        assert_eq!(resolve_threads(None, 2), 2);
+        assert_eq!(resolve_threads(None, 0), 1, "allowance is never zero");
+    }
+
+    #[test]
+    fn install_scopes_the_allowance_and_restores_it() {
+        let outside = current_num_threads();
+        assert!(outside >= 1);
+        pool(5).install(|| {
+            assert_eq!(current_num_threads(), 5);
+            pool(2).install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 5, "nested install restored");
+        });
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn install_restores_on_panic() {
+        let outside = current_num_threads();
+        let r = std::panic::catch_unwind(|| pool(7).install(|| panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn builder_zero_means_default() {
+        let d = pool(0).current_num_threads();
+        assert_eq!(d, ThreadPoolBuilder::new().build().unwrap().current_num_threads());
+        assert!(d >= 1);
+    }
+
+    #[test]
+    fn join_returns_in_order_at_any_allowance() {
+        for n in [1, 2, 8] {
+            let (a, b) = pool(n).install(|| join(|| 1 + 1, || "b"));
+            assert_eq!((a, b), (2, "b"));
+        }
+    }
+
+    #[test]
+    fn join_splits_the_allowance() {
+        let (a, b) = pool(8).install(|| join(current_num_threads, current_num_threads));
+        assert_eq!(a + b, 8, "halves partition the parent allowance");
+        assert!(a >= 1 && b >= 1);
+    }
+
+    #[test]
+    fn join_sequential_when_allowance_is_one() {
+        // Side-effect order proves a ran before b (the sequential path).
+        let log = std::sync::Mutex::new(Vec::new());
+        pool(1).install(|| {
+            join(|| log.lock().unwrap().push('a'), || log.lock().unwrap().push('b'))
+        });
+        assert_eq!(*log.lock().unwrap(), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn par_chunks_map_collect_preserves_chunk_order() {
+        let data: Vec<u32> = (0..1000).collect();
+        let seq: Vec<u64> = data
+            .chunks(64)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        for n in [1, 3, 8, 100] {
+            let par: Vec<u64> = pool(n).install(|| {
+                data.par_chunks(64)
+                    .map(|c| c.iter().map(|&x| x as u64).sum())
+                    .collect()
+            });
+            assert_eq!(par, seq, "allowance {n}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_handles_empty_and_single() {
+        let empty: [u32; 0] = [];
+        let r: Vec<usize> = empty.par_chunks(4).map(<[u32]>::len).collect();
+        assert!(r.is_empty());
+        let one = [9u32];
+        let r: Vec<usize> = pool(4).install(|| one.par_chunks(4).map(<[u32]>::len).collect());
+        assert_eq!(r, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be non-zero")]
+    fn zero_chunk_size_is_rejected() {
+        let _ = [1u32].par_chunks(0);
+    }
+
+    #[test]
+    fn par_sort_matches_sequential_sort() {
+        // Deterministic pseudo-random data, long enough to recurse.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let data: Vec<(u32, u32)> = (0..40_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x >> 32) as u32 % 997, x as u32)
+            })
+            .collect();
+        let mut seq = data.clone();
+        seq.sort_unstable();
+        for n in [1, 2, 8] {
+            let mut par = data.clone();
+            pool(n).install(|| par.par_sort_unstable());
+            assert_eq!(par, seq, "allowance {n}");
+        }
+    }
+
+    #[test]
+    fn combinators_inside_spawned_workers_degrade_to_sequential() {
+        // A map body's own allowance is 1: nested parallelism divides.
+        let data = [0u8; 4096];
+        let inner: Vec<usize> = pool(4).install(|| {
+            data.par_chunks(1024).map(|_| current_num_threads()).collect()
+        });
+        assert_eq!(inner, vec![1, 1, 1, 1]);
+    }
+}
